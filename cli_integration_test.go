@@ -1,0 +1,178 @@
+package dnscentral_test
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the cmd/ binaries once per test run.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	out := make(map[string]string, len(names))
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, b)
+	}
+	return string(b)
+}
+
+// TestCLIPipeline drives dnstracegen → entrada → cloudreport end to end
+// through the real binaries and on-disk files.
+func TestCLIPipeline(t *testing.T) {
+	bins := buildTools(t, "dnstracegen", "entrada", "cloudreport")
+	dir := t.TempDir()
+	pcap := filepath.Join(dir, "nl.pcap")
+	report := filepath.Join(dir, "nl.json")
+
+	out := runTool(t, bins["dnstracegen"],
+		"-vantage", "nl", "-week", "w2020",
+		"-queries", "8000", "-scale", "0.002", "-seed", "5", "-out", pcap)
+	if !strings.Contains(out, "Google") {
+		t.Fatalf("dnstracegen output:\n%s", out)
+	}
+	if fi, err := os.Stat(pcap); err != nil || fi.Size() < 10_000 {
+		t.Fatalf("pcap not written: %v", err)
+	}
+
+	runTool(t, bins["entrada"], "-in", pcap, "-out", report)
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TotalQueries uint64             `json:"total_queries"`
+		CloudShare   float64            `json:"cloud_share"`
+		Providers    map[string]any     `json:"providers"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if parsed.TotalQueries < 8000 || parsed.CloudShare < 0.2 {
+		t.Fatalf("report: %+v", parsed)
+	}
+
+	summary := runTool(t, bins["cloudreport"], "-report", report)
+	for _, want := range []string{"Google", "Facebook", "Record types", "EDNS(0)"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("cloudreport missing %q:\n%s", want, summary)
+		}
+	}
+}
+
+// TestCLIShardedAnalysis verifies the multi- -in merge path.
+func TestCLIShardedAnalysis(t *testing.T) {
+	bins := buildTools(t, "dnstracegen", "entrada")
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.pcap")
+	b := filepath.Join(dir, "b.pcap")
+	runTool(t, bins["dnstracegen"], "-vantage", "nz", "-week", "w2019",
+		"-queries", "3000", "-scale", "0.002", "-seed", "6", "-out", a)
+	runTool(t, bins["dnstracegen"], "-vantage", "nz", "-week", "w2019",
+		"-queries", "3000", "-scale", "0.002", "-seed", "7", "-out", b)
+	report := filepath.Join(dir, "merged.json")
+	runTool(t, bins["entrada"], "-in", a, "-in", b, "-out", report)
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TotalQueries uint64 `json:"total_queries"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.TotalQueries < 6000 {
+		t.Fatalf("merged total = %d", parsed.TotalQueries)
+	}
+}
+
+// TestCLILiveServerAndResolver starts the real authserver binary and
+// points resolversim at it over loopback sockets.
+func TestCLILiveServerAndResolver(t *testing.T) {
+	bins := buildTools(t, "authserver", "resolversim")
+
+	// Pick a free port by binding and releasing it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := exec.Command(bins["authserver"], "-zone", "nl", "-domains", "1000", "-listen", addr)
+	srvOut := &strings.Builder{}
+	srv.Stdout, srv.Stderr = srvOut, srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	}()
+
+	// Wait for the server to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come up: %s", srvOut)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out := runTool(t, bins["resolversim"],
+		"-server", addr, "-zone", "nl", "-qmin", "-validate", "-n", "100")
+	if !strings.Contains(out, "query mix") || !strings.Contains(out, "NS") {
+		t.Fatalf("resolversim output:\n%s", out)
+	}
+	if !strings.Contains(out, "resolved 100 names (0 failures)") {
+		t.Fatalf("resolution failures:\n%s", out)
+	}
+}
+
+// TestCLIRepro runs the full experiment harness at a tiny scale.
+func TestCLIRepro(t *testing.T) {
+	bins := buildTools(t, "repro")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "EXPERIMENTS.md")
+	runTool(t, bins["repro"], "-queries", "4000", "-scale", "0.002", "-seed", "8", "-out", out)
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, want := range []string{"## Table 3", "## Figure 6", "Shape verdicts", "shape checks passed"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("EXPERIMENTS.md missing %q", want)
+		}
+	}
+}

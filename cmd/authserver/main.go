@@ -1,0 +1,78 @@
+// Command authserver runs a standalone authoritative DNS server for a
+// synthetic ccTLD or root zone over real UDP and TCP sockets. Point any
+// resolver (including cmd/resolversim or dig) at it.
+//
+// Usage:
+//
+//	authserver -zone nl -domains 100000 -listen 127.0.0.1:5300
+//	dig @127.0.0.1 -p 5300 d42.nl NS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/zonedb"
+)
+
+func main() {
+	var (
+		zoneName = flag.String("zone", "nl", "zone origin: nl, nz, or root")
+		domains  = flag.Int("domains", 100_000, "number of second-level delegations")
+		third    = flag.Int("third", 0, "number of third-level delegations (nz-style)")
+		signed   = flag.Float64("signed", 0.55, "fraction of delegations with DS records")
+		listen   = flag.String("listen", "127.0.0.1:5300", "UDP+TCP listen address")
+		rrl      = flag.Float64("rrl", 0, "responses/second/client rate limit (0 = off)")
+		verbose  = flag.Bool("v", false, "log per-error diagnostics")
+	)
+	flag.Parse()
+
+	var (
+		zone *zonedb.Zone
+		err  error
+	)
+	if *zoneName == "root" || *zoneName == "." {
+		zone, err = zonedb.NewRoot(zonedb.DefaultRootTLDs, []string{"b.root-servers.net"})
+	} else {
+		zone, err = zonedb.NewCcTLD(*zoneName, *domains, *third, *signed,
+			[]string{"ns1.dns." + *zoneName, "ns2.dns." + *zoneName})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts []authserver.Option
+	if *rrl > 0 {
+		opts = append(opts, authserver.WithRRL(authserver.RRLConfig{
+			RatePerSec: *rrl, Burst: *rrl * 2, SlipEvery: 1,
+		}))
+	}
+	srv, err := authserver.Listen(*listen, authserver.NewEngine(zone, opts...))
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "authserver: "+format+"\n", args...)
+		}
+	}
+	fmt.Printf("authserver: serving %s (%d delegations) on %s (UDP+TCP)\n",
+		zone.Origin, zone.Size(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := srv.Engine().Stats()
+	fmt.Printf("\nauthserver: %d queries (%d referrals, %d NXDOMAIN, %d refused, %d RRL slips)\n",
+		st.Queries, st.Referrals, st.NXDomain, st.Refused, st.RRLSlips)
+	_ = srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "authserver:", err)
+	os.Exit(1)
+}

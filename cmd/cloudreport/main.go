@@ -1,0 +1,122 @@
+// Command cloudreport renders an entrada JSON report as the paper-style
+// summary: provider shares (Figure 1), record-type mixes (Figure 2), junk
+// ratios (Figure 4), transport splits (Table 5), resolver counts
+// (Tables 4/6), EDNS anchors and truncation (Figure 6), and — when the
+// trace contains Facebook TCP traffic — the per-resolver RTT rows behind
+// Figure 5.
+//
+// Usage:
+//
+//	cloudreport -report nl-w2020.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dnscentral/internal/entrada"
+)
+
+var providerOrder = []string{"Google", "Amazon", "Microsoft", "Facebook", "Cloudflare", "Other"}
+
+func main() {
+	report := flag.String("report", "", "entrada JSON report (required)")
+	focusRows := flag.Int("focus-rows", 10, "how many Figure-5 focus rows to print")
+	flag.Parse()
+	if *report == "" {
+		fmt.Fprintln(os.Stderr, "cloudreport: -report is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*report)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := entrada.ReadReport(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("== Dataset (Table 3 analogue)\n")
+	fmt.Printf("queries %d  valid %.1f%%  resolvers %d  ASes %d  cloud share %.1f%%\n\n",
+		rep.TotalQueries, 100*rep.ValidShare, rep.Resolvers, rep.ASes, 100*rep.CloudShare)
+
+	fmt.Printf("== Providers (Figures 1/2/4, Tables 4/5/6)\n")
+	fmt.Printf("%-11s %7s %6s %6s %6s %6s %7s %6s %8s %9s\n",
+		"provider", "share", "junk", "v6", "tcp", "trunc", "public", "qmin", "resolv", "resolv-v6")
+	for _, name := range providerOrder {
+		pr, ok := rep.Providers[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-11s %6.1f%% %5.1f%% %5.1f%% %5.1f%% %6.2f%% %6.1f%% %5.1f%% %8d %9d\n",
+			name, 100*pr.Share, 100*pr.JunkShare, 100*pr.V6Share, 100*pr.TCPShare,
+			100*pr.TruncatedShare, 100*pr.PublicShare, 100*pr.MinimizedShare,
+			pr.Resolvers.Total, pr.Resolvers.V6)
+	}
+
+	fmt.Printf("\n== Record types (Figure 2)\n")
+	types := []string{"A", "AAAA", "NS", "DS", "DNSKEY", "MX", "TXT", "SOA"}
+	fmt.Printf("%-11s", "provider")
+	for _, t := range types {
+		fmt.Printf(" %6s", t)
+	}
+	fmt.Println()
+	for _, name := range providerOrder {
+		pr, ok := rep.Providers[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-11s", name)
+		for _, t := range types {
+			fmt.Printf(" %5.1f%%", 100*pr.TypeShares[t])
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n== EDNS(0) UDP size CDF anchors (Figure 6)\n")
+	for _, name := range []string{"Facebook", "Google", "Microsoft"} {
+		pr, ok := rep.Providers[name]
+		if !ok || len(pr.EDNSCDF) == 0 {
+			continue
+		}
+		at512, at1232 := 0.0, 0.0
+		for _, p := range pr.EDNSCDF {
+			if p.Value <= 512 {
+				at512 = p.Fraction
+			}
+			if p.Value <= 1232 {
+				at1232 = p.Fraction
+			}
+		}
+		fmt.Printf("%-11s ≤512B %5.1f%%  ≤1232B %5.1f%%  truncated %.2f%%\n",
+			name, 100*at512, 100*at1232, 100*pr.TruncatedShare)
+	}
+
+	if len(rep.Focus) > 0 {
+		fmt.Printf("\n== Focus provider per-resolver rows (Figure 5 basis), top %d by volume\n", *focusRows)
+		rows := append([]entrada.FocusRow(nil), rep.Focus...)
+		sort.Slice(rows, func(i, j int) bool {
+			return rows[i].V4Queries+rows[i].V6Queries > rows[j].V4Queries+rows[j].V6Queries
+		})
+		if len(rows) > *focusRows {
+			rows = rows[:*focusRows]
+		}
+		fmt.Printf("%-40s %-18s %8s %8s %10s\n", "client", "server", "v4", "v6", "medRTT")
+		for _, r := range rows {
+			rtt := "-"
+			if r.MedianRTTms > 0 {
+				rtt = fmt.Sprintf("%.0fms", r.MedianRTTms)
+			}
+			fmt.Printf("%-40s %-18s %8d %8d %10s\n", r.Client, r.Server, r.V4Queries, r.V6Queries, rtt)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command dnsdump prints the DNS messages in a capture (pcap or pcapng)
+// in a tcpdump-like one-line format, with optional provider classification
+// — handy for eyeballing generated traces and debugging the pipeline.
+//
+// Usage:
+//
+//	dnsdump -in nl.pcap -n 20
+//	dnsdump -in nl.pcap -provider Facebook -tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+	"dnscentral/internal/pcapio"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input capture path (required)")
+		n        = flag.Int("n", 0, "stop after printing n messages (0 = all)")
+		provider = flag.String("provider", "", "only messages from/to this provider (Google, Amazon, ...)")
+		tcpOnly  = flag.Bool("tcp", false, "only TCP segments")
+		udpOnly  = flag.Bool("udp", false, "only UDP datagrams")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dnsdump: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := pcapio.Open(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := astrie.NewRegistry(astrie.MaxASes - 20)
+	parser := layers.NewParser()
+	printed := 0
+	err = pcapio.ForEachPacket(r, func(pkt pcapio.Packet) error {
+		if *n > 0 && printed >= *n {
+			return errDone
+		}
+		flow, err := parser.Decode(pkt.Data)
+		if err != nil {
+			return nil // non-IP or truncated frame
+		}
+		isTCP := flow.Proto == layers.IPProtoTCP
+		if *tcpOnly && !isTCP || *udpOnly && isTCP {
+			return nil
+		}
+
+		// Classify the non-server side of the flow.
+		client := flow.Src
+		if flow.SrcPort == 53 {
+			client = flow.Dst
+		}
+		prov := reg.ProviderOf(client)
+		if *provider != "" && !strings.EqualFold(prov.String(), *provider) {
+			return nil
+		}
+
+		line := describe(parser, flow, isTCP)
+		if line == "" {
+			return nil
+		}
+		fmt.Printf("%s %-10s %s\n", pkt.Timestamp.Format("15:04:05.000000"), prov, line)
+		printed++
+		return nil
+	})
+	if err != nil && err != errDone {
+		fatal(err)
+	}
+}
+
+var errDone = fmt.Errorf("done")
+
+// describe renders one packet as a single line.
+func describe(p *layers.Parser, flow layers.Flow, isTCP bool) string {
+	proto := "udp"
+	payload := p.Payload
+	if isTCP {
+		proto = "tcp"
+		if len(payload) == 0 {
+			return fmt.Sprintf("%s %s", proto, tcpFlags(&p.TCP))
+		}
+		if len(payload) > 2 {
+			payload = payload[2:] // strip the length prefix
+		}
+	}
+	msg, err := dnswire.Unpack(payload)
+	if err != nil {
+		return fmt.Sprintf("%s %s [undecodable: %v]", proto, flow, err)
+	}
+	q := msg.Question()
+	kind := "query"
+	detail := ""
+	if msg.Header.Response {
+		kind = "response"
+		detail = fmt.Sprintf(" %s an=%d ns=%d ar=%d", msg.Header.RCode,
+			len(msg.Answers), len(msg.Authority), len(msg.Additional))
+		if msg.Header.Truncated {
+			detail += " TC"
+		}
+	} else if msg.Edns != nil {
+		detail = fmt.Sprintf(" edns=%d", msg.Edns.UDPSize)
+		if msg.Edns.DO {
+			detail += " DO"
+		}
+	}
+	return fmt.Sprintf("%s %s %s %s %s%s", proto, flow, kind, q.Name, q.Type, detail)
+}
+
+// tcpFlags names the set flags of a payload-less segment.
+func tcpFlags(t *layers.TCP) string {
+	var fs []string
+	if t.SYN() {
+		fs = append(fs, "SYN")
+	}
+	if t.ACK() {
+		fs = append(fs, "ACK")
+	}
+	if t.FIN() {
+		fs = append(fs, "FIN")
+	}
+	if t.RST() {
+		fs = append(fs, "RST")
+	}
+	if len(fs) == 0 {
+		return "(none)"
+	}
+	return strings.Join(fs, "|")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnsdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command dnstracegen generates a synthetic authoritative-side DNS trace
+// (pcap) for one vantage point and measurement week, calibrated to the
+// paper's behavioral model.
+//
+// Usage:
+//
+//	dnstracegen -vantage nl -week w2020 -queries 500000 -out nl-w2020.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/workload"
+)
+
+func main() {
+	var (
+		vantage = flag.String("vantage", "nl", "vantage point: nl, nz, b-root")
+		week    = flag.String("week", "w2020", "measurement week: w2018, w2019, w2020")
+		queries = flag.Int("queries", 200_000, "number of query events to generate")
+		scale   = flag.Float64("scale", 0.01, "resolver population scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output capture path (required)")
+		format  = flag.String("format", "pcap", "output format: pcap or pcapng")
+		anomaly = flag.Bool("anomaly", false, "inject the Feb-2020 .nz cyclic-dependency event")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "dnstracegen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := workload.Config{
+		Vantage:       cloudmodel.Vantage(*vantage),
+		Week:          cloudmodel.Week(*week),
+		TotalQueries:  *queries,
+		ResolverScale: *scale,
+		Seed:          *seed,
+		Anomaly:       *anomaly,
+	}
+	gen, err := workload.NewGenerator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var sink interface {
+		workload.PacketSink
+		Flush() error
+	}
+	switch *format {
+	case "pcap":
+		sink = pcapio.NewWriter(f, pcapio.WithNanosecondResolution())
+	case "pcapng":
+		sink = pcapio.NewNGWriter(f)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	gt, err := gen.Run(sink)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("wrote %s: %d queries, %d resolvers\n", *out, gt.Queries, len(gt.ResolverSet))
+	for _, p := range astrie.CloudProviders {
+		fmt.Printf("  %-10s %8d queries (%5.1f%%)  junk %5.1f%%  v6 %5.1f%%  tcp %5.1f%%\n",
+			p, gt.ByProvider[p],
+			100*ratio(gt.ByProvider[p], gt.Queries),
+			100*ratio(gt.JunkQueries[p], gt.ByProvider[p]),
+			100*ratio(gt.V6Queries[p], gt.ByProvider[p]),
+			100*ratio(gt.TCPQueries[p], gt.ByProvider[p]))
+	}
+	fmt.Printf("  %-10s %8d queries (%5.1f%%)  junk %5.1f%%\n",
+		"other", gt.OtherQueries,
+		100*ratio(gt.OtherQueries, gt.Queries),
+		100*ratio(gt.OtherJunk, gt.OtherQueries))
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnstracegen:", err)
+	os.Exit(1)
+}

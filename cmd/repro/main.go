@@ -1,0 +1,52 @@
+// Command repro runs the complete reproduction — every table and figure of
+// the paper's evaluation — and writes an EXPERIMENTS.md-style comparison
+// of paper vs measured values.
+//
+// Usage:
+//
+//	repro -queries 200000 -out EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnscentral/internal/core"
+)
+
+func main() {
+	var (
+		queries = flag.Int("queries", 200_000, "query events per vantage/week")
+		scale   = flag.Float64("scale", 0.01, "resolver population scale")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	start := time.Now()
+	err := core.WriteExperimentsReport(w, core.RunConfig{
+		TotalQueries:  *queries,
+		ResolverScale: *scale,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "repro: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

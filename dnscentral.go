@@ -1,0 +1,128 @@
+// Package dnscentral is a full reproduction of "Clouding up the Internet:
+// how centralized is DNS traffic becoming?" (Moura, Castro, Hardaker,
+// Wullink, Hesselman — ACM IMC 2020) as a reusable Go library.
+//
+// The paper measures how much of the DNS traffic arriving at two ccTLDs
+// (.nl, .nz) and one root server (B-Root) originates from five large
+// cloud/content providers, and characterizes those providers' resolver
+// fleets. The original traces are proprietary, so this library ships the
+// complete substrate needed to regenerate them synthetically and the full
+// analysis pipeline that turns raw packets into the paper's tables and
+// figures:
+//
+//   - a DNS wire-format codec, Ethernet/IP/UDP/TCP layers and pcap I/O;
+//   - an authoritative-server engine with referrals, DNSSEC material,
+//     EDNS(0)-driven truncation and response rate limiting, servable over
+//     real sockets;
+//   - a caching recursive resolver with QNAME minimization, DNSSEC
+//     validation, TCP fallback and RTT-driven dual-stack preference;
+//   - an AS/prefix registry with the paper's Table-1 provider ASes;
+//   - a behavior-calibrated workload generator and a mechanism-driven
+//     simulator, both emitting standard pcap;
+//   - the ENTRADA-style analysis engine and the per-table/per-figure
+//     experiment layer.
+//
+// This package is a thin facade over the internal packages; the three
+// entry points below cover the common flows. See the examples/ directory
+// and cmd/ tools for end-to-end usage, and DESIGN.md for the system map.
+package dnscentral
+
+import (
+	"io"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/core"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/workload"
+)
+
+// Re-exported identifiers so downstream code can speak the paper's
+// vocabulary without reaching into internal packages.
+type (
+	// Vantage is a measurement vantage point (.nl, .nz, B-Root).
+	Vantage = cloudmodel.Vantage
+	// Week is a yearly snapshot (w2018, w2019, w2020).
+	Week = cloudmodel.Week
+	// Provider is one of the five studied cloud providers, or Other.
+	Provider = astrie.Provider
+	// TraceConfig parameterizes synthetic trace generation.
+	TraceConfig = workload.Config
+	// GroundTruth is the generator's oracle of what a trace contains.
+	GroundTruth = workload.GroundTruth
+	// Report is the JSON-serializable analysis summary.
+	Report = entrada.Report
+	// ExperimentConfig scales a full experiment run.
+	ExperimentConfig = core.RunConfig
+)
+
+// Vantage and week constants.
+const (
+	VantageNL    = cloudmodel.VantageNL
+	VantageNZ    = cloudmodel.VantageNZ
+	VantageBRoot = cloudmodel.VantageBRoot
+	W2018        = cloudmodel.W2018
+	W2019        = cloudmodel.W2019
+	W2020        = cloudmodel.W2020
+)
+
+// Provider constants (Table 1 of the paper).
+const (
+	Google     = astrie.ProviderGoogle
+	Amazon     = astrie.ProviderAmazon
+	Microsoft  = astrie.ProviderMicrosoft
+	Facebook   = astrie.ProviderFacebook
+	Cloudflare = astrie.ProviderCloudflare
+	Other      = astrie.ProviderOther
+)
+
+// GenerateTrace writes a calibrated synthetic pcap trace for one
+// vantage/week to w and returns the generation ground truth.
+func GenerateTrace(cfg TraceConfig, w io.Writer) (*GroundTruth, error) {
+	gen, err := workload.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pw := pcapio.NewWriter(w, pcapio.WithNanosecondResolution())
+	gt, err := gen.Run(pw)
+	if err != nil {
+		return nil, err
+	}
+	if err := pw.Flush(); err != nil {
+		return nil, err
+	}
+	return gt, nil
+}
+
+// AnalyzeTrace runs the ENTRADA-style pipeline over a capture stream
+// (classic pcap or pcapng, auto-detected) and returns the aggregate
+// report (provider shares, junk, transports, EDNS CDFs, resolver
+// counts...).
+func AnalyzeTrace(r io.Reader) (*Report, error) {
+	pr, err := pcapio.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	reg := astrie.NewRegistry(astrie.MaxASes - 20)
+	an := entrada.NewAnalyzer(reg)
+	if err := an.AnalyzeReader(pr); err != nil {
+		return nil, err
+	}
+	return entrada.BuildReport(an.Finish(), reg), nil
+}
+
+// RunExperiments executes the complete reproduction — every table and
+// figure of the paper's evaluation — and writes a markdown comparison of
+// paper vs measured values to w.
+func RunExperiments(w io.Writer, cfg ExperimentConfig) error {
+	return core.WriteExperimentsReport(w, cfg)
+}
+
+// PaperCitation is the canonical reference of the reproduced study.
+const PaperCitation = "Moura, Castro, Hardaker, Wullink, Hesselman. " +
+	"Clouding up the Internet: how centralized is DNS traffic becoming? " +
+	"ACM IMC 2020. https://doi.org/10.1145/3419394.3423625"
+
+// Version of the reproduction library.
+const Version = "1.0.0"

@@ -1,0 +1,92 @@
+package dnscentral_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnscentral"
+)
+
+func TestFacadeGenerateAndAnalyze(t *testing.T) {
+	var trace bytes.Buffer
+	truth, err := dnscentral.GenerateTrace(dnscentral.TraceConfig{
+		Vantage:       dnscentral.VantageNL,
+		Week:          dnscentral.W2020,
+		TotalQueries:  10_000,
+		ResolverScale: 0.002,
+		Seed:          1,
+	}, &trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Queries < 10_000 {
+		t.Fatalf("queries = %d", truth.Queries)
+	}
+	report, err := dnscentral.AnalyzeTrace(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalQueries != truth.Queries {
+		t.Fatalf("report total %d != truth %d", report.TotalQueries, truth.Queries)
+	}
+	if report.CloudShare < 0.25 || report.CloudShare > 0.42 {
+		t.Errorf("cloud share = %.3f", report.CloudShare)
+	}
+	for _, p := range []string{"Google", "Amazon", "Microsoft", "Facebook", "Cloudflare"} {
+		if report.Providers[p].Queries == 0 {
+			t.Errorf("%s missing from report", p)
+		}
+	}
+}
+
+func TestFacadeGenerateRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := dnscentral.GenerateTrace(dnscentral.TraceConfig{}, &buf); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestFacadeAnalyzeRejectsGarbage(t *testing.T) {
+	if _, err := dnscentral.AnalyzeTrace(strings.NewReader("not a pcap")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFacadeRunExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	var out bytes.Buffer
+	err := dnscentral.RunExperiments(&out, dnscentral.ExperimentConfig{
+		TotalQueries:  5_000,
+		ResolverScale: 0.002,
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := out.String()
+	for _, want := range []string{
+		"## Table 2", "## Table 3", "## Figure 1", "## Figures 2 and 7",
+		"## Figure 3", "## Tables 4 and 7", "## Figure 4", "## Table 5",
+		"## Table 6", "## Figures 5 and 8", "## Figure 6",
+		"Detected Q-min adoption: 2019-12",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("experiments report missing %q", want)
+		}
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if !strings.Contains(dnscentral.PaperCitation, "IMC 2020") {
+		t.Error("citation wrong")
+	}
+	if dnscentral.Google.String() != "Google" || !dnscentral.Cloudflare.IsCloud() {
+		t.Error("provider aliases wrong")
+	}
+	if dnscentral.Version == "" {
+		t.Error("version empty")
+	}
+}

@@ -1,0 +1,60 @@
+// ednssweep reproduces the §4.4 mechanism behind Figure 6: the advertised
+// EDNS(0) UDP payload size determines whether DNSSEC-bearing answers from
+// a signed TLD fit in UDP. Small advertisements (512 bytes — ~30% of
+// Facebook's queries) get truncated answers and force TCP retries; large
+// ones (1232+, Google-style) almost never do. The sweep runs against a
+// real authoritative server over loopback sockets.
+//
+// Run with:
+//
+//	go run ./examples/ednssweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/resolver"
+	"dnscentral/internal/zonedb"
+)
+
+func main() {
+	zone, err := zonedb.NewCcTLD("nl", 5_000, 0, 0.55, []string{"ns1.dns.nl", "ns2.dns.nl"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := authserver.Listen("127.0.0.1:0", authserver.NewEngine(zone))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Println("EDNS(0) advertised size vs truncation and TCP fallback")
+	fmt.Println("(signed .nl-style zone, DNSSEC-validating resolver, 400 lookups each)")
+	fmt.Printf("\n%8s %10s %12s %12s\n", "size", "queries", "truncated", "TCP share")
+	for _, size := range []uint16{0, 512, 1232, 1452, 4096} {
+		r := resolver.New("nl.", resolver.Config{
+			Validate: size > 0, // DO requires EDNS
+			EDNSSize: size,
+		})
+		r.AddUpstream(resolver.FamilyV4, &resolver.NetTransport{Server: srv.Addr()})
+		for i := 0; i < 400; i++ {
+			if _, err := r.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := r.Stats()
+		label := fmt.Sprintf("%d", size)
+		if size == 0 {
+			label = "none"
+		}
+		fmt.Printf("%8s %10d %11.1f%% %11.1f%%\n",
+			label, st.Sent,
+			100*float64(st.Truncated)/float64(st.Sent),
+			100*float64(st.ByTCP[true])/float64(st.Sent))
+	}
+	fmt.Println("\nPaper anchor (w2020, .nl): Facebook 17.16% truncated UDP answers,")
+	fmt.Println("Google 0.04%, Microsoft 0.01% — driven by exactly this mechanism.")
+}

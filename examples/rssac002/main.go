@@ -1,0 +1,92 @@
+// rssac002 generates a DITL-style B-Root day (the paper's §2.2/§3 root
+// vantage), analyzes it, and emits the aggregate statistics in the
+// RSSAC002 advisory format the paper uses to contextualize B-Root's junk
+// levels against the other root letters — plus the hourly diurnal series
+// the week-long ccTLD captures average over.
+//
+// Run with:
+//
+//	go run ./examples/rssac002
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sort"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/workload"
+)
+
+func main() {
+	gen, err := workload.NewGenerator(workload.Config{
+		Vantage:          cloudmodel.VantageBRoot,
+		Week:             cloudmodel.W2020,
+		TotalQueries:     60_000,
+		ResolverScale:    0.003,
+		Seed:             2020,
+		DiurnalAmplitude: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	if _, err := gen.Run(w); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := pcapio.NewReader(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := entrada.NewAnalyzer(gen.Registry())
+	if err := an.AnalyzeReader(r); err != nil {
+		log.Fatal(err)
+	}
+	ag := an.Finish()
+
+	rep := ag.RSSAC002Report("b-root-reproduction/2020-05-06")
+	fmt.Println(rep)
+	fmt.Printf("valid share from rcode-volume: %.1f%% (paper: 20%% for B-Root 2020)\n\n",
+		100*rep.ValidShare())
+
+	fmt.Println("hourly query volume (diurnal swing the weekly captures average over):")
+	hours := make([]int64, 0, len(ag.Hourly))
+	for h := range ag.Hourly {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i] < hours[j] })
+	var peak uint64
+	for _, h := range hours {
+		if ag.Hourly[h] > peak {
+			peak = ag.Hourly[h]
+		}
+	}
+	for _, h := range hours {
+		n := ag.Hourly[h]
+		bar := int(40 * n / peak)
+		fmt.Printf("%02d:00 %6d %s\n", h%24, n, bars(bar))
+	}
+
+	cloud := 0.0
+	for _, p := range astrie.CloudProviders {
+		cloud += 100 * float64(ag.Provider(p).Queries) / float64(ag.Total)
+	}
+	fmt.Printf("\ncloud share at B-Root: %.1f%% (paper: 8.7%% in 2020)\n", cloud)
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

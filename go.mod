@@ -1,0 +1,3 @@
+module dnscentral
+
+go 1.22

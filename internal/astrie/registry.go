@@ -1,0 +1,239 @@
+package astrie
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Provider identifies one of the paper's five cloud/content providers, or
+// the rest of the Internet.
+type Provider uint8
+
+// Providers studied in the paper (Table 1) plus Other for the long tail.
+const (
+	ProviderOther Provider = iota
+	ProviderGoogle
+	ProviderAmazon
+	ProviderMicrosoft
+	ProviderFacebook
+	ProviderCloudflare
+)
+
+// CloudProviders lists the five studied providers in the paper's order.
+var CloudProviders = []Provider{
+	ProviderGoogle, ProviderAmazon, ProviderMicrosoft, ProviderFacebook, ProviderCloudflare,
+}
+
+// String names the provider.
+func (p Provider) String() string {
+	switch p {
+	case ProviderGoogle:
+		return "Google"
+	case ProviderAmazon:
+		return "Amazon"
+	case ProviderMicrosoft:
+		return "Microsoft"
+	case ProviderFacebook:
+		return "Facebook"
+	case ProviderCloudflare:
+		return "Cloudflare"
+	}
+	return "Other"
+}
+
+// IsCloud reports whether p is one of the five studied providers.
+func (p Provider) IsCloud() bool { return p != ProviderOther }
+
+// ProviderASNs reproduces Table 1 of the paper: the ASes each provider
+// announces resolvers from (20 ASes in total).
+var ProviderASNs = map[Provider][]uint32{
+	ProviderGoogle:     {15169},
+	ProviderAmazon:     {7224, 8987, 9059, 14168, 16509},
+	ProviderMicrosoft:  {3598, 6584, 8068, 8069, 8070, 8071, 8072, 8073, 8074, 8075, 12076, 23468},
+	ProviderFacebook:   {32934},
+	ProviderCloudflare: {13335},
+}
+
+// RunsPublicDNS reproduces Table 1's "Public DNS?" column.
+func (p Provider) RunsPublicDNS() bool {
+	return p == ProviderGoogle || p == ProviderCloudflare
+}
+
+// ASInfo describes one autonomous system in the registry.
+type ASInfo struct {
+	ASN      uint32
+	Name     string
+	Provider Provider
+	// V4 and V6 are the synthetic prefixes allocated to the AS.
+	V4 netip.Prefix
+	V6 netip.Prefix
+}
+
+// LongTailASNBase is the first ASN used for synthetic "rest of the
+// Internet" ASes; chosen above every Table-1 ASN so they never collide.
+const LongTailASNBase uint32 = 100000
+
+// Registry holds the AS database: the provider ASes plus a configurable
+// long tail, each with deterministic synthetic prefix allocations, and the
+// LPM trie for address classification.
+type Registry struct {
+	trie Trie
+	info map[uint32]*ASInfo
+	asns []uint32 // sorted, for deterministic iteration
+}
+
+// NewRegistry builds a registry with the paper's 20 provider ASes plus
+// longTail synthetic other-ASes. Allocation is deterministic: the i-th AS
+// (in registration order) gets the IPv4 /16 and IPv6 /32 derived from its
+// ordinal, so traces generated on one run classify identically on another.
+func NewRegistry(longTail int) *Registry {
+	r := &Registry{info: make(map[uint32]*ASInfo, longTail+20)}
+	ordinal := 0
+	for _, p := range CloudProviders {
+		for _, asn := range ProviderASNs[p] {
+			r.add(asn, fmt.Sprintf("%s-AS%d", p, asn), p, ordinal)
+			ordinal++
+		}
+	}
+	for i := 0; i < longTail; i++ {
+		asn := LongTailASNBase + uint32(i)
+		r.add(asn, fmt.Sprintf("AS%d", asn), ProviderOther, ordinal)
+		ordinal++
+	}
+	sort.Slice(r.asns, func(i, j int) bool { return r.asns[i] < r.asns[j] })
+	return r
+}
+
+// allowedFirstOctets are the IPv4 first octets the synthetic allocator may
+// hand out: unicast space minus well-known special-purpose /8s, purely so
+// generated traces look plausible in external tools.
+var allowedFirstOctets = func() []byte {
+	skip := map[byte]bool{10: true, 127: true, 169: true, 172: true, 192: true, 198: true, 203: true}
+	var out []byte
+	for o := 1; o <= 223; o++ {
+		if !skip[byte(o)] {
+			out = append(out, byte(o))
+		}
+	}
+	return out
+}()
+
+// MaxASes is the capacity of the synthetic allocation scheme (one /16 per AS).
+var MaxASes = len(allowedFirstOctets) * 256
+
+// add allocates the ordinal-th prefix pair to asn and registers it.
+func (r *Registry) add(asn uint32, name string, p Provider, ordinal int) {
+	// IPv4: the ordinal-th /16 from the allowed unicast space.
+	if ordinal >= MaxASes {
+		panic("astrie: too many ASes for the synthetic allocation scheme")
+	}
+	first := allowedFirstOctets[ordinal/256]
+	second := byte(ordinal % 256)
+	v4 := netip.PrefixFrom(netip.AddrFrom4([4]byte{first, second, 0, 0}), 16)
+
+	// IPv6: the ordinal-th /32 under 2a00::/13.
+	var b16 [16]byte
+	b16[0], b16[1] = 0x2a, byte(ordinal/65536)
+	binary.BigEndian.PutUint16(b16[2:], uint16(ordinal%65536))
+	v6 := netip.PrefixFrom(netip.AddrFrom16(b16), 32)
+
+	info := &ASInfo{ASN: asn, Name: name, Provider: p, V4: v4, V6: v6}
+	r.info[asn] = info
+	r.asns = append(r.asns, asn)
+	if err := r.trie.Insert(v4, asn); err != nil {
+		panic(err)
+	}
+	if err := r.trie.Insert(v6, asn); err != nil {
+		panic(err)
+	}
+}
+
+// LookupAddr maps an address to its AS.
+func (r *Registry) LookupAddr(a netip.Addr) (uint32, bool) {
+	return r.trie.Lookup(a)
+}
+
+// ProviderOf classifies an address into a provider (ProviderOther when the
+// address matches no registered prefix or a long-tail AS).
+func (r *Registry) ProviderOf(a netip.Addr) Provider {
+	asn, ok := r.trie.Lookup(a)
+	if !ok {
+		return ProviderOther
+	}
+	return r.ProviderOfASN(asn)
+}
+
+// ProviderOfASN classifies an ASN into a provider.
+func (r *Registry) ProviderOfASN(asn uint32) Provider {
+	if info, ok := r.info[asn]; ok {
+		return info.Provider
+	}
+	return ProviderOther
+}
+
+// Info returns the registry entry for asn.
+func (r *Registry) Info(asn uint32) (*ASInfo, bool) {
+	info, ok := r.info[asn]
+	return info, ok
+}
+
+// ASNs returns all registered ASNs in ascending order.
+func (r *Registry) ASNs() []uint32 { return r.asns }
+
+// NumASes returns the number of registered ASes.
+func (r *Registry) NumASes() int { return len(r.info) }
+
+// publicDNSV6Marker is the byte-4 marker of public-DNS IPv6 resolvers.
+const publicDNSV6Marker = 0xDD
+
+// ResolverAddr returns the idx-th synthetic resolver address inside asn's
+// allocation. public marks the address as belonging to the provider's
+// public DNS egress range (meaningful for Google and Cloudflare, mirroring
+// the published Google Public DNS FAQ ranges used in Table 4 of the paper).
+//
+// IPv4 layout within the /16: host bits = [public bit | 15-bit idx], so up
+// to 32768 distinct resolvers per AS per public flag. IPv6 layout within
+// the /32: byte 4 is the public marker, trailing 4 bytes are idx.
+func (r *Registry) ResolverAddr(asn uint32, v6, public bool, idx uint32) (netip.Addr, error) {
+	info, ok := r.info[asn]
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("astrie: unknown ASN %d", asn)
+	}
+	if v6 {
+		b16 := info.V6.Addr().As16()
+		if public {
+			b16[4] = publicDNSV6Marker
+		}
+		binary.BigEndian.PutUint32(b16[12:], idx)
+		return netip.AddrFrom16(b16), nil
+	}
+	if idx >= 1<<15 {
+		return netip.Addr{}, fmt.Errorf("astrie: IPv4 resolver index %d exceeds /16 public-split capacity", idx)
+	}
+	host := uint16(idx)
+	if public {
+		host |= 1 << 15
+	}
+	// Avoid .0 and .255 last octets purely for realism.
+	b4 := info.V4.Addr().As4()
+	b4[2] = byte(host >> 8)
+	b4[3] = byte(host)
+	return netip.AddrFrom4(b4), nil
+}
+
+// IsPublicDNSAddr reports whether a synthetic resolver address was
+// generated with the public flag; combined with ProviderOf it reproduces
+// the paper's "queries from Google's advertised Public DNS list"
+// classification (Table 4).
+func (r *Registry) IsPublicDNSAddr(a netip.Addr) bool {
+	a = a.Unmap()
+	if _, ok := r.trie.Lookup(a); !ok {
+		return false
+	}
+	if a.Is4() {
+		return a.As4()[2]&0x80 != 0
+	}
+	return a.As16()[4] == publicDNSV6Marker
+}

@@ -1,0 +1,184 @@
+package astrie
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestProviderASNsMatchTable1(t *testing.T) {
+	counts := map[Provider]int{
+		ProviderGoogle:     1,
+		ProviderAmazon:     5,
+		ProviderMicrosoft:  12,
+		ProviderFacebook:   1,
+		ProviderCloudflare: 1,
+	}
+	total := 0
+	for p, want := range counts {
+		if got := len(ProviderASNs[p]); got != want {
+			t.Errorf("%s has %d ASes, want %d", p, got, want)
+		}
+		total += counts[p]
+	}
+	if total != 20 {
+		t.Errorf("total provider ASes = %d, want 20 (paper: 'their 20 ASes')", total)
+	}
+	// Spot-check well-known ASNs from Table 1.
+	if ProviderASNs[ProviderGoogle][0] != 15169 {
+		t.Error("Google ASN != 15169")
+	}
+	if ProviderASNs[ProviderCloudflare][0] != 13335 {
+		t.Error("Cloudflare ASN != 13335")
+	}
+	if ProviderASNs[ProviderFacebook][0] != 32934 {
+		t.Error("Facebook ASN != 32934")
+	}
+}
+
+func TestPublicDNSColumn(t *testing.T) {
+	if !ProviderGoogle.RunsPublicDNS() || !ProviderCloudflare.RunsPublicDNS() {
+		t.Error("Google and Cloudflare run public DNS per Table 1")
+	}
+	for _, p := range []Provider{ProviderAmazon, ProviderMicrosoft, ProviderFacebook} {
+		if p.RunsPublicDNS() {
+			t.Errorf("%s should not run public DNS per Table 1", p)
+		}
+	}
+}
+
+func TestRegistryClassification(t *testing.T) {
+	reg := NewRegistry(100)
+	if reg.NumASes() != 120 {
+		t.Fatalf("NumASes = %d", reg.NumASes())
+	}
+	for _, p := range CloudProviders {
+		for _, asn := range ProviderASNs[p] {
+			for _, v6 := range []bool{false, true} {
+				a, err := reg.ResolverAddr(asn, v6, false, 7)
+				if err != nil {
+					t.Fatalf("ResolverAddr(%d): %v", asn, err)
+				}
+				gotASN, ok := reg.LookupAddr(a)
+				if !ok || gotASN != asn {
+					t.Errorf("LookupAddr(%s) = %d,%v; want %d", a, gotASN, ok, asn)
+				}
+				if got := reg.ProviderOf(a); got != p {
+					t.Errorf("ProviderOf(%s) = %s, want %s", a, got, p)
+				}
+			}
+		}
+	}
+}
+
+func TestLongTailIsOther(t *testing.T) {
+	reg := NewRegistry(50)
+	asn := LongTailASNBase + 10
+	a, err := reg.ResolverAddr(asn, false, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := reg.ProviderOf(a); p != ProviderOther {
+		t.Errorf("long tail classified as %s", p)
+	}
+	if p := reg.ProviderOfASN(asn); p != ProviderOther {
+		t.Errorf("ProviderOfASN = %s", p)
+	}
+	if p := reg.ProviderOfASN(999999); p != ProviderOther {
+		t.Errorf("unknown ASN = %s", p)
+	}
+}
+
+func TestResolverAddrDistinct(t *testing.T) {
+	reg := NewRegistry(10)
+	seen := make(map[netip.Addr]bool)
+	for idx := uint32(0); idx < 100; idx++ {
+		for _, v6 := range []bool{false, true} {
+			for _, pub := range []bool{false, true} {
+				a, err := reg.ResolverAddr(15169, v6, pub, idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[a] {
+					t.Fatalf("duplicate address %s (idx=%d v6=%v pub=%v)", a, idx, v6, pub)
+				}
+				seen[a] = true
+			}
+		}
+	}
+}
+
+func TestPublicDNSAddrFlag(t *testing.T) {
+	reg := NewRegistry(10)
+	for _, v6 := range []bool{false, true} {
+		pub, err := reg.ResolverAddr(15169, v6, true, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		priv, err := reg.ResolverAddr(15169, v6, false, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reg.IsPublicDNSAddr(pub) {
+			t.Errorf("public addr %s not detected", pub)
+		}
+		if reg.IsPublicDNSAddr(priv) {
+			t.Errorf("private addr %s detected as public", priv)
+		}
+	}
+	// Unregistered addresses are never public.
+	if reg.IsPublicDNSAddr(netip.MustParseAddr("203.0.113.200")) {
+		t.Error("unknown address reported public")
+	}
+}
+
+func TestResolverAddrLimits(t *testing.T) {
+	reg := NewRegistry(0)
+	if _, err := reg.ResolverAddr(15169, false, false, 1<<15); err == nil {
+		t.Error("oversized IPv4 index accepted")
+	}
+	if _, err := reg.ResolverAddr(424242, false, false, 0); err == nil {
+		t.Error("unknown ASN accepted")
+	}
+	// IPv6 has no such limit.
+	if _, err := reg.ResolverAddr(15169, true, false, 1<<20); err != nil {
+		t.Errorf("IPv6 large index rejected: %v", err)
+	}
+}
+
+func TestRegistryDeterministic(t *testing.T) {
+	a := NewRegistry(500)
+	b := NewRegistry(500)
+	for _, asn := range a.ASNs() {
+		ia, _ := a.Info(asn)
+		ib, ok := b.Info(asn)
+		if !ok || ia.V4 != ib.V4 || ia.V6 != ib.V6 || ia.Provider != ib.Provider {
+			t.Fatalf("registry not deterministic for AS%d", asn)
+		}
+	}
+}
+
+func TestRegistryScalesToPaperSize(t *testing.T) {
+	// Paper sees 37k-52k ASes; the allocator must handle that.
+	reg := NewRegistry(51200 - 20)
+	if reg.NumASes() != 51200 {
+		t.Fatalf("NumASes = %d", reg.NumASes())
+	}
+	// All allocations must be unique.
+	seen4 := make(map[netip.Prefix]uint32)
+	for _, asn := range reg.ASNs() {
+		info, _ := reg.Info(asn)
+		if prev, dup := seen4[info.V4]; dup {
+			t.Fatalf("AS%d and AS%d share v4 prefix %v", prev, asn, info.V4)
+		}
+		seen4[info.V4] = asn
+	}
+}
+
+func TestProviderString(t *testing.T) {
+	if ProviderGoogle.String() != "Google" || ProviderOther.String() != "Other" {
+		t.Error("provider names wrong")
+	}
+	if !ProviderAmazon.IsCloud() || ProviderOther.IsCloud() {
+		t.Error("IsCloud wrong")
+	}
+}

@@ -1,0 +1,200 @@
+package astrie
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieBasicLPM(t *testing.T) {
+	var tr Trie
+	ins := []struct {
+		pfx string
+		asn uint32
+	}{
+		{"10.0.0.0/8", 100},
+		{"10.1.0.0/16", 200},
+		{"10.1.2.0/24", 300},
+		{"2001:db8::/32", 600},
+		{"2001:db8:1::/48", 700},
+	}
+	for _, c := range ins {
+		if err := tr.Insert(netip.MustParsePrefix(c.pfx), c.asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != len(ins) {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	cases := []struct {
+		addr string
+		asn  uint32
+		ok   bool
+	}{
+		{"10.9.9.9", 100, true},
+		{"10.1.9.9", 200, true},
+		{"10.1.2.9", 300, true},
+		{"11.0.0.1", 0, false},
+		{"2001:db8::1", 600, true},
+		{"2001:db8:1::1", 700, true},
+		{"2001:db9::1", 0, false},
+	}
+	for _, c := range cases {
+		asn, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if ok != c.ok || (ok && asn != c.asn) {
+			t.Errorf("Lookup(%s) = %d,%v; want %d,%v", c.addr, asn, ok, c.asn, c.ok)
+		}
+	}
+}
+
+func TestTrieExactOverwrite(t *testing.T) {
+	var tr Trie
+	p := netip.MustParsePrefix("192.0.2.0/24")
+	_ = tr.Insert(p, 1)
+	_ = tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if asn, _ := tr.Lookup(netip.MustParseAddr("192.0.2.1")); asn != 2 {
+		t.Errorf("asn = %d", asn)
+	}
+}
+
+func TestTrieZeroBitsPrefix(t *testing.T) {
+	var tr Trie
+	_ = tr.Insert(netip.MustParsePrefix("0.0.0.0/0"), 42)
+	if asn, ok := tr.Lookup(netip.MustParseAddr("203.0.113.7")); !ok || asn != 42 {
+		t.Errorf("default route lookup = %d,%v", asn, ok)
+	}
+	// v6 default must not be affected by v4 default.
+	if _, ok := tr.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("v6 matched v4 default route")
+	}
+}
+
+func TestTrieV4MappedV6Normalized(t *testing.T) {
+	var tr Trie
+	_ = tr.Insert(netip.MustParsePrefix("198.51.100.0/24"), 7)
+	mapped := netip.AddrFrom16(netip.MustParseAddr("198.51.100.5").As16())
+	if asn, ok := tr.Lookup(mapped); !ok || asn != 7 {
+		t.Errorf("v4-mapped lookup = %d,%v", asn, ok)
+	}
+}
+
+func TestTrieHostRoutes(t *testing.T) {
+	var tr Trie
+	_ = tr.Insert(netip.MustParsePrefix("192.0.2.1/32"), 9)
+	if asn, ok := tr.Lookup(netip.MustParseAddr("192.0.2.1")); !ok || asn != 9 {
+		t.Errorf("host route = %d,%v", asn, ok)
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("192.0.2.2")); ok {
+		t.Error("host route matched neighbor")
+	}
+}
+
+func TestTrieInvalidPrefix(t *testing.T) {
+	var tr Trie
+	if err := tr.Insert(netip.Prefix{}, 1); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+// TestPropertyTrieMatchesLinearScan cross-checks the trie against a naive
+// linear longest-prefix scan oracle on random prefix sets and probes.
+func TestPropertyTrieMatchesLinearScan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Trie
+		type entry struct {
+			pfx netip.Prefix
+			asn uint32
+		}
+		// Random prefixes; later duplicates overwrite earlier ones both in
+		// the trie and (by map) in the oracle.
+		oracle := make(map[netip.Prefix]uint32)
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			var p netip.Prefix
+			if r.Intn(2) == 0 {
+				a := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+				p = netip.PrefixFrom(a, r.Intn(33)).Masked()
+			} else {
+				var b [16]byte
+				r.Read(b[:])
+				p = netip.PrefixFrom(netip.AddrFrom16(b), r.Intn(129)).Masked()
+			}
+			asn := uint32(1 + r.Intn(1000))
+			oracle[p] = asn
+			if err := tr.Insert(p, asn); err != nil {
+				return false
+			}
+		}
+		entries := make([]entry, 0, len(oracle))
+		for p, a := range oracle {
+			entries = append(entries, entry{p, a})
+		}
+		// Probe with random addresses plus addresses inside known prefixes.
+		for probe := 0; probe < 50; probe++ {
+			var addr netip.Addr
+			if probe%2 == 0 && len(entries) > 0 {
+				base := entries[r.Intn(len(entries))].pfx.Addr()
+				if base.Is4() {
+					b := base.As4()
+					b[3] ^= byte(r.Intn(4))
+					addr = netip.AddrFrom4(b)
+				} else {
+					b := base.As16()
+					b[15] ^= byte(r.Intn(4))
+					addr = netip.AddrFrom16(b)
+				}
+			} else if r.Intn(2) == 0 {
+				addr = netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+			} else {
+				var b [16]byte
+				r.Read(b[:])
+				addr = netip.AddrFrom16(b)
+			}
+			// Oracle: longest containing prefix wins.
+			bestBits := -1
+			var bestASN uint32
+			for _, e := range entries {
+				if e.pfx.Contains(addr) && e.pfx.Bits() > bestBits {
+					bestBits, bestASN = e.pfx.Bits(), e.asn
+				}
+			}
+			asn, ok := tr.Lookup(addr)
+			if ok != (bestBits >= 0) {
+				return false
+			}
+			if ok && asn != bestASN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	reg := NewRegistry(40000)
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		asn := reg.ASNs()[i%reg.NumASes()]
+		a, err := reg.ResolverAddr(asn, i%2 == 0, false, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := reg.LookupAddr(addrs[i%len(addrs)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

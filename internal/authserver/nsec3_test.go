@@ -1,0 +1,106 @@
+package authserver
+
+import (
+	"bytes"
+	"testing"
+
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/zonedb"
+)
+
+func nsec3Engine(t *testing.T) *Engine {
+	t.Helper()
+	z, err := zonedb.NewCcTLD("nl", 1000, 0, 0.55, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(z, WithNSEC3(NSEC3Config{Salt: []byte{0xAB, 0xCD}, Iterations: 5}))
+}
+
+func TestNSEC3DenialShape(t *testing.T) {
+	e := nsec3Engine(t)
+	r := handle(t, e, "qqjunk.nl.", dnswire.TypeA)
+	if r.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %s", r.Header.RCode)
+	}
+	var nsec3s []dnswire.RR
+	for _, rr := range r.Authority {
+		if rr.Data.Type() == dnswire.TypeNSEC3 {
+			nsec3s = append(nsec3s, rr)
+		}
+		if rr.Data.Type() == dnswire.TypeNSEC {
+			t.Error("plain NSEC in an NSEC3 zone")
+		}
+	}
+	if len(nsec3s) != 2 {
+		t.Fatalf("NSEC3 records = %d, want 2 (closest encloser + covering)", len(nsec3s))
+	}
+	// The covering record's range must bracket the qname hash.
+	qHash, err := dnswire.NSEC3Hash("qqjunk.nl.", []byte{0xAB, 0xCD}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := false
+	for _, rr := range nsec3s {
+		d := rr.Data.(dnswire.NSEC3Data)
+		ownerLabel := dnswire.SplitLabels(rr.Name)[0]
+		if ownerLabel < dnswire.Base32Hex(qHash) && bytes.Compare(qHash, d.NextHashed) < 0 {
+			covered = true
+		}
+		if d.Iterations != 5 || d.HashAlgo != 1 {
+			t.Errorf("NSEC3 params: %+v", d)
+		}
+	}
+	if !covered {
+		t.Error("no NSEC3 covers the junk name's hash")
+	}
+}
+
+func TestNSEC3DenialStillTruncatesAt512(t *testing.T) {
+	e := nsec3Engine(t)
+	q := dnswire.NewQuery(1, "qqjunk.nl.", dnswire.TypeA).WithEdns(512, true)
+	r := e.Handle(q, testClient, false)
+	out, err := PackResponse(r, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Header.Truncated {
+		t.Error("NSEC3 NXDOMAIN fits in 512B — §4.4 truncation lost")
+	}
+}
+
+func TestNSEC3PARAMAtApex(t *testing.T) {
+	e := nsec3Engine(t)
+	r := handle(t, e, "nl.", dnswire.TypeNSEC3PARAM)
+	if len(r.Answers) != 1 || r.Answers[0].Data.Type() != dnswire.TypeNSEC3PARAM {
+		t.Fatalf("answers: %v", r.Answers)
+	}
+	p := r.Answers[0].Data.(dnswire.NSEC3PARAMData)
+	if p.Iterations != 5 || len(p.Salt) != 2 {
+		t.Fatalf("params: %+v", p)
+	}
+	// An NSEC-mode engine answers NODATA instead.
+	plain := nlEngine(t)
+	r = handle(t, plain, "nl.", dnswire.TypeNSEC3PARAM)
+	if len(r.Answers) != 0 {
+		t.Fatalf("NSEC engine returned NSEC3PARAM: %v", r.Answers)
+	}
+}
+
+func TestNSEC3DeniesWithoutRevealingNames(t *testing.T) {
+	e := nsec3Engine(t)
+	r := handle(t, e, "secretprobe.nl.", dnswire.TypeA)
+	packed, err := r.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No registered d<rank> label may appear in the denial (zone
+	// enumeration resistance — the point of NSEC3).
+	if bytes.Contains(packed, []byte("\x02d0")) || bytes.Contains(packed, []byte("\x02d1")) {
+		t.Error("denial leaks registered names")
+	}
+}

@@ -1,0 +1,194 @@
+package authserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnscentral/internal/dnswire"
+)
+
+// Server binds an Engine to real UDP and TCP sockets, speaking standard
+// DNS transport framing (RFC 1035 §4.2: two-byte length prefix on TCP).
+type Server struct {
+	engine *Engine
+
+	udp *net.UDPConn
+	tcp *net.TCPListener
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// Logf, when non-nil, receives per-error diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0" — UDP and TCP bind the
+// same port). The returned server is already serving.
+func Listen(addr string, engine *Engine) (*Server, error) {
+	tcpLn, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("authserver: tcp listen: %w", err)
+	}
+	// Bind UDP to the exact port TCP got (relevant for addr with port 0).
+	udpConn, err := net.ListenUDP("udp", &net.UDPAddr{
+		IP:   tcpLn.Addr().(*net.TCPAddr).IP,
+		Port: tcpLn.Addr().(*net.TCPAddr).Port,
+	})
+	if err != nil {
+		tcpLn.Close()
+		return nil, fmt.Errorf("authserver: udp listen: %w", err)
+	}
+	s := &Server{
+		engine: engine,
+		udp:    udpConn,
+		tcp:    tcpLn.(*net.TCPListener),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return s, nil
+}
+
+// Addr returns the bound address (same port for UDP and TCP).
+func (s *Server) Addr() netip.AddrPort {
+	return s.udp.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Engine returns the underlying engine.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Close stops serving and waits for the loops to exit.
+func (s *Server) Close() error {
+	close(s.closed)
+	s.udp.Close()
+	s.tcp.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("udp read: %v", err)
+				continue
+			}
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			s.logf("udp parse from %s: %v", raddr, err)
+			continue
+		}
+		r := s.engine.Handle(q, raddr.Addr(), false)
+		if r == nil {
+			continue // RRL drop
+		}
+		out, err := PackResponse(r, q, false)
+		if err != nil {
+			s.logf("udp pack: %v", err)
+			continue
+		}
+		if _, err := s.udp.WriteToUDPAddrPort(out, raddr); err != nil {
+			s.logf("udp write to %s: %v", raddr, err)
+		}
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.AcceptTCP()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("tcp accept: %v", err)
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serveTCPConn(conn)
+	}
+}
+
+func (s *Server) serveTCPConn(conn *net.TCPConn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	raddr := conn.RemoteAddr().(*net.TCPAddr).AddrPort()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		msg, err := ReadTCPMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("tcp read from %s: %v", raddr, err)
+			}
+			return
+		}
+		q, err := dnswire.Unpack(msg)
+		if err != nil {
+			s.logf("tcp parse from %s: %v", raddr, err)
+			return
+		}
+		r := s.engine.Handle(q, raddr.Addr(), true)
+		if r == nil {
+			return
+		}
+		out, err := PackResponse(r, q, true)
+		if err != nil {
+			s.logf("tcp pack: %v", err)
+			return
+		}
+		if err := WriteTCPMessage(conn, out); err != nil {
+			s.logf("tcp write to %s: %v", raddr, err)
+			return
+		}
+	}
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var lenb [2]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenb[:])
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, fmt.Errorf("authserver: short TCP message: %w", err)
+	}
+	return msg, nil
+}
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > 0xFFFF {
+		return fmt.Errorf("authserver: message %d bytes exceeds TCP framing", len(msg))
+	}
+	var lenb [2]byte
+	binary.BigEndian.PutUint16(lenb[:], uint16(len(msg)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}

@@ -1,0 +1,207 @@
+package authserver
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/zonedb"
+)
+
+func startServer(t *testing.T, opts ...Option) *Server {
+	t.Helper()
+	z, err := zonedb.NewCcTLD("nl", 1000, 0, 0.5, []string{"ns1.dns.nl", "ns2.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", NewEngine(z, opts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func udpExchange(t *testing.T, s *Server, q *dnswire.Message) *dnswire.Message {
+	t.Helper()
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	out, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func tcpExchange(t *testing.T, s *Server, q *dnswire.Message) *dnswire.Message {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	out, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTCPMessage(conn, out); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := ReadTCPMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := dnswire.Unpack(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestServerUDPQuery(t *testing.T) {
+	s := startServer(t)
+	q := dnswire.NewQuery(101, "www.d3.nl.", dnswire.TypeA).WithEdns(1232, false)
+	r := udpExchange(t, s, q)
+	if r.Header.ID != 101 || !r.Header.Response {
+		t.Fatalf("header: %+v", r.Header)
+	}
+	if len(r.Authority) == 0 {
+		t.Fatal("expected referral authority section")
+	}
+}
+
+func TestServerTCPQuery(t *testing.T) {
+	s := startServer(t)
+	q := dnswire.NewQuery(102, "nl.", dnswire.TypeSOA)
+	r := tcpExchange(t, s, q)
+	if len(r.Answers) != 1 || r.Answers[0].Data.Type() != dnswire.TypeSOA {
+		t.Fatalf("answers: %v", r.Answers)
+	}
+}
+
+func TestServerTCPPipelining(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Two queries on one connection.
+	for i := uint16(1); i <= 2; i++ {
+		q := dnswire.NewQuery(i, "nl.", dnswire.TypeNS)
+		out, _ := q.Pack()
+		if err := WriteTCPMessage(conn, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := uint16(1); i <= 2; i++ {
+		resp, err := ReadTCPMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := dnswire.Unpack(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Header.ID != i {
+			t.Errorf("response %d has id %d", i, r.Header.ID)
+		}
+	}
+}
+
+func TestServerUDPTruncationAndTCPRetry(t *testing.T) {
+	s := startServer(t)
+	// No EDNS and a large apex NS answer with glue: ask for NS with a
+	// padded question? The apex NS + glue fits in 512, so instead force a
+	// tiny advertised EDNS size.
+	q := dnswire.NewQuery(103, "nl.", dnswire.TypeNS).WithEdns(512, false)
+	q.Edns.UDPSize = 0 // clamps to 512 server-side; fits anyway
+	r := udpExchange(t, s, q)
+	if r.Header.Truncated {
+		// acceptable: retry over TCP must then give the full answer
+		r = tcpExchange(t, s, q)
+	}
+	if len(r.Answers) != 2 {
+		t.Fatalf("answers: %v", r.Answers)
+	}
+}
+
+func TestServerIgnoresGarbageUDP(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Then a valid query must still be answered.
+	q := dnswire.NewQuery(9, "nl.", dnswire.TypeSOA)
+	out, _ := q.Pack()
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnswire.Unpack(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseIdempotentUse(t *testing.T) {
+	z, _ := zonedb.NewCcTLD("nl", 10, 0, 0, []string{"ns1.dns.nl"})
+	s, err := Listen("127.0.0.1:0", NewEngine(z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte("hello dns")
+	if err := WriteTCPMessage(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCPMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTCPFramingRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTCPMessage(&buf, make([]byte, 70000)); err == nil {
+		t.Error("oversize message accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package core is the paper's analysis layer: it drives the workload
+// generator and the entrada pipeline for each vantage/week and computes
+// every table and figure of the evaluation — Figure 1 (cloud query
+// ratios), Figure 2/7 (record-type mixes), Figure 3 (Google's monthly
+// series and the Q-min adoption point), Figure 4 (junk ratios), Figure 5/8
+// (Facebook per-site family split vs RTT), Figure 6 (EDNS size CDFs), and
+// Tables 2–6 — together with the paper's published values for comparison.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/rdns"
+	"dnscentral/internal/workload"
+	"dnscentral/internal/zonedb"
+)
+
+// RunConfig scales one experiment run.
+type RunConfig struct {
+	// TotalQueries per vantage/week trace (default 200_000).
+	TotalQueries int
+	// ResolverScale scales resolver populations (default 0.01).
+	ResolverScale float64
+	// Seed for reproducibility.
+	Seed int64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.TotalQueries <= 0 {
+		c.TotalQueries = 200_000
+	}
+	if c.ResolverScale <= 0 {
+		c.ResolverScale = 0.01
+	}
+	return c
+}
+
+// VWResult is the analyzed state of one vantage/week.
+type VWResult struct {
+	Vantage cloudmodel.Vantage
+	Week    cloudmodel.Week
+	Agg     *entrada.Aggregates
+	Reg     *astrie.Registry
+	PTR     *rdns.DB
+	Zone    *zonedb.Zone
+	Truth   *workload.GroundTruth
+	Model   *cloudmodel.VantageWeek
+	// NumServers the trace was generated with.
+	NumServers int
+}
+
+// analyzerSink feeds generated packets straight into an analyzer,
+// bypassing pcap bytes (the cmd pipeline exercises the pcap path).
+type analyzerSink struct{ an *entrada.Analyzer }
+
+func (s analyzerSink) WritePacket(ts time.Time, data []byte) error {
+	s.an.HandlePacket(ts, data)
+	return nil
+}
+
+// Run generates and analyzes one vantage/week.
+func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, error) {
+	cfg = cfg.withDefaults()
+	gen, err := workload.NewGenerator(workload.Config{
+		Vantage:       v,
+		Week:          w,
+		TotalQueries:  cfg.TotalQueries,
+		ResolverScale: cfg.ResolverScale,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	an := entrada.NewAnalyzer(gen.Registry(),
+		entrada.WithZoneOrigin(gen.Zone().Origin))
+	truth, err := gen.Run(analyzerSink{an})
+	if err != nil {
+		return nil, err
+	}
+	model, err := cloudmodel.Get(v, w)
+	if err != nil {
+		return nil, err
+	}
+	numServers := 1
+	if v == cloudmodel.VantageNL {
+		numServers = 2
+	}
+	return &VWResult{
+		Vantage:    v,
+		Week:       w,
+		Agg:        an.Finish(),
+		Reg:        gen.Registry(),
+		PTR:        gen.PTRDB(),
+		Zone:       gen.Zone(),
+		Truth:      truth,
+		Model:      model,
+		NumServers: numServers,
+	}, nil
+}
+
+// RunAll runs every vantage/week with per-cell seeds derived from
+// cfg.Seed. B-Root traces use the same query budget (its day-long capture
+// had comparable volume to a ccTLD week).
+func RunAll(cfg RunConfig) (map[cloudmodel.Vantage]map[cloudmodel.Week]*VWResult, error) {
+	out := make(map[cloudmodel.Vantage]map[cloudmodel.Week]*VWResult)
+	seed := cfg.Seed
+	for _, v := range cloudmodel.Vantages {
+		out[v] = make(map[cloudmodel.Week]*VWResult)
+		for _, w := range cloudmodel.Weeks {
+			seed++
+			c := cfg
+			c.Seed = seed
+			res, err := Run(v, w, c)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%s: %w", v, w, err)
+			}
+			out[v][w] = res
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+)
+
+// smallCfg keeps unit-test runs fast; the benches run at full scale.
+var smallCfg = RunConfig{TotalQueries: 25_000, ResolverScale: 0.003, Seed: 7}
+
+// cache one run per vantage/week across tests.
+var runCache = map[string]*VWResult{}
+
+func run(t *testing.T, v cloudmodel.Vantage, w cloudmodel.Week) *VWResult {
+	t.Helper()
+	key := string(v) + "/" + string(w)
+	if res, ok := runCache[key]; ok {
+		return res
+	}
+	res, err := Run(v, w, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCache[key] = res
+	return res
+}
+
+func TestTable3ValidShares(t *testing.T) {
+	for _, v := range cloudmodel.Vantages {
+		res := run(t, v, cloudmodel.W2020)
+		row := Table3(res)
+		if math.Abs(row.ValidShare-row.PaperValidShare) > 0.04 {
+			t.Errorf("%s: valid share %.3f vs paper %.3f", v, row.ValidShare, row.PaperValidShare)
+		}
+		if row.Resolvers == 0 || row.ASes == 0 {
+			t.Errorf("%s: empty resolver/AS counts", v)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	nl := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	rows, cloud := Figure1(nl)
+	if cloud < 0.28 || cloud > 0.38 {
+		t.Errorf(".nl cloud share = %.3f, want ≈1/3", cloud)
+	}
+	shares := map[astrie.Provider]float64{}
+	for _, r := range rows {
+		shares[r.Provider] = r.Share
+		if math.Abs(r.Share-r.PaperShare) > 0.025 {
+			t.Errorf("%s share %.3f vs model %.3f", r.Provider, r.Share, r.PaperShare)
+		}
+	}
+	if shares[astrie.ProviderGoogle] <= shares[astrie.ProviderFacebook] {
+		t.Error("Google must dominate Facebook at .nl")
+	}
+	broot := run(t, cloudmodel.VantageBRoot, cloudmodel.W2020)
+	_, bcloud := Figure1(broot)
+	if bcloud > 0.12 {
+		t.Errorf("B-Root cloud share = %.3f, want ≈0.087", bcloud)
+	}
+	if bcloud >= cloud {
+		t.Error("B-Root concentration must be far below the ccTLDs")
+	}
+}
+
+func TestFigure2QminSignature(t *testing.T) {
+	res2018 := run(t, cloudmodel.VantageNL, cloudmodel.W2018)
+	res2020 := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	f18 := rowsByProvider(Figure2(res2018))
+	f20 := rowsByProvider(Figure2(res2020))
+	// 2018: A dominates for every provider.
+	for p, r := range f18 {
+		if r.Shares[dnswire.TypeA] < r.Shares[dnswire.TypeNS] {
+			t.Errorf("2018 %s: NS (%.2f) above A (%.2f)", p, r.Shares[dnswire.TypeNS], r.Shares[dnswire.TypeA])
+		}
+	}
+	// 2020: NS dominates for the three Q-min adopters, not for Microsoft.
+	for _, p := range []astrie.Provider{astrie.ProviderGoogle, astrie.ProviderCloudflare, astrie.ProviderFacebook} {
+		if f20[p].Shares[dnswire.TypeNS] < 0.5 {
+			t.Errorf("2020 %s: NS share %.2f, want dominant (Q-min)", p, f20[p].Shares[dnswire.TypeNS])
+		}
+		if f18[p].Shares[dnswire.TypeNS] > 0.2 && p != astrie.ProviderCloudflare {
+			t.Errorf("2018 %s: NS share %.2f, want small", p, f18[p].Shares[dnswire.TypeNS])
+		}
+	}
+	if f20[astrie.ProviderMicrosoft].Shares[dnswire.TypeNS] > 0.2 {
+		t.Error("2020 Microsoft should not look minimized")
+	}
+	// Cloudflare's DS share must exceed its DNSKEY share (§4.2.2).
+	cf := f20[astrie.ProviderCloudflare]
+	if cf.Shares[dnswire.TypeDS] <= cf.Shares[dnswire.TypeDNSKEY] {
+		t.Error("Cloudflare DS share must exceed DNSKEY share")
+	}
+	// Microsoft sends no DS at all (the non-validating provider).
+	if f20[astrie.ProviderMicrosoft].Shares[dnswire.TypeDS] > 0.001 {
+		t.Error("Microsoft must not send DS queries")
+	}
+}
+
+func rowsByProvider(rows []Figure2Row) map[astrie.Provider]Figure2Row {
+	out := make(map[astrie.Provider]Figure2Row, len(rows))
+	for _, r := range rows {
+		out[r.Provider] = r
+	}
+	return out
+}
+
+func TestFigure3DetectsQminAdoption(t *testing.T) {
+	points, err := Figure3(cloudmodel.VantageNL, 3000, 0.002, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 18 {
+		t.Fatalf("%d monthly points", len(points))
+	}
+	m, ok := QminAdoptionMonth(points, 0.5)
+	if !ok {
+		t.Fatal("no adoption month detected")
+	}
+	if m.Year != 2019 || m.Month != time.December {
+		t.Errorf("adoption detected at %s, want 2019-12", m)
+	}
+	// Before adoption NS is low, after it is high.
+	for _, p := range points {
+		if !p.QminActive && p.NSShare > 0.2 {
+			t.Errorf("%s: NS share %.2f before adoption", p.Month, p.NSShare)
+		}
+		if p.QminActive && !p.Anomaly && p.NSShare < 0.5 {
+			t.Errorf("%s: NS share %.2f after adoption", p.Month, p.NSShare)
+		}
+	}
+}
+
+func TestFigure3NZAnomaly(t *testing.T) {
+	points, err := Figure3(cloudmodel.VantageNZ, 3000, 0.002, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feb, mar Figure3Point
+	for _, p := range points {
+		if p.Month.Year == 2020 && p.Month.Month == time.February {
+			feb = p
+		}
+		if p.Month.Year == 2020 && p.Month.Month == time.March {
+			mar = p
+		}
+	}
+	if !feb.Anomaly {
+		t.Fatal("Feb 2020 anomaly missing")
+	}
+	if feb.AShare <= mar.AShare {
+		t.Errorf("Feb A-share %.2f must exceed Mar %.2f (cyclic dependency)", feb.AShare, mar.AShare)
+	}
+	if feb.NSShare >= mar.NSShare {
+		t.Errorf("Feb NS-share %.2f must dip below Mar %.2f", feb.NSShare, mar.NSShare)
+	}
+	if _, err := Figure3(cloudmodel.VantageBRoot, 100, 0.002, 1); err == nil {
+		t.Error("Figure 3 must reject B-Root")
+	}
+}
+
+func TestTable4GoogleSplit(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	t4 := Table4(res)
+	if math.Abs(t4.QueryShare-0.865) > 0.05 {
+		t.Errorf("public query share %.3f, paper 0.865", t4.QueryShare)
+	}
+	if math.Abs(t4.ResolverShare-0.156) > 0.08 {
+		t.Errorf("public resolver share %.3f, paper 0.156", t4.ResolverShare)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res := run(t, cloudmodel.VantageBRoot, cloudmodel.W2020)
+	rows, overall, other := Figure4(res)
+	if overall < 0.7 {
+		t.Errorf("B-Root overall junk %.3f, want ≈0.8", overall)
+	}
+	for _, r := range rows {
+		if r.JunkShare >= other {
+			t.Errorf("B-Root %s junk %.3f not below long-tail %.3f", r.Provider, r.JunkShare, other)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	rows := Table5(res)
+	byP := map[astrie.Provider]Table5Row{}
+	for _, r := range rows {
+		byP[r.Provider] = r
+	}
+	if byP[astrie.ProviderMicrosoft].IPv6 != 0 || byP[astrie.ProviderMicrosoft].TCP != 0 {
+		t.Error("Microsoft not all-IPv4/all-UDP")
+	}
+	if byP[astrie.ProviderFacebook].IPv6 < 0.6 {
+		t.Errorf("Facebook IPv6 %.2f, want > 0.6", byP[astrie.ProviderFacebook].IPv6)
+	}
+	if byP[astrie.ProviderFacebook].TCP < 0.06 {
+		t.Errorf("Facebook TCP %.2f, want ≈0.14", byP[astrie.ProviderFacebook].TCP)
+	}
+	if byP[astrie.ProviderAmazon].IPv6 > 0.10 {
+		t.Errorf("Amazon IPv6 %.2f, want ≈0.03", byP[astrie.ProviderAmazon].IPv6)
+	}
+	// Paper cells attached for ccTLDs.
+	if byP[astrie.ProviderGoogle].Paper.IPv4 == 0 {
+		t.Error("paper comparison cell missing")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	rows := Table6(res)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Counts.Total < 30 {
+			t.Fatalf("%s: only %d resolvers at this scale", r.Provider, r.Counts.Total)
+		}
+		if r.V6Frac > 0.08 {
+			t.Errorf("%s IPv6 resolver fraction %.3f, want ≲0.05 (Table 6)", r.Provider, r.V6Frac)
+		}
+		if r.Counts.V4+r.Counts.V6 != r.Counts.Total {
+			t.Errorf("%s: family split does not add up", r.Provider)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	sites, err := Figure5(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) < 10 {
+		t.Fatalf("sites = %d, want ≈13", len(sites))
+	}
+	// Location 1 dominates query volume.
+	var maxSite SiteStats
+	var total uint64
+	for _, s := range sites {
+		vol := s.V4Queries + s.V6Queries
+		total += vol
+		if vol > maxSite.V4Queries+maxSite.V6Queries {
+			maxSite = s
+		}
+	}
+	if maxSite.SiteIndex != 0 {
+		t.Errorf("dominant site = %d, want location 1", maxSite.SiteIndex+1)
+	}
+	if frac := float64(maxSite.V4Queries+maxSite.V6Queries) / float64(total); frac < 0.3 {
+		t.Errorf("location 1 share %.2f, want dominant", frac)
+	}
+	// Location 1 sends no TCP → no RTT estimate (the paper's observation).
+	for _, s := range sites {
+		if s.SiteIndex == 0 && s.HasRTT {
+			t.Error("location 1 must have no TCP RTT samples")
+		}
+	}
+	// Sites 8-10 prefer IPv4 (large IPv6 RTT); site 1 prefers IPv6.
+	for _, s := range sites {
+		switch {
+		case s.SiteIndex == 0 && s.V6Ratio < 0.5:
+			t.Errorf("location 1 v6 ratio %.2f, want high", s.V6Ratio)
+		case (s.SiteIndex >= 7 && s.SiteIndex <= 9) && s.V6Ratio > 0.5:
+			t.Errorf("location %d v6 ratio %.2f, want low (large v6 RTT)", s.SiteIndex+1, s.V6Ratio)
+		}
+	}
+	// RTT correlation: among sites with RTT, v4-preferring sites have
+	// rtt6 > rtt4.
+	for _, s := range sites {
+		if s.HasRTT && s.MedianRTT4 > 0 && s.MedianRTT6 > 0 && s.SiteIndex >= 7 && s.SiteIndex <= 9 {
+			if s.MedianRTT6 <= s.MedianRTT4 {
+				t.Errorf("location %d: RTT6 %v ≤ RTT4 %v but prefers v4", s.SiteIndex+1, s.MedianRTT6, s.MedianRTT4)
+			}
+		}
+	}
+	if _, err := Figure5(res, 5); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+}
+
+func TestFigure5ServerBDiffers(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	a, err := Figure5(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8: server B shows different per-site family preferences;
+	// at least one site must flip its majority family between A and B.
+	av6 := map[string]float64{}
+	for _, s := range a {
+		av6[s.Site] = s.V6Ratio
+	}
+	flips := 0
+	for _, s := range b {
+		if ra, ok := av6[s.Site]; ok {
+			if (ra > 0.5) != (s.V6Ratio > 0.5) {
+				flips++
+			}
+		}
+	}
+	if flips == 0 {
+		t.Error("no site flips family preference between servers A and B")
+	}
+}
+
+func TestDualStackIdentification(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	dual, _ := DualStackCount(res)
+	if dual == 0 {
+		t.Fatal("no dual-stack resolvers identified via PTR joining")
+	}
+}
+
+func TestFigure6Anchors(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	f6 := Figure6(res)
+	if math.Abs(f6.FacebookAt512-0.30) > 0.06 {
+		t.Errorf("Facebook CDF at 512 = %.3f, paper ≈0.30", f6.FacebookAt512)
+	}
+	if math.Abs(f6.GoogleAt1232-0.24) > 0.06 {
+		t.Errorf("Google CDF at 1232 = %.3f, paper ≈0.24", f6.GoogleAt1232)
+	}
+	if f6.Truncation[astrie.ProviderFacebook] < 0.05 {
+		t.Errorf("Facebook truncation %.4f, paper 0.1716", f6.Truncation[astrie.ProviderFacebook])
+	}
+	if f6.Truncation[astrie.ProviderGoogle] > 0.005 {
+		t.Errorf("Google truncation %.4f, paper 0.0004", f6.Truncation[astrie.ProviderGoogle])
+	}
+	if f6.Truncation[astrie.ProviderMicrosoft] > 0.005 {
+		t.Errorf("Microsoft truncation %.4f, paper 0.0001", f6.Truncation[astrie.ProviderMicrosoft])
+	}
+}
+
+func TestRenderersProduceMarkdown(t *testing.T) {
+	res := run(t, cloudmodel.VantageNL, cloudmodel.W2020)
+	rows, cloud := Figure1(res)
+	outputs := []string{
+		RenderTable3([]Table3Row{Table3(res)}),
+		RenderFigure1(res.Vantage, res.Week, rows, cloud),
+		RenderFigure2(Figure2(res)),
+		RenderTable4(Table4(res), cloudmodel.PaperTable4[0]),
+		RenderTable5(Table5(res)),
+		RenderTable6(res.Vantage, Table6(res)),
+		RenderFigure6(Figure6(res)),
+	}
+	f4rows, overall, other := Figure4(res)
+	outputs = append(outputs, RenderFigure4(f4rows, overall, other))
+	sites, _ := Figure5(res, 0)
+	outputs = append(outputs, RenderFigure5(0, sites))
+	for i, out := range outputs {
+		if !strings.Contains(out, "|") || len(out) < 50 {
+			t.Errorf("renderer %d output too small:\n%s", i, out)
+		}
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	c := RunConfig{}.withDefaults()
+	if c.TotalQueries == 0 || c.ResolverScale == 0 {
+		t.Error("defaults not applied")
+	}
+}

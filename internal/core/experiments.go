@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/rdns"
+	"dnscentral/internal/stats"
+	"dnscentral/internal/workload"
+)
+
+// --- Table 3 ------------------------------------------------------------
+
+// Table3Row is one measured dataset row.
+type Table3Row struct {
+	Vantage    cloudmodel.Vantage
+	Week       cloudmodel.Week
+	Queries    uint64
+	ValidShare float64
+	Resolvers  int
+	ASes       int
+	// PaperValidShare is Table 3's valid/total for comparison.
+	PaperValidShare float64
+}
+
+// Table3 computes the measured dataset summary of one run.
+func Table3(res *VWResult) Table3Row {
+	return Table3Row{
+		Vantage:         res.Vantage,
+		Week:            res.Week,
+		Queries:         res.Agg.Total,
+		ValidShare:      stats.Ratio(res.Agg.Valid, res.Agg.Total),
+		Resolvers:       len(res.Agg.AllResolvers),
+		ASes:            len(res.Agg.ASes),
+		PaperValidShare: res.Model.ValidShare,
+	}
+}
+
+// --- Figure 1 -----------------------------------------------------------
+
+// Figure1Row is one provider's share of all queries at a vantage/week.
+type Figure1Row struct {
+	Provider   astrie.Provider
+	Share      float64
+	PaperShare float64 // the calibrated model share (Figure 1 bar height)
+}
+
+// Figure1 computes the cloud query ratio per provider, plus the combined
+// cloud share.
+func Figure1(res *VWResult) (rows []Figure1Row, cloudShare float64) {
+	for _, p := range astrie.CloudProviders {
+		pa := res.Agg.Provider(p)
+		rows = append(rows, Figure1Row{
+			Provider:   p,
+			Share:      stats.Ratio(pa.Queries, res.Agg.Total),
+			PaperShare: res.Model.Providers[p].Share,
+		})
+	}
+	return rows, res.Agg.CloudShare()
+}
+
+// --- Figure 2 (and 7) ---------------------------------------------------
+
+// Figure2Types are the record types the figure plots.
+var Figure2Types = []dnswire.Type{
+	dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeNS, dnswire.TypeDS,
+	dnswire.TypeDNSKEY, dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypeSOA,
+}
+
+// Figure2Row is one provider's record-type mix.
+type Figure2Row struct {
+	Provider astrie.Provider
+	Shares   map[dnswire.Type]float64
+	Other    float64
+}
+
+// Figure2 computes the per-provider record type distribution.
+func Figure2(res *VWResult) []Figure2Row {
+	var rows []Figure2Row
+	for _, p := range astrie.CloudProviders {
+		pa := res.Agg.Provider(p)
+		row := Figure2Row{Provider: p, Shares: make(map[dnswire.Type]float64)}
+		accounted := uint64(0)
+		for _, t := range Figure2Types {
+			row.Shares[t] = stats.Ratio(pa.ByType[t], pa.Queries)
+			accounted += pa.ByType[t]
+		}
+		row.Other = stats.Ratio(pa.Queries-accounted, pa.Queries)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// --- Figure 3 -----------------------------------------------------------
+
+// Figure3Point is Google's query mix for one month.
+type Figure3Point struct {
+	Month       cloudmodel.Month
+	NSShare     float64
+	AShare      float64 // A + AAAA combined
+	DSShare     float64
+	QminActive  bool
+	Anomaly     bool
+	TotalQueries uint64
+}
+
+// Figure3 reproduces the monthly longitudinal series: it generates one
+// Google-only trace per month with the behavior the timeline dictates
+// (Q-min from Dec 2019; the .nz cyclic-dependency anomaly in Feb 2020).
+func Figure3(v cloudmodel.Vantage, queriesPerMonth int, scale float64, seed int64) ([]Figure3Point, error) {
+	if v == cloudmodel.VantageBRoot {
+		return nil, fmt.Errorf("core: Figure 3 covers the ccTLDs only")
+	}
+	var out []Figure3Point
+	for i, m := range cloudmodel.Figure3Months {
+		qmin, anomaly := cloudmodel.GoogleMonthlyProfile(v, m)
+		week := cloudmodel.W2019
+		if m.Year == 2020 {
+			week = cloudmodel.W2020
+		} else if m.Year == 2018 {
+			week = cloudmodel.W2018
+		}
+		qminShare := 0.0
+		if qmin {
+			qminShare = 0.86 // the deployed fleet share (w2020 profile)
+		}
+		gen, err := workload.NewGenerator(workload.Config{
+			Vantage:        v,
+			Week:           week,
+			TotalQueries:   queriesPerMonth,
+			ResolverScale:  scale,
+			Seed:           seed + int64(i),
+			ProviderFilter: []astrie.Provider{astrie.ProviderGoogle},
+			QminOverride:   &qminShare,
+			Anomaly:        anomaly,
+			Start:          time.Date(m.Year, m.Month, 1, 0, 0, 0, 0, time.UTC),
+		})
+		if err != nil {
+			return nil, err
+		}
+		an := entrada.NewAnalyzer(gen.Registry())
+		if _, err := gen.Run(analyzerSink{an}); err != nil {
+			return nil, err
+		}
+		ag := an.Finish()
+		google := ag.Provider(astrie.ProviderGoogle)
+		out = append(out, Figure3Point{
+			Month:        m,
+			NSShare:      stats.Ratio(google.ByType[dnswire.TypeNS], google.Queries),
+			AShare:       stats.Ratio(google.ByType[dnswire.TypeA]+google.ByType[dnswire.TypeAAAA], google.Queries),
+			DSShare:      stats.Ratio(google.ByType[dnswire.TypeDS], google.Queries),
+			QminActive:   qmin,
+			Anomaly:      anomaly,
+			TotalQueries: google.Queries,
+		})
+	}
+	return out, nil
+}
+
+// QminAdoptionMonth finds the first month whose NS share jumps above the
+// given threshold — the paper's method for dating Google's deployment.
+func QminAdoptionMonth(points []Figure3Point, threshold float64) (cloudmodel.Month, bool) {
+	for _, p := range points {
+		if p.NSShare >= threshold {
+			return p.Month, true
+		}
+	}
+	return cloudmodel.Month{}, false
+}
+
+// --- Table 4 (and 7) ----------------------------------------------------
+
+// Table4Result is Google's public-DNS vs rest split.
+type Table4Result struct {
+	TotalQueries    uint64
+	PublicQueries   uint64
+	QueryShare      float64
+	TotalResolvers  int
+	PublicResolvers int
+	ResolverShare   float64
+}
+
+// Table4 computes the Google split for one run.
+func Table4(res *VWResult) Table4Result {
+	google := res.Agg.Provider(astrie.ProviderGoogle)
+	rc := google.ResolverCounts(res.Reg.IsPublicDNSAddr)
+	return Table4Result{
+		TotalQueries:    google.Queries,
+		PublicQueries:   google.PublicDNSQueries,
+		QueryShare:      stats.Ratio(google.PublicDNSQueries, google.Queries),
+		TotalResolvers:  rc.Total,
+		PublicResolvers: rc.Public,
+		ResolverShare:   stats.Ratio(uint64(rc.Public), uint64(rc.Total)),
+	}
+}
+
+// --- Figure 4 -----------------------------------------------------------
+
+// Figure4Row is one provider's junk ratio.
+type Figure4Row struct {
+	Provider  astrie.Provider
+	JunkShare float64
+}
+
+// Figure4 computes junk ratios per provider plus the vantage-wide and
+// long-tail ("Other") junk shares.
+func Figure4(res *VWResult) (rows []Figure4Row, overall, other float64) {
+	for _, p := range astrie.CloudProviders {
+		pa := res.Agg.Provider(p)
+		rows = append(rows, Figure4Row{Provider: p, JunkShare: stats.Ratio(pa.Junk, pa.Queries)})
+	}
+	oa := res.Agg.Provider(astrie.ProviderOther)
+	return rows,
+		1 - stats.Ratio(res.Agg.Valid, res.Agg.Total),
+		stats.Ratio(oa.Junk, oa.Queries)
+}
+
+// --- Table 5 ------------------------------------------------------------
+
+// Table5Row is one provider's transport split.
+type Table5Row struct {
+	Provider             astrie.Provider
+	IPv4, IPv6, UDP, TCP float64
+	Paper                cloudmodel.PaperTable5Cell
+}
+
+// Table5 computes the query distribution per provider.
+func Table5(res *VWResult) []Table5Row {
+	var rows []Table5Row
+	for _, p := range astrie.CloudProviders {
+		pa := res.Agg.Provider(p)
+		v6 := stats.Ratio(pa.V6, pa.Queries)
+		tcp := stats.Ratio(pa.TCP, pa.Queries)
+		row := Table5Row{Provider: p, IPv4: 1 - v6, IPv6: v6, UDP: 1 - tcp, TCP: tcp}
+		if weeks, ok := cloudmodel.PaperTable5[p]; ok {
+			if cells, ok := weeks[res.Week]; ok {
+				row.Paper = cells[res.Vantage]
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// --- Table 6 ------------------------------------------------------------
+
+// Table6Row is one provider's resolver family split.
+type Table6Row struct {
+	Provider astrie.Provider
+	Counts   entrada.ResolverCounts
+	V6Frac   float64
+}
+
+// Table6 computes resolver counts by family for Amazon and Microsoft.
+func Table6(res *VWResult) []Table6Row {
+	var rows []Table6Row
+	for _, p := range []astrie.Provider{astrie.ProviderAmazon, astrie.ProviderMicrosoft} {
+		rc := res.Agg.Provider(p).ResolverCounts(nil)
+		rows = append(rows, Table6Row{
+			Provider: p,
+			Counts:   rc,
+			V6Frac:   stats.Ratio(uint64(rc.V6), uint64(rc.Total)),
+		})
+	}
+	return rows
+}
+
+// --- Figure 5 (and 8) ---------------------------------------------------
+
+// SiteStats is one Facebook site's behavior toward one server.
+type SiteStats struct {
+	Site       string
+	SiteIndex  int
+	V4Queries  uint64
+	V6Queries  uint64
+	V6Ratio    float64
+	MedianRTT4 time.Duration
+	MedianRTT6 time.Duration
+	HasRTT     bool
+}
+
+// Figure5 reproduces the per-site analysis for the server-th authoritative
+// server: it reverse-looks-up every Facebook resolver address through the
+// PTR database, extracts the airport-coded site, aggregates the per-family
+// query counts, and attaches the median TCP-handshake RTTs.
+func Figure5(res *VWResult, server int) ([]SiteStats, error) {
+	if server < 0 || server >= res.NumServers {
+		return nil, fmt.Errorf("core: server %d out of range [0,%d)", server, res.NumServers)
+	}
+	sA4 := workload.ServerAddr(res.Vantage, server, false)
+	sA6 := workload.ServerAddr(res.Vantage, server, true)
+
+	bySite := make(map[string]*SiteStats)
+	rttsBySite := make(map[string]map[bool][]time.Duration) // site → v6? → samples
+
+	for k, fc := range res.Agg.FocusQueries {
+		if k.Server != sA4 && k.Server != sA6 {
+			continue
+		}
+		target, ok := res.PTR.Lookup(k.Client)
+		if !ok {
+			continue
+		}
+		site, _, _, ok := rdns.ParseFacebookPTR(target)
+		if !ok {
+			continue
+		}
+		st, ok := bySite[site]
+		if !ok {
+			st = &SiteStats{Site: site, SiteIndex: siteIndex(site)}
+			bySite[site] = st
+		}
+		st.V4Queries += fc.V4
+		st.V6Queries += fc.V6
+	}
+	for k, samples := range res.Agg.RTTs {
+		if k.Server != sA4 && k.Server != sA6 {
+			continue
+		}
+		target, ok := res.PTR.Lookup(k.Client)
+		if !ok {
+			continue
+		}
+		site, _, _, ok := rdns.ParseFacebookPTR(target)
+		if !ok {
+			continue
+		}
+		m := rttsBySite[site]
+		if m == nil {
+			m = make(map[bool][]time.Duration)
+			rttsBySite[site] = m
+		}
+		v6 := k.Client.Is6() && !k.Client.Is4In6()
+		m[v6] = append(m[v6], samples...)
+	}
+
+	var out []SiteStats
+	for site, st := range bySite {
+		total := st.V4Queries + st.V6Queries
+		st.V6Ratio = stats.Ratio(st.V6Queries, total)
+		if m, ok := rttsBySite[site]; ok {
+			st.MedianRTT4 = stats.MedianDurations(m[false])
+			st.MedianRTT6 = stats.MedianDurations(m[true])
+			st.HasRTT = len(m[false])+len(m[true]) > 0
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SiteIndex < out[j].SiteIndex })
+	return out, nil
+}
+
+// siteIndex maps an airport code to its model index (locations are
+// numbered 1..13 in the figure; we return 0-based).
+func siteIndex(site string) int {
+	for i, code := range rdns.FacebookSites {
+		if code == site {
+			return i
+		}
+	}
+	return len(rdns.FacebookSites)
+}
+
+// DualStackCount runs the paper's dual-stack identification over all
+// Facebook resolvers seen in the trace.
+func DualStackCount(res *VWResult) (dual int, noPTR int) {
+	m := rdns.NewMatcher()
+	for k := range res.Agg.FocusQueries {
+		target, _ := res.PTR.Lookup(k.Client)
+		m.Observe(k.Client, target)
+	}
+	n, _ := m.Unmatched()
+	return len(m.DualStacks()), n
+}
+
+// --- Figure 6 -----------------------------------------------------------
+
+// Figure6Result carries the EDNS CDFs and truncation ratios.
+type Figure6Result struct {
+	FacebookCDF []stats.CDFPoint
+	GoogleCDF   []stats.CDFPoint
+	// At512 / At1232 evaluate the CDFs at the paper's anchor points.
+	FacebookAt512 float64
+	GoogleAt1232  float64
+	// Truncation ratios per provider (§4.4).
+	Truncation map[astrie.Provider]float64
+}
+
+// Figure6 computes the EDNS(0) size CDFs and UDP truncation ratios.
+func Figure6(res *VWResult) Figure6Result {
+	fb := res.Agg.Provider(astrie.ProviderFacebook)
+	google := res.Agg.Provider(astrie.ProviderGoogle)
+	out := Figure6Result{
+		FacebookCDF: fb.EDNSSizes.CDF(),
+		GoogleCDF:   google.EDNSSizes.CDF(),
+		Truncation:  make(map[astrie.Provider]float64),
+	}
+	out.FacebookAt512 = stats.CDFAt(out.FacebookCDF, 512)
+	out.GoogleAt1232 = stats.CDFAt(out.GoogleCDF, 1232)
+	for _, p := range astrie.CloudProviders {
+		pa := res.Agg.Provider(p)
+		out.Truncation[p] = stats.Ratio(pa.TruncatedUDP, pa.UDPResponses)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+)
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// RenderTable3 renders measured vs paper dataset rows as markdown.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("| Vantage | Week | Queries (scaled) | Valid share (measured) | Valid share (paper) | Resolvers (scaled) | ASes (scaled) |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %s | %d | %s | %s | %d | %d |\n",
+			r.Vantage, r.Week, r.Queries, pct(r.ValidShare), pct(r.PaperValidShare), r.Resolvers, r.ASes)
+	}
+	return sb.String()
+}
+
+// RenderFigure1 renders the cloud-share comparison.
+func RenderFigure1(v cloudmodel.Vantage, w cloudmodel.Week, rows []Figure1Row, cloudShare float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1 — %s %s: cloud share measured %s (paper ≈%s)\n",
+		v, w, pct(cloudShare), pct(cloudmodel.PaperFigure1CloudShare[v][w]))
+	sb.WriteString("| Provider | Share (measured) | Share (model) |\n|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %s | %s |\n", r.Provider, pct(r.Share), pct(r.PaperShare))
+	}
+	return sb.String()
+}
+
+// RenderFigure2 renders the record-type mix.
+func RenderFigure2(rows []Figure2Row) string {
+	var sb strings.Builder
+	sb.WriteString("| Provider |")
+	for _, t := range Figure2Types {
+		fmt.Fprintf(&sb, " %s |", t)
+	}
+	sb.WriteString(" other |\n|---|")
+	for range Figure2Types {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s |", r.Provider)
+		for _, t := range Figure2Types {
+			fmt.Fprintf(&sb, " %s |", pct(r.Shares[t]))
+		}
+		fmt.Fprintf(&sb, " %s |\n", pct(r.Other))
+	}
+	return sb.String()
+}
+
+// RenderFigure3 renders the monthly Google series.
+func RenderFigure3(v cloudmodel.Vantage, points []Figure3Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3 — Google monthly query mix at .%s\n", v)
+	sb.WriteString("| Month | NS | A+AAAA | DS | Q-min | Anomaly |\n|---|---|---|---|---|---|\n")
+	for _, p := range points {
+		mark := ""
+		if p.QminActive {
+			mark = "on"
+		}
+		anom := ""
+		if p.Anomaly {
+			anom = "cyclic-dep"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+			p.Month, pct(p.NSShare), pct(p.AShare), pct(p.DSShare), mark, anom)
+	}
+	if m, ok := QminAdoptionMonth(points, 0.5); ok {
+		fmt.Fprintf(&sb, "\nDetected Q-min adoption: %s (paper: Dec 2019, confirmed by Google).\n", m)
+	}
+	return sb.String()
+}
+
+// RenderTable4 renders the Google public-DNS split against the paper row.
+func RenderTable4(res Table4Result, paper cloudmodel.PaperGoogleSplit) string {
+	var sb strings.Builder
+	sb.WriteString("| | Measured | Paper |\n|---|---|---|\n")
+	fmt.Fprintf(&sb, "| Public query share | %s | %s |\n",
+		pct(res.QueryShare), pct(paper.PublicQueries/paper.TotalQueries))
+	fmt.Fprintf(&sb, "| Public resolver share | %s | %s |\n",
+		pct(res.ResolverShare), pct(float64(paper.PublicResolv)/float64(paper.TotalResolvers)))
+	return sb.String()
+}
+
+// RenderFigure4 renders junk ratios.
+func RenderFigure4(rows []Figure4Row, overall, other float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Overall junk: %s, long-tail junk: %s\n", pct(overall), pct(other))
+	sb.WriteString("| Provider | Junk share |\n|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %s |\n", r.Provider, pct(r.JunkShare))
+	}
+	return sb.String()
+}
+
+// RenderTable5 renders the transport distribution against Table 5.
+func RenderTable5(rows []Table5Row) string {
+	var sb strings.Builder
+	sb.WriteString("| Provider | IPv4 | IPv6 | UDP | TCP | paper IPv4 | paper IPv6 | paper UDP | paper TCP |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
+			r.Provider, r.IPv4, r.IPv6, r.UDP, r.TCP,
+			r.Paper.IPv4, r.Paper.IPv6, r.Paper.UDP, r.Paper.TCP)
+	}
+	return sb.String()
+}
+
+// RenderTable6 renders resolver family counts against Table 6.
+func RenderTable6(v cloudmodel.Vantage, rows []Table6Row) string {
+	var sb strings.Builder
+	sb.WriteString("| Provider | Resolvers | IPv4 | IPv6 | IPv6 frac (measured) | IPv6 frac (paper) |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		paper := ""
+		for _, pr := range cloudmodel.PaperTable6 {
+			if pr.Provider == r.Provider && pr.Vantage == v {
+				paper = pct(float64(pr.V6) / float64(pr.Total))
+			}
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %d | %d | %s | %s |\n",
+			r.Provider, r.Counts.Total, r.Counts.V4, r.Counts.V6, pct(r.V6Frac), paper)
+	}
+	return sb.String()
+}
+
+// RenderFigure5 renders the per-site table.
+func RenderFigure5(server int, rows []SiteStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — Facebook sites toward server %c\n", 'A'+server)
+	sb.WriteString("| Loc | Site | v4 queries | v6 queries | v6 ratio | median RTT v4 | median RTT v6 |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		rtt4, rtt6 := "—", "—"
+		if r.HasRTT {
+			if r.MedianRTT4 > 0 {
+				rtt4 = fmt.Sprintf("%.0fms", float64(r.MedianRTT4)/float64(time.Millisecond))
+			}
+			if r.MedianRTT6 > 0 {
+				rtt6 = fmt.Sprintf("%.0fms", float64(r.MedianRTT6)/float64(time.Millisecond))
+			}
+		}
+		fmt.Fprintf(&sb, "| %d | %s | %d | %d | %s | %s | %s |\n",
+			r.SiteIndex+1, r.Site, r.V4Queries, r.V6Queries, pct(r.V6Ratio), rtt4, rtt6)
+	}
+	return sb.String()
+}
+
+// RenderFigure6 renders the EDNS CDN anchors and truncation ratios.
+func RenderFigure6(res Figure6Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EDNS(0) CDF anchors: Facebook ≤512B %s (paper ≈%s); Google ≤1232B %s (paper ≈%s)\n",
+		pct(res.FacebookAt512), pct(cloudmodel.PaperFigure6.FacebookAt512),
+		pct(res.GoogleAt1232), pct(cloudmodel.PaperFigure6.GoogleAt1232))
+	sb.WriteString("| Provider | Truncated UDP (measured) | Truncated UDP (paper) |\n|---|---|---|\n")
+	for _, p := range astrie.CloudProviders {
+		paper := ""
+		if v, ok := cloudmodel.PaperTruncation[p]; ok {
+			paper = fmt.Sprintf("%.2f%%", 100*v)
+		}
+		fmt.Fprintf(&sb, "| %s | %.2f%% | %s |\n", p, 100*res.Truncation[p], paper)
+	}
+	return sb.String()
+}

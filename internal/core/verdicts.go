@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/stats"
+)
+
+// Verdict is one mechanically checked claim of the paper.
+type Verdict struct {
+	Claim  string
+	OK     bool
+	Detail string
+}
+
+// ShapeVerdicts evaluates the paper's headline claims against a full run.
+// nlFig3 may be nil (the Figure 3 verdicts are skipped then).
+func ShapeVerdicts(all map[cloudmodel.Vantage]map[cloudmodel.Week]*VWResult, nlFig3 []Figure3Point) []Verdict {
+	var out []Verdict
+	add := func(claim string, ok bool, format string, args ...any) {
+		out = append(out, Verdict{Claim: claim, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	nl20 := all[cloudmodel.VantageNL][cloudmodel.W2020]
+	nz20 := all[cloudmodel.VantageNZ][cloudmodel.W2020]
+	b18 := all[cloudmodel.VantageBRoot][cloudmodel.W2018]
+	b19 := all[cloudmodel.VantageBRoot][cloudmodel.W2019]
+	b20 := all[cloudmodel.VantageBRoot][cloudmodel.W2020]
+
+	// §4.1 / Figure 1.
+	nlShare, nzShare, bShare := nl20.Agg.CloudShare(), nz20.Agg.CloudShare(), b20.Agg.CloudShare()
+	add("5 CPs send >30% of .nl queries but <10% at B-Root",
+		nlShare > 0.30 && bShare < 0.10,
+		".nl %.1f%%, .nz %.1f%%, B-Root %.1f%%", 100*nlShare, 100*nzShare, 100*bShare)
+	add("B-Root cloud share grows 2018→2020 (slower penetration)",
+		b18.Agg.CloudShare() < b19.Agg.CloudShare() && b19.Agg.CloudShare() < b20.Agg.CloudShare(),
+		"%.1f%% → %.1f%% → %.1f%%", 100*b18.Agg.CloudShare(), 100*b19.Agg.CloudShare(), 100*b20.Agg.CloudShare())
+
+	googleNL := stats.Ratio(nl20.Agg.Provider(astrie.ProviderGoogle).Queries, nl20.Agg.Total)
+	googleNZ := stats.Ratio(nz20.Agg.Provider(astrie.ProviderGoogle).Queries, nz20.Agg.Total)
+	add("Google sends a larger share to .nl than to .nz",
+		googleNL > googleNZ, ".nl %.1f%% vs .nz %.1f%%", 100*googleNL, 100*googleNZ)
+
+	// §4.2.1 / Figure 2: exactly three providers look minimized by 2020
+	// at both ccTLDs.
+	minimized := func(res *VWResult, p astrie.Provider) bool {
+		pa := res.Agg.Provider(p)
+		return stats.Ratio(pa.ByType[dnswire.TypeNS], pa.Queries) > 0.5
+	}
+	count := 0
+	names := []string{}
+	for _, p := range astrie.CloudProviders {
+		if minimized(nl20, p) && minimized(nz20, p) {
+			count++
+			names = append(names, p.String())
+		}
+	}
+	add("NS queries dominate for 3 of 5 CPs at both ccTLDs in 2020",
+		count == 3, "minimized: %s", strings.Join(names, ", "))
+
+	nl18 := all[cloudmodel.VantageNL][cloudmodel.W2018]
+	g18 := nl18.Agg.Provider(astrie.ProviderGoogle)
+	add("Google was not minimizing in 2018",
+		stats.Ratio(g18.ByType[dnswire.TypeNS], g18.Queries) < 0.2,
+		"2018 NS share %.1f%%", 100*stats.Ratio(g18.ByType[dnswire.TypeNS], g18.Queries))
+
+	if nlFig3 != nil {
+		m, ok := QminAdoptionMonth(nlFig3, 0.5)
+		add("Google's Q-min deployment dated to Dec 2019 (Figure 3)",
+			ok && m.Year == 2019 && m.Month == time.December,
+			"detected %s", m)
+	}
+
+	// §4.2.2: one provider does not validate.
+	nonValidating := 0
+	for _, p := range astrie.CloudProviders {
+		pa := nl20.Agg.Provider(p)
+		if pa.ByType[dnswire.TypeDS] == 0 && pa.ByType[dnswire.TypeDNSKEY] == 0 {
+			nonValidating++
+		}
+	}
+	msDS := nl20.Agg.Provider(astrie.ProviderMicrosoft).ByType[dnswire.TypeDS]
+	add("all CPs validate except one (Microsoft sends no DS/DNSKEY)",
+		nonValidating == 1 && msDS == 0, "%d non-validating provider(s)", nonValidating)
+
+	cf := nl20.Agg.Provider(astrie.ProviderCloudflare)
+	add("Cloudflare queries DS more than DNSKEY",
+		cf.ByType[dnswire.TypeDS] > cf.ByType[dnswire.TypeDNSKEY],
+		"DS %d vs DNSKEY %d", cf.ByType[dnswire.TypeDS], cf.ByType[dnswire.TypeDNSKEY])
+
+	// §4.2.3 / Figure 4: clouds send proportionally less junk at B-Root.
+	otherJunk := stats.Ratio(b20.Agg.Provider(astrie.ProviderOther).Junk, b20.Agg.Provider(astrie.ProviderOther).Queries)
+	cloudsBelow := true
+	for _, p := range astrie.CloudProviders {
+		pa := b20.Agg.Provider(p)
+		if stats.Ratio(pa.Junk, pa.Queries) >= otherJunk {
+			cloudsBelow = false
+		}
+	}
+	add("B-Root sees ~80% junk overall but proportionally less from CPs",
+		1-stats.Ratio(b20.Agg.Valid, b20.Agg.Total) > 0.7 && cloudsBelow,
+		"overall junk %.1f%%, long tail %.1f%%", 100*(1-stats.Ratio(b20.Agg.Valid, b20.Agg.Total)), 100*otherJunk)
+
+	// §4.3 / Table 5.
+	ms := nl20.Agg.Provider(astrie.ProviderMicrosoft)
+	add("Microsoft is all-IPv4 and all-UDP", ms.V6 == 0 && ms.TCP == 0,
+		"v6 %d, tcp %d", ms.V6, ms.TCP)
+
+	fb19 := all[cloudmodel.VantageNL][cloudmodel.W2019].Agg.Provider(astrie.ProviderFacebook)
+	fb18 := nl18.Agg.Provider(astrie.ProviderFacebook)
+	fb20 := nl20.Agg.Provider(astrie.ProviderFacebook)
+	add("Facebook majority-IPv6 since 2019 (not in 2018)",
+		stats.Ratio(fb18.V6, fb18.Queries) < 0.5 &&
+			stats.Ratio(fb19.V6, fb19.Queries) > 0.5 &&
+			stats.Ratio(fb20.V6, fb20.Queries) > 0.5,
+		"2018 %.0f%%, 2019 %.0f%%, 2020 %.0f%%",
+		100*stats.Ratio(fb18.V6, fb18.Queries),
+		100*stats.Ratio(fb19.V6, fb19.Queries),
+		100*stats.Ratio(fb20.V6, fb20.Queries))
+
+	fbTCP := stats.Ratio(fb20.TCP, fb20.Queries)
+	heaviest := true
+	for _, p := range astrie.CloudProviders {
+		if p == astrie.ProviderFacebook {
+			continue
+		}
+		pa := nl20.Agg.Provider(p)
+		if stats.Ratio(pa.TCP, pa.Queries) >= fbTCP {
+			heaviest = false
+		}
+	}
+	add("Facebook is the only heavy TCP user", heaviest && fbTCP > 0.05,
+		"Facebook TCP %.1f%%", 100*fbTCP)
+
+	// Table 6.
+	amazon := nl20.Agg.Provider(astrie.ProviderAmazon).ResolverCounts(nil)
+	add("Amazon's IPv6 resolvers are a tiny fraction (Table 6: 1.8%)",
+		amazon.V6 > 0 && float64(amazon.V6)/float64(amazon.Total) < 0.06,
+		"%d of %d (%.1f%%)", amazon.V6, amazon.Total, 100*float64(amazon.V6)/float64(amazon.Total))
+
+	// Table 4.
+	t4 := Table4(nl20)
+	add("Google Public DNS carries ≈86.5% of Google's queries from ≈15.6% of its resolvers",
+		t4.QueryShare > 0.80 && t4.QueryShare < 0.92 &&
+			t4.ResolverShare > 0.09 && t4.ResolverShare < 0.25,
+		"queries %.1f%%, resolvers %.1f%%", 100*t4.QueryShare, 100*t4.ResolverShare)
+
+	// Figure 5: location 1 dominates and shows no TCP RTT.
+	if sites, err := Figure5(nl20, 0); err == nil && len(sites) > 0 {
+		var top SiteStats
+		var total uint64
+		for _, s := range sites {
+			v := s.V4Queries + s.V6Queries
+			total += v
+			if v > top.V4Queries+top.V6Queries {
+				top = s
+			}
+		}
+		add("Facebook's location 1 dominates and sends no TCP (no RTT estimate)",
+			top.SiteIndex == 0 && !top.HasRTT,
+			"top site %d with %.0f%% of Facebook volume",
+			top.SiteIndex+1, 100*float64(top.V4Queries+top.V6Queries)/float64(total))
+	}
+
+	// Figure 6 / §4.4.
+	f6 := Figure6(nl20)
+	add("≈30% of Facebook's EDNS sizes are 512B; ≈24% of Google's ≤1232B",
+		f6.FacebookAt512 > 0.24 && f6.FacebookAt512 < 0.36 &&
+			f6.GoogleAt1232 > 0.18 && f6.GoogleAt1232 < 0.30,
+		"FB@512 %.1f%%, Google@1232 %.1f%%", 100*f6.FacebookAt512, 100*f6.GoogleAt1232)
+	add("Facebook's UDP truncation (paper 17.16%) dwarfs Google's (0.04%)",
+		f6.Truncation[astrie.ProviderFacebook] > 0.08 &&
+			f6.Truncation[astrie.ProviderFacebook] > 20*f6.Truncation[astrie.ProviderGoogle],
+		"Facebook %.2f%%, Google %.3f%%",
+		100*f6.Truncation[astrie.ProviderFacebook], 100*f6.Truncation[astrie.ProviderGoogle])
+
+	return out
+}
+
+// RenderVerdicts renders the verdicts as a markdown checklist.
+func RenderVerdicts(vs []Verdict) string {
+	var sb strings.Builder
+	passed := 0
+	for _, v := range vs {
+		mark := "✗"
+		if v.OK {
+			mark = "✓"
+			passed++
+		}
+		fmt.Fprintf(&sb, "- [%s] %s — %s\n", mark, v.Claim, v.Detail)
+	}
+	fmt.Fprintf(&sb, "\n%d/%d shape checks passed.\n", passed, len(vs))
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dnscentral/internal/cloudmodel"
+)
+
+func TestShapeVerdictsAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 9-cell run")
+	}
+	all, err := RunAll(RunConfig{TotalQueries: 30_000, ResolverScale: 0.004, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Figure3(cloudmodel.VantageNL, 3000, 0.003, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := ShapeVerdicts(all, points)
+	if len(verdicts) < 14 {
+		t.Fatalf("only %d verdicts", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if !v.OK {
+			t.Errorf("FAILED: %s — %s", v.Claim, v.Detail)
+		}
+	}
+	out := RenderVerdicts(verdicts)
+	if !strings.Contains(out, "shape checks passed") {
+		t.Error("rendered verdicts missing summary")
+	}
+}
+
+func TestShapeVerdictsWithoutFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 9-cell run")
+	}
+	all, err := RunAll(RunConfig{TotalQueries: 20_000, ResolverScale: 0.004, Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := ShapeVerdicts(all, nil)
+	for _, v := range verdicts {
+		if strings.Contains(v.Claim, "Figure 3") {
+			t.Error("Figure 3 verdict present without points")
+		}
+	}
+}

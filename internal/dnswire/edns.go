@@ -1,0 +1,109 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EDNS carries the parsed EDNS(0) OPT pseudo-record (RFC 6891). The paper's
+// Figure 6 studies the advertised UDP payload size, which drives answer
+// truncation and therefore TCP fallback.
+type EDNS struct {
+	// UDPSize is the requestor's advertised maximum UDP payload size.
+	// Values below 512 are treated as 512 per RFC 6891 §6.2.3.
+	UDPSize uint16
+	// ExtRCode holds the upper 8 bits of the extended RCODE.
+	ExtRCode uint8
+	// Version is the EDNS version; only 0 is defined.
+	Version uint8
+	// DO is the DNSSEC-OK bit: the requestor wants RRSIGs in the answer.
+	DO bool
+	// Options carries raw EDNS options (code, data), e.g. cookies.
+	Options []EDNSOption
+}
+
+// EDNSOption is a single EDNS option TLV.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+// EDNS option codes used in the wild.
+const (
+	EDNSOptionCookie       uint16 = 10
+	EDNSOptionClientSubnet uint16 = 8
+	EDNSOptionPadding      uint16 = 12
+)
+
+// EffectiveUDPSize clamps the advertised size per RFC 6891: a nil EDNS means
+// the classic 512-byte limit; advertised values below 512 also mean 512.
+func (e *EDNS) EffectiveUDPSize() int {
+	if e == nil || e.UDPSize < 512 {
+		return 512
+	}
+	return int(e.UDPSize)
+}
+
+// String summarizes the OPT record.
+func (e *EDNS) String() string {
+	if e == nil {
+		return "no EDNS"
+	}
+	return fmt.Sprintf("EDNS0 udp=%d do=%v ver=%d opts=%d", e.UDPSize, e.DO, e.Version, len(e.Options))
+}
+
+// appendOPT appends a full OPT RR (name, type, class=udpsize, ttl=flags,
+// rdata=options) to b.
+func appendOPT(b []byte, e *EDNS) ([]byte, error) {
+	b = append(b, 0) // root owner name
+	b = binary.BigEndian.AppendUint16(b, uint16(TypeOPT))
+	b = binary.BigEndian.AppendUint16(b, e.UDPSize)
+	ttl := uint32(e.ExtRCode)<<24 | uint32(e.Version)<<16
+	if e.DO {
+		ttl |= 1 << 15
+	}
+	b = binary.BigEndian.AppendUint32(b, ttl)
+	rdlenAt := len(b)
+	b = append(b, 0, 0)
+	for _, opt := range e.Options {
+		b = binary.BigEndian.AppendUint16(b, opt.Code)
+		if len(opt.Data) > 0xFFFF {
+			return b, fmt.Errorf("%w: EDNS option too long", ErrBadRData)
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(opt.Data)))
+		b = append(b, opt.Data...)
+	}
+	rdlen := len(b) - rdlenAt - 2
+	if rdlen > 0xFFFF {
+		return b, fmt.Errorf("%w: OPT rdata too long", ErrBadRData)
+	}
+	binary.BigEndian.PutUint16(b[rdlenAt:], uint16(rdlen))
+	return b, nil
+}
+
+// parseOPT interprets an already-sliced OPT RR (class and TTL fields carried
+// in the generic header) plus its rdata bytes.
+func parseOPT(class uint16, ttl uint32, rdata []byte) (*EDNS, error) {
+	e := &EDNS{
+		UDPSize:  class,
+		ExtRCode: uint8(ttl >> 24),
+		Version:  uint8(ttl >> 16),
+		DO:       ttl&(1<<15) != 0,
+	}
+	for len(rdata) > 0 {
+		if len(rdata) < 4 {
+			return nil, ErrTruncatedRData
+		}
+		code := binary.BigEndian.Uint16(rdata)
+		olen := int(binary.BigEndian.Uint16(rdata[2:]))
+		if len(rdata) < 4+olen {
+			return nil, ErrTruncatedRData
+		}
+		e.Options = append(e.Options, EDNSOption{
+			Code: code,
+			Data: append([]byte(nil), rdata[4:4+olen]...),
+		})
+		rdata = rdata[4+olen:]
+	}
+	return e, nil
+}

@@ -1,0 +1,95 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnpack checks that no input can panic the message parser, and that
+// anything it accepts round-trips through Pack → Unpack.
+func FuzzUnpack(f *testing.F) {
+	seed := func(m *Message) {
+		b, err := m.Pack()
+		if err == nil {
+			f.Add(b)
+		}
+	}
+	seed(NewQuery(1, "example.nl.", TypeA))
+	seed(NewQuery(2, "x.y.z.nz.", TypeNS).WithEdns(1232, true))
+	r := sampleResponse()
+	seed(r)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		b, err := m.Pack()
+		if err != nil {
+			// Parsed messages may contain structures we refuse to emit
+			// (e.g. oversized names reconstructed through pointers).
+			return
+		}
+		if _, err := Unpack(b); err != nil {
+			t.Fatalf("repacked message does not parse: %v", err)
+		}
+	})
+}
+
+// FuzzReadName checks the name decompressor against panics and
+// non-termination on arbitrary inputs and offsets.
+func FuzzReadName(f *testing.F) {
+	b, _ := appendName(nil, "www.example.nl.", nil)
+	f.Add(b, 0)
+	f.Add([]byte{0xC0, 0x00}, 0)
+	f.Add([]byte{1, 'a', 0xC0, 0x00}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off > len(data) {
+			return
+		}
+		name, n, err := readName(data, off)
+		if err != nil {
+			return
+		}
+		if n < off || n > len(data) {
+			t.Fatalf("consumed offset %d out of bounds", n)
+		}
+		if err := ValidateName(name); err != nil {
+			t.Fatalf("decoded invalid name %q: %v", name, err)
+		}
+	})
+}
+
+// FuzzPackTruncated checks the truncation budget is always respected for
+// messages the packer accepts.
+func FuzzPackTruncated(f *testing.F) {
+	f.Add(uint16(7), "host.example.nl.", 128)
+	f.Add(uint16(9), "a.b.c.d.nz.", 600)
+	f.Fuzz(func(t *testing.T, id uint16, name string, limit int) {
+		if limit < 64 || limit > 4096 {
+			return
+		}
+		if ValidateName(name) != nil {
+			return
+		}
+		m := NewQuery(id, name, TypeA).Reply()
+		for i := 0; i < 30; i++ {
+			m.Answers = append(m.Answers, RR{
+				Name: name, Class: ClassIN, TTL: 60,
+				Data: AData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+			})
+		}
+		b, err := m.PackTruncated(limit)
+		if err != nil {
+			return
+		}
+		if len(b) > limit {
+			t.Fatalf("PackTruncated(%d) produced %d bytes", limit, len(b))
+		}
+		if _, err := Unpack(b); err != nil {
+			t.Fatalf("truncated message does not parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by the name codec.
+var (
+	ErrNameTooLong    = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label inside name")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName  = errors.New("dnswire: truncated name")
+	ErrReservedLabel  = errors.New("dnswire: reserved label type")
+	ErrNameNotCanonic = errors.New("dnswire: name not in canonical form")
+)
+
+const (
+	maxNameWire  = 255 // total wire octets including length bytes and root
+	maxLabelWire = 63
+)
+
+// CanonicalName lowercases s and guarantees a single trailing dot, so that
+// "WWW.Example.NL" and "www.example.nl." map to the same key. The root name
+// is ".".
+func CanonicalName(s string) string {
+	s = strings.ToLower(s)
+	if s == "" || s == "." {
+		return "."
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// SplitLabels splits a canonical name into its labels, excluding the root.
+// SplitLabels(".") returns nil.
+func SplitLabels(name string) []string {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(name, "."), ".")
+}
+
+// CountLabels returns the number of labels in name, excluding the root.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// ParentName strips the leftmost label: ParentName("a.b.nl.") == "b.nl.".
+// The parent of a single-label name is the root "."; the parent of the root
+// is the root.
+func ParentName(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	idx := strings.IndexByte(name, '.')
+	rest := name[idx+1:]
+	if rest == "" {
+		return "."
+	}
+	return rest
+}
+
+// IsSubdomain reports whether child is equal to or underneath parent.
+// Every name is a subdomain of the root.
+func IsSubdomain(child, parent string) bool {
+	child, parent = CanonicalName(child), CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// nameCompressor remembers wire offsets of name suffixes already emitted so
+// later occurrences can be encoded as 14-bit compression pointers
+// (RFC 1035 §4.1.4). Pointers can only reference the first 0x3FFF octets.
+type nameCompressor struct {
+	offsets map[string]int
+}
+
+func newNameCompressor() *nameCompressor {
+	return &nameCompressor{offsets: make(map[string]int, 16)}
+}
+
+// appendName appends the wire encoding of name to b, registering and reusing
+// compression offsets when comp is non-nil.
+func appendName(b []byte, name string, comp *nameCompressor) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "." {
+		return append(b, 0), nil
+	}
+	labels := SplitLabels(name)
+	wireLen := 1 // root byte
+	for _, l := range labels {
+		if len(l) == 0 {
+			return b, ErrEmptyLabel
+		}
+		if len(l) > maxLabelWire {
+			return b, ErrLabelTooLong
+		}
+		wireLen += 1 + len(l)
+	}
+	if wireLen > maxNameWire {
+		return b, ErrNameTooLong
+	}
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if comp != nil {
+			if off, ok := comp.offsets[suffix]; ok {
+				return append(b, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(b) <= 0x3FFF {
+				comp.offsets[suffix] = len(b)
+			}
+		}
+		b = append(b, byte(len(labels[i])))
+		b = append(b, labels[i]...)
+	}
+	return append(b, 0), nil
+}
+
+// readName decodes a possibly-compressed name starting at off in msg.
+// It returns the canonical name and the offset just past the name in the
+// *original* (non-pointer-followed) byte stream.
+func readName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrBudget := 64 // generous loop guard: RFC names have ≤127 labels
+	end := -1       // first position after the name in the original stream
+	labels := 0
+	total := 1
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil
+			}
+			return sb.String(), end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			ptr := int(c&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				// Forward or self pointers are invalid and would loop.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", 0, ErrReservedLabel
+		default:
+			l := int(c)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			total += 1 + l
+			if total > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			labels++
+			if labels > 127 {
+				return "", 0, ErrNameTooLong
+			}
+			for _, ch := range msg[off+1 : off+1+l] {
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				sb.WriteByte(ch)
+			}
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}
+
+// ValidateName checks that name can be encoded on the wire.
+func ValidateName(name string) error {
+	_, err := appendName(nil, name, nil)
+	return err
+}

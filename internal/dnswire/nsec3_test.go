@@ -1,0 +1,108 @@
+package dnswire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestBase32Hex(t *testing.T) {
+	// RFC 4648 test vectors (extended hex alphabet, lowercased, no pad).
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"f", "co"},
+		{"fo", "cpng"},
+		{"foo", "cpnmu"},
+		{"foob", "cpnmuog"},
+		{"fooba", "cpnmuoj1"},
+		{"foobar", "cpnmuoj1e8"},
+	}
+	for _, c := range cases {
+		if got := Base32Hex([]byte(c.in)); got != c.want {
+			t.Errorf("Base32Hex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNSEC3HashRFC5155Vector(t *testing.T) {
+	// RFC 5155 Appendix A: H(example) with salt aabbccdd, 12 iterations
+	// = 0p9mhaveqvm6t7vbl5lop2u3t2rp3tom.
+	salt := []byte{0xaa, 0xbb, 0xcc, 0xdd}
+	h, err := NSEC3Hash("example.", salt, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Base32Hex(h); got != "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom" {
+		t.Fatalf("hash = %s", got)
+	}
+}
+
+func TestNSEC3HashDeterministicAndSaltSensitive(t *testing.T) {
+	a, _ := NSEC3Hash("junk.nl.", []byte{1, 2}, 5)
+	b, _ := NSEC3Hash("junk.nl.", []byte{1, 2}, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("not deterministic")
+	}
+	c, _ := NSEC3Hash("junk.nl.", []byte{3, 4}, 5)
+	if bytes.Equal(a, c) {
+		t.Fatal("salt ignored")
+	}
+	d, _ := NSEC3Hash("junk.nl.", []byte{1, 2}, 6)
+	if bytes.Equal(a, d) {
+		t.Fatal("iterations ignored")
+	}
+	// Case-insensitive (wire format lowercases).
+	e, _ := NSEC3Hash("JUNK.NL.", []byte{1, 2}, 5)
+	if !bytes.Equal(a, e) {
+		t.Fatal("hash not case-normalized")
+	}
+}
+
+func TestNSEC3RoundTrip(t *testing.T) {
+	hash, _ := NSEC3Hash("next.nl.", []byte{9}, 3)
+	rrs := []RR{
+		{Name: Base32Hex(hash) + ".nl.", Class: ClassIN, TTL: 900,
+			Data: NSEC3Data{
+				HashAlgo: 1, Flags: 1, Iterations: 3, Salt: []byte{9},
+				NextHashed: hash,
+				Types:      []Type{TypeNS, TypeDS, TypeRRSIG},
+			}},
+		{Name: "nl.", Class: ClassIN, TTL: 0,
+			Data: NSEC3PARAMData{HashAlgo: 1, Iterations: 3, Salt: []byte{9}}},
+		{Name: "nl.", Class: ClassIN, TTL: 0,
+			Data: NSEC3PARAMData{HashAlgo: 1}}, // empty salt
+	}
+	m := &Message{Header: Header{ID: 4, Response: true}, Answers: rrs}
+	b, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rrs {
+		// Empty salt decodes as nil vs []byte{}; normalize.
+		w, g := rrs[i].Data, got.Answers[i].Data
+		if w3, ok := w.(NSEC3PARAMData); ok && len(w3.Salt) == 0 {
+			w3.Salt = nil
+			w = w3
+		}
+		if g3, ok := g.(NSEC3PARAMData); ok && len(g3.Salt) == 0 {
+			g3.Salt = nil
+			g = g3
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("rr %d: got %#v, want %#v", i, g, w)
+		}
+	}
+}
+
+func TestNSEC3TypeNames(t *testing.T) {
+	if TypeNSEC3.String() != "NSEC3" || TypeNSEC3PARAM.String() != "NSEC3PARAM" {
+		t.Error("type names not registered")
+	}
+	if tt, ok := ParseType("NSEC3"); !ok || tt != TypeNSEC3 {
+		t.Error("ParseType(NSEC3)")
+	}
+}

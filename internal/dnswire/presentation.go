@@ -1,0 +1,234 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// This file implements the presentation format (zone-file syntax,
+// RFC 1035 §5) for the record types the reproduction models, so traces
+// and zones can be exchanged with standard DNS tooling: ParseRR reads
+// "owner TTL class type rdata..." lines and RR.String (rdata.go) writes
+// them back.
+
+// ErrPresentation wraps presentation-format parse failures.
+var ErrPresentation = errors.New("dnswire: bad presentation format")
+
+// ParseRR parses one zone-file-style resource record line. Comments
+// (from ';' to end of line) are stripped; fields are whitespace-separated.
+// The class defaults to IN and the TTL to 3600 when omitted in the common
+// "owner type rdata" short form.
+func ParseRR(line string) (RR, error) {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return RR{}, fmt.Errorf("%w: need at least owner, type, rdata", ErrPresentation)
+	}
+	rr := RR{Class: ClassIN, TTL: 3600}
+	rr.Name = CanonicalName(fields[0])
+	if err := ValidateName(rr.Name); err != nil {
+		return RR{}, fmt.Errorf("%w: owner: %v", ErrPresentation, err)
+	}
+	rest := fields[1:]
+
+	// Optional TTL.
+	if ttl, err := strconv.ParseUint(rest[0], 10, 32); err == nil {
+		rr.TTL = uint32(ttl)
+		rest = rest[1:]
+	}
+	// Optional class.
+	if len(rest) > 0 {
+		switch rest[0] {
+		case "IN":
+			rr.Class, rest = ClassIN, rest[1:]
+		case "CH":
+			rr.Class, rest = ClassCH, rest[1:]
+		}
+	}
+	if len(rest) < 1 {
+		return RR{}, fmt.Errorf("%w: missing type", ErrPresentation)
+	}
+	typ, ok := ParseType(rest[0])
+	if !ok {
+		return RR{}, fmt.Errorf("%w: unknown type %q", ErrPresentation, rest[0])
+	}
+	data, err := parseRDataText(typ, rest[1:])
+	if err != nil {
+		return RR{}, err
+	}
+	rr.Data = data
+	return rr, nil
+}
+
+// parseRDataText parses the rdata fields for one type.
+func parseRDataText(typ Type, f []string) (RData, error) {
+	need := func(n int) error {
+		if len(f) < n {
+			return fmt.Errorf("%w: %s needs %d fields, got %d", ErrPresentation, typ, n, len(f))
+		}
+		return nil
+	}
+	switch typ {
+	case TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := netip.ParseAddr(f[0])
+		if err != nil || !a.Is4() {
+			return nil, fmt.Errorf("%w: A address %q", ErrPresentation, f[0])
+		}
+		return AData{Addr: a}, nil
+	case TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := netip.ParseAddr(f[0])
+		if err != nil || !a.Is6() || a.Is4In6() {
+			return nil, fmt.Errorf("%w: AAAA address %q", ErrPresentation, f[0])
+		}
+		return AAAAData{Addr: a}, nil
+	case TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NSData{Host: CanonicalName(f[0])}, nil
+	case TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return CNAMEData{Target: CanonicalName(f[0])}, nil
+	case TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return PTRData{Target: CanonicalName(f[0])}, nil
+	case TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(f[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("%w: MX preference %q", ErrPresentation, f[0])
+		}
+		return MXData{Preference: uint16(pref), Exchange: CanonicalName(f[1])}, nil
+	case TypeTXT:
+		var ss []string
+		for _, tok := range f {
+			ss = append(ss, strings.Trim(tok, `"`))
+		}
+		if len(ss) == 0 {
+			return nil, fmt.Errorf("%w: TXT needs strings", ErrPresentation)
+		}
+		return TXTData{Strings: ss}, nil
+	case TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		nums := make([]uint32, 5)
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(f[2+i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: SOA field %q", ErrPresentation, f[2+i])
+			}
+			nums[i] = uint32(v)
+		}
+		return SOAData{
+			MName: CanonicalName(f[0]), RName: CanonicalName(f[1]),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2],
+			Expire: nums[3], Minimum: nums[4],
+		}, nil
+	case TypeSRV:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		var vals [3]uint16
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseUint(f[i], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("%w: SRV field %q", ErrPresentation, f[i])
+			}
+			vals[i] = uint16(v)
+		}
+		return SRVData{Priority: vals[0], Weight: vals[1], Port: vals[2], Target: CanonicalName(f[3])}, nil
+	case TypeDS:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		tag, err1 := strconv.ParseUint(f[0], 10, 16)
+		algo, err2 := strconv.ParseUint(f[1], 10, 8)
+		dt, err3 := strconv.ParseUint(f[2], 10, 8)
+		digest, err4 := parseHex(strings.Join(f[3:], ""))
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("%w: DS fields", ErrPresentation)
+		}
+		return DSData{KeyTag: uint16(tag), Algorithm: uint8(algo), DigestType: uint8(dt), Digest: digest}, nil
+	case TypeCAA:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		flags, err := strconv.ParseUint(f[0], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("%w: CAA flags %q", ErrPresentation, f[0])
+		}
+		return CAAData{Flags: uint8(flags), Tag: f[1], Value: strings.Trim(strings.Join(f[2:], " "), `"`)}, nil
+	default:
+		return nil, fmt.Errorf("%w: type %s has no presentation parser", ErrPresentation, typ)
+	}
+}
+
+// parseHex decodes a hex string (upper or lower case).
+func parseHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex length")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi := hexVal(s[2*i])
+		lo := hexVal(s[2*i+1])
+		if hi < 0 || lo < 0 {
+			return nil, fmt.Errorf("bad hex byte %q", s[2*i:2*i+2])
+		}
+		out[i] = byte(hi<<4 | lo)
+	}
+	return out, nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// ParseZoneText parses a sequence of presentation-format lines (blank
+// lines and ';' comments ignored) into records. It does not implement
+// $ORIGIN/$TTL directives or multi-line parentheses — the subset is meant
+// for static test zones and tool input, not full zone files.
+func ParseZoneText(text string) ([]RR, error) {
+	var out []RR
+	for lineno, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, ";") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "$") {
+			return nil, fmt.Errorf("%w: line %d: directives not supported", ErrPresentation, lineno+1)
+		}
+		rr, err := ParseRR(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package dnswire
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestParseRRBasics(t *testing.T) {
+	cases := []struct {
+		line string
+		want RR
+	}{
+		{
+			"example.nl. 3600 IN A 192.0.2.1",
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 3600,
+				Data: AData{Addr: netip.MustParseAddr("192.0.2.1")}},
+		},
+		{
+			"example.nl. IN AAAA 2001:db8::1", // TTL omitted
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 3600,
+				Data: AAAAData{Addr: netip.MustParseAddr("2001:db8::1")}},
+		},
+		{
+			"example.nl. NS ns1.example.nl", // short form
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 3600,
+				Data: NSData{Host: "ns1.example.nl."}},
+		},
+		{
+			"www.example.nl. 60 CNAME example.nl.",
+			RR{Name: "www.example.nl.", Class: ClassIN, TTL: 60,
+				Data: CNAMEData{Target: "example.nl."}},
+		},
+		{
+			"example.nl. 300 IN MX 10 mail.example.nl.",
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 300,
+				Data: MXData{Preference: 10, Exchange: "mail.example.nl."}},
+		},
+		{
+			`example.nl. TXT "v=spf1 -all"`,
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 3600,
+				Data: TXTData{Strings: []string{"v=spf1", "-all"}}},
+		},
+		{
+			"1.2.0.192.in-addr.arpa. PTR host.example.nl.",
+			RR{Name: "1.2.0.192.in-addr.arpa.", Class: ClassIN, TTL: 3600,
+				Data: PTRData{Target: "host.example.nl."}},
+		},
+		{
+			"nl. 900 IN SOA ns1.dns.nl. hostmaster.nl. 2020040500 3600 600 2419200 900",
+			RR{Name: "nl.", Class: ClassIN, TTL: 900,
+				Data: SOAData{MName: "ns1.dns.nl.", RName: "hostmaster.nl.",
+					Serial: 2020040500, Refresh: 3600, Retry: 600, Expire: 2419200, Minimum: 900}},
+		},
+		{
+			"_sip._tcp.example.nl. SRV 1 5 5060 sip.example.nl.",
+			RR{Name: "_sip._tcp.example.nl.", Class: ClassIN, TTL: 3600,
+				Data: SRVData{Priority: 1, Weight: 5, Port: 5060, Target: "sip.example.nl."}},
+		},
+		{
+			"example.nl. DS 12345 13 2 AABBCCDD",
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 3600,
+				Data: DSData{KeyTag: 12345, Algorithm: 13, DigestType: 2, Digest: []byte{0xAA, 0xBB, 0xCC, 0xDD}}},
+		},
+		{
+			`example.nl. CAA 0 issue "letsencrypt.org"`,
+			RR{Name: "example.nl.", Class: ClassIN, TTL: 3600,
+				Data: CAAData{Flags: 0, Tag: "issue", Value: "letsencrypt.org"}},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseRR(c.line)
+		if err != nil {
+			t.Errorf("ParseRR(%q): %v", c.line, err)
+			continue
+		}
+		if got.Name != c.want.Name || got.TTL != c.want.TTL || got.Class != c.want.Class {
+			t.Errorf("ParseRR(%q) header = %v/%d/%v", c.line, got.Name, got.TTL, got.Class)
+		}
+		gw, _ := (&Message{Answers: []RR{got}}).Pack()
+		ww, _ := (&Message{Answers: []RR{c.want}}).Pack()
+		if string(gw) != string(ww) {
+			t.Errorf("ParseRR(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseRRComments(t *testing.T) {
+	rr, err := ParseRR("example.nl. A 192.0.2.7 ; the web server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Data.(AData).Addr != netip.MustParseAddr("192.0.2.7") {
+		t.Fatalf("rr = %v", rr)
+	}
+}
+
+func TestParseRRErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"example.nl.",
+		"example.nl. A",
+		"example.nl. FROB 1 2 3",
+		"example.nl. A not-an-ip",
+		"example.nl. A 2001:db8::1",    // family mismatch
+		"example.nl. AAAA 192.0.2.1",   // family mismatch
+		"example.nl. MX ten mail.nl.",  // bad preference
+		"example.nl. DS 1 2 3 XYZ",     // bad hex
+		"example.nl. DS 1 2 3 ABC",     // odd hex
+		"example.nl. SOA ns. hm. 1 2 3", // short SOA
+		strings.Repeat("x", 300) + ". A 192.0.2.1", // bad owner
+	}
+	for _, line := range bad {
+		if _, err := ParseRR(line); !errors.Is(err, ErrPresentation) {
+			t.Errorf("ParseRR(%q) err = %v, want ErrPresentation", line, err)
+		}
+	}
+}
+
+// TestPresentationRoundTrip: String() output of supported types parses
+// back to an equivalent record.
+func TestPresentationRoundTrip(t *testing.T) {
+	rrs := []RR{
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: AData{Addr: netip.MustParseAddr("203.0.113.9")}},
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: AAAAData{Addr: netip.MustParseAddr("2001:db8:1::9")}},
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: NSData{Host: "ns.a.nl."}},
+		{Name: "b.nl.", Class: ClassIN, TTL: 60, Data: CNAMEData{Target: "a.nl."}},
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: MXData{Preference: 10, Exchange: "mx.a.nl."}},
+		{Name: "nl.", Class: ClassIN, TTL: 60, Data: SOAData{MName: "ns1.nl.", RName: "hm.nl.",
+			Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5}},
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: SRVData{Priority: 1, Weight: 2, Port: 3, Target: "t.nl."}},
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: DSData{KeyTag: 9, Algorithm: 13, DigestType: 2, Digest: []byte{1, 2}}},
+	}
+	for _, rr := range rrs {
+		line := rr.String()
+		back, err := ParseRR(line)
+		if err != nil {
+			t.Errorf("ParseRR(String() = %q): %v", line, err)
+			continue
+		}
+		w1, _ := (&Message{Answers: []RR{rr}}).Pack()
+		w2, _ := (&Message{Answers: []RR{back}}).Pack()
+		if string(w1) != string(w2) {
+			t.Errorf("round trip changed %q -> %q", rr, back)
+		}
+	}
+}
+
+func TestParseZoneText(t *testing.T) {
+	zone := `
+; test zone
+nl.        900 IN SOA ns1.dns.nl. hostmaster.nl. 1 2 3 4 5
+nl.        IN NS ns1.dns.nl.
+ns1.dns.nl. A 192.0.2.53
+
+example.nl. NS ns1.example.nl. ; delegated
+`
+	rrs, err := ParseZoneText(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 4 {
+		t.Fatalf("parsed %d records", len(rrs))
+	}
+	if rrs[0].Data.Type() != TypeSOA || rrs[3].Name != "example.nl." {
+		t.Fatalf("records: %v", rrs)
+	}
+}
+
+func TestParseZoneTextRejectsDirectives(t *testing.T) {
+	if _, err := ParseZoneText("$ORIGIN nl.\n"); err == nil {
+		t.Fatal("directive accepted")
+	}
+	if _, err := ParseZoneText("bogus line here is bad\n"); err == nil {
+		t.Fatal("junk line accepted")
+	}
+}

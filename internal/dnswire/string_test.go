@@ -1,0 +1,67 @@
+package dnswire
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// TestStringRenderings exercises every presentation/String path so dig-like
+// output stays stable.
+func TestStringRenderings(t *testing.T) {
+	m := NewQuery(7, "example.nl.", TypeA).WithEdns(1232, true)
+	m.Edns.Options = append(m.Edns.Options, EDNSOption{Code: EDNSOptionCookie, Data: make([]byte, 8)})
+	r := m.Reply()
+	r.Header.Authoritative = true
+	r.Answers = []RR{
+		{Name: "example.nl.", Class: ClassIN, TTL: 60, Data: AData{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: "example.nl.", Class: ClassIN, TTL: 60, Data: TXTData{Strings: []string{"a", "b"}}},
+		{Name: "example.nl.", Class: ClassIN, TTL: 60, Data: CAAData{Flags: 0, Tag: "issue", Value: "x"}},
+		{Name: "example.nl.", Class: ClassIN, TTL: 60, Data: RawData{RRType: Type(999), Data: []byte{1}}},
+		{Name: "a.nl.", Class: ClassIN, TTL: 60, Data: NSECData{NextName: "b.nl.", Types: []Type{TypeA}}},
+		{Name: "x.nl.", Class: ClassIN, TTL: 60, Data: RRSIGData{TypeCovered: TypeA, SignerName: "nl.", Signature: []byte{1}}},
+		{Name: "x.nl.", Class: ClassIN, TTL: 60, Data: DNSKEYData{Flags: 256, Protocol: 3, Algorithm: 13, PublicKey: []byte{1}}},
+		{Name: "x.nl.", Class: ClassIN, TTL: 60, Data: SRVData{Priority: 1, Weight: 2, Port: 3, Target: "t.nl."}},
+	}
+	r.Authority = []RR{{Name: "nl.", Class: ClassIN, TTL: 60, Data: SOAData{MName: "ns.nl.", RName: "hm.nl."}}}
+	r.Additional = []RR{{Name: "t.nl.", Class: ClassIN, TTL: 60, Data: AAAAData{Addr: netip.MustParseAddr("2001:db8::1")}}}
+
+	out := r.String()
+	for _, want := range []string{
+		"example.nl.", "192.0.2.1", "TYPE999", "SOA", "authority", "additional",
+		"EDNS0 udp=", "NSEC", "RRSIG", "DNSKEY", "SRV", `"a" "b"`, "issue",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Message.String() missing %q:\n%s", want, out)
+		}
+	}
+	var nilEdns *EDNS
+	if nilEdns.String() != "no EDNS" {
+		t.Error("nil EDNS string")
+	}
+	// NSEC3 presentation with and without salt.
+	n3 := NSEC3Data{HashAlgo: 1, Iterations: 2, NextHashed: []byte{0xFF}, Types: []Type{TypeNS}}
+	if !strings.Contains(n3.String(), "-") {
+		t.Errorf("saltless NSEC3 = %q", n3.String())
+	}
+	n3.Salt = []byte{0xAB}
+	if !strings.Contains(n3.String(), "AB") {
+		t.Errorf("salted NSEC3 = %q", n3.String())
+	}
+	p3 := NSEC3PARAMData{HashAlgo: 1, Iterations: 2, Salt: []byte{0xCD}}
+	if !strings.Contains(p3.String(), "CD") {
+		t.Errorf("NSEC3PARAM = %q", p3.String())
+	}
+	// Enum fallbacks.
+	if Opcode(3) == OpcodeQuery {
+		t.Error("opcode sanity")
+	}
+	if Class(99).String() != "CLASS99" || ClassCH.String() != "CH" || ClassANY.String() != "ANY" {
+		t.Error("class strings")
+	}
+	if RCode(99).String() != "RCODE99" || RCodeFormErr.String() != "FORMERR" ||
+		RCodeServFail.String() != "SERVFAIL" || RCodeNotImp.String() != "NOTIMP" ||
+		RCodeRefused.String() != "REFUSED" {
+		t.Error("rcode strings")
+	}
+}

@@ -1,0 +1,613 @@
+// Package entrada is the reproduction's analysis pipeline, playing the
+// role ENTRADA (the streaming DNS warehouse of Wullink et al.) plays in
+// the paper: it consumes raw pcap packets captured at an authoritative
+// server, joins queries with their responses, classifies source addresses
+// into providers via the AS registry, and aggregates everything the
+// paper's tables and figures need — query and junk counts per provider,
+// record-type mixes, IPv4/IPv6 and UDP/TCP splits, EDNS(0) size
+// histograms, truncation ratios, resolver and AS sets, and TCP-handshake
+// RTT samples per (resolver, server) pair.
+package entrada
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/stats"
+)
+
+// ProviderAgg aggregates one traffic source class.
+type ProviderAgg struct {
+	// Queries is the number of queries (cache misses) seen.
+	Queries uint64
+	// Junk counts queries whose response RCode was not NOERROR.
+	Junk uint64
+	// V6 counts queries arriving over IPv6.
+	V6 uint64
+	// TCP counts queries arriving over TCP.
+	TCP uint64
+	// ByType counts queries per record type.
+	ByType map[dnswire.Type]uint64
+	// EDNSSizes histograms the advertised EDNS(0) UDP sizes of UDP
+	// queries; no-EDNS queries are recorded as size 0.
+	EDNSSizes *stats.Histogram
+	// UDPResponses and TruncatedUDP track §4.4's truncation ratio.
+	UDPResponses uint64
+	TruncatedUDP uint64
+	// Resolvers is the distinct source-address set, split by family.
+	Resolvers map[netip.Addr]struct{}
+	// PublicDNSQueries and PublicResolvers split Google-style public
+	// ranges (Table 4).
+	PublicDNSQueries uint64
+	// MinimizedQueries counts queries that look QNAME-minimized: NS
+	// queries for names at most one label deeper than the zone cut under
+	// the configured origin (the paper verified Google's Dec-2019 rollout
+	// by inspecting query names this way, §4.2.1).
+	MinimizedQueries uint64
+}
+
+func newProviderAgg() *ProviderAgg {
+	return &ProviderAgg{
+		ByType:    make(map[dnswire.Type]uint64),
+		EDNSSizes: stats.NewHistogram(),
+		Resolvers: make(map[netip.Addr]struct{}),
+	}
+}
+
+// ResolverCounts summarizes a resolver set.
+type ResolverCounts struct {
+	Total, V4, V6, Public int
+}
+
+// ResolverCounts derives Table-6-style counts; publicFn marks public-DNS
+// addresses.
+func (pa *ProviderAgg) ResolverCounts(publicFn func(netip.Addr) bool) ResolverCounts {
+	var rc ResolverCounts
+	for a := range pa.Resolvers {
+		rc.Total++
+		if a.Is4() || a.Is4In6() {
+			rc.V4++
+		} else {
+			rc.V6++
+		}
+		if publicFn != nil && publicFn(a) {
+			rc.Public++
+		}
+	}
+	return rc
+}
+
+// rttKey identifies a (resolver, server) pair for RTT samples.
+type rttKey struct {
+	Client netip.Addr
+	Server netip.Addr
+}
+
+// Aggregates is the full analysis result.
+type Aggregates struct {
+	Total      uint64
+	Valid      uint64
+	ByProvider map[astrie.Provider]*ProviderAgg
+	// ASes is the set of source AS numbers seen.
+	ASes map[uint32]struct{}
+	// AllResolvers is the global distinct source set.
+	AllResolvers map[netip.Addr]struct{}
+	// FocusQueries counts per-(client,server,family) queries for clients
+	// of the focus provider (Figure 5a).
+	FocusQueries map[rttKey]*FamilyCount
+	// RTTs holds TCP-handshake RTT samples per (client, server) for
+	// focus-provider clients (Figure 5b).
+	RTTs map[rttKey][]time.Duration
+	// Hourly counts queries per capture hour (Unix time / 3600) — the
+	// diurnal series the paper's week-long snapshots average over.
+	Hourly map[int64]uint64
+	// RCodes counts responses per RCODE (RSSAC002 rcode-volume).
+	RCodes map[dnswire.RCode]uint64
+	// UDPResponses / TCPResponses count matched responses per transport.
+	UDPResponses uint64
+	TCPResponses uint64
+}
+
+// FamilyCount splits query counts by IP family.
+type FamilyCount struct {
+	V4, V6 uint64
+}
+
+// CloudShare returns the five providers' combined share of all queries.
+func (ag *Aggregates) CloudShare() float64 {
+	var cloud uint64
+	for p, pa := range ag.ByProvider {
+		if p.IsCloud() {
+			cloud += pa.Queries
+		}
+	}
+	return stats.Ratio(cloud, ag.Total)
+}
+
+// Provider returns (allocating) the aggregate for p.
+func (ag *Aggregates) Provider(p astrie.Provider) *ProviderAgg {
+	pa, ok := ag.ByProvider[p]
+	if !ok {
+		pa = newProviderAgg()
+		ag.ByProvider[p] = pa
+	}
+	return pa
+}
+
+// pendingQuery remembers query attributes until its response arrives.
+type pendingQuery struct {
+	provider  astrie.Provider
+	qtype     dnswire.Type
+	v6        bool
+	tcp       bool
+	edns      int // advertised size, 0 = none
+	public    bool
+	minimized bool
+	client    netip.Addr
+}
+
+// looksMinimized applies the §4.2.1 name-shape heuristic.
+func (a *Analyzer) looksMinimized(q dnswire.Question) bool {
+	if a.origin == "" {
+		return false
+	}
+	return q.Type == dnswire.TypeNS &&
+		dnswire.IsSubdomain(q.Name, a.origin) &&
+		dnswire.CountLabels(q.Name) <= dnswire.CountLabels(a.origin)+2 &&
+		dnswire.CanonicalName(q.Name) != a.origin
+}
+
+// tcpStream reassembles one direction of a TCP connection in sequence
+// order, tolerating out-of-order delivery, retransmissions and overlaps
+// (real captures have all three, even if the synthetic generator emits
+// segments in order).
+type tcpStream struct {
+	expected uint32 // next absolute sequence number we want
+	synced   bool
+	buf      []byte            // contiguous reassembled payload
+	pending  map[uint32][]byte // out-of-order segments by sequence
+}
+
+// push ingests one data segment and returns true if new contiguous bytes
+// became available in s.buf.
+func (s *tcpStream) push(seq uint32, payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	if !s.synced {
+		// Mid-stream attach: adopt the first segment's position.
+		s.expected = seq
+		s.synced = true
+	}
+	progressed := false
+	for {
+		switch {
+		case seq == s.expected:
+			s.buf = append(s.buf, payload...)
+			s.expected += uint32(len(payload))
+			progressed = true
+		case seqBefore(seq, s.expected):
+			// Retransmission or overlap: keep only the unseen suffix.
+			skip := s.expected - seq
+			if uint32(len(payload)) > skip {
+				s.buf = append(s.buf, payload[skip:]...)
+				s.expected += uint32(len(payload)) - skip
+				progressed = true
+			}
+		default:
+			// Future segment: park it (bounded).
+			if s.pending == nil {
+				s.pending = make(map[uint32][]byte)
+			}
+			if len(s.pending) < 64 {
+				s.pending[seq] = append([]byte(nil), payload...)
+			}
+		}
+		// Try to drain parked segments that are now due.
+		next, ok := s.pending[s.expected]
+		if !ok {
+			// Also handle parked overlaps that start before expected.
+			found := false
+			for ps, pp := range s.pending {
+				if seqBefore(ps, s.expected) && seqBefore(s.expected, ps+uint32(len(pp))) {
+					next, ok, found = pp, true, true
+					seq, payload = ps, pp
+					delete(s.pending, ps)
+					break
+				}
+			}
+			if !found {
+				return progressed
+			}
+			continue
+		}
+		seq, payload = s.expected, next
+		delete(s.pending, s.expected)
+	}
+}
+
+// seqBefore compares sequence numbers with wraparound (RFC 793 style).
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// syncTo pins the stream start (from the handshake's ISN+1).
+func (s *tcpStream) syncTo(seq uint32) {
+	if !s.synced {
+		s.expected = seq
+		s.synced = true
+	}
+}
+
+// tcpConn tracks one TCP connection's handshake and payload reassembly.
+type tcpConn struct {
+	synAckAt  time.Time
+	rttStored bool
+	c2s, s2c  tcpStream
+}
+
+// Analyzer streams packets into Aggregates. Not safe for concurrent use;
+// run one Analyzer per trace (shard by file and Merge the results).
+type Analyzer struct {
+	reg    *astrie.Registry
+	parser *layers.Parser
+	agg    *Aggregates
+	focus  astrie.Provider
+	origin string // zone origin for the Q-min heuristic ("" disables)
+
+	pending map[pendingKey]*pendingQuery
+	conns   map[connKey]*tcpConn
+	curTS   time.Time
+
+	// Errors tolerated silently (malformed packets are counted, like
+	// ENTRADA's loader, not fatal).
+	MalformedPackets uint64
+	UnmatchedResp    uint64
+}
+
+// maxPendingQueries bounds the query→response join table; see noteQuery.
+const (
+	maxPendingQueries = 1 << 20
+	pendingFlushBatch = 1 << 10
+)
+
+type pendingKey struct {
+	client netip.AddrPort
+	server netip.AddrPort
+	id     uint16
+	tcp    bool
+}
+
+type connKey struct {
+	client netip.AddrPort
+	server netip.AddrPort
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithFocusProvider selects the provider whose per-(client,server) query
+// counts and RTTs are collected (default Facebook, for Figures 5 and 8).
+func WithFocusProvider(p astrie.Provider) Option {
+	return func(a *Analyzer) { a.focus = p }
+}
+
+// WithZoneOrigin tells the analyzer which zone the capture's server is
+// authoritative for, enabling the QNAME-minimization heuristic: an NS
+// query whose name sits at most two labels below the origin (one for flat
+// registries, two for .nz-style category registrations) is counted as
+// minimized-looking.
+func WithZoneOrigin(origin string) Option {
+	return func(a *Analyzer) { a.origin = dnswire.CanonicalName(origin) }
+}
+
+// NewAnalyzer builds an analyzer classifying addresses with reg.
+func NewAnalyzer(reg *astrie.Registry, opts ...Option) *Analyzer {
+	a := &Analyzer{
+		reg:    reg,
+		parser: layers.NewParser(),
+		agg: &Aggregates{
+			ByProvider:   make(map[astrie.Provider]*ProviderAgg),
+			ASes:         make(map[uint32]struct{}),
+			AllResolvers: make(map[netip.Addr]struct{}),
+			FocusQueries: make(map[rttKey]*FamilyCount),
+			RTTs:         make(map[rttKey][]time.Duration),
+			Hourly:       make(map[int64]uint64),
+			RCodes:       make(map[dnswire.RCode]uint64),
+		},
+		focus:   astrie.ProviderFacebook,
+		pending: make(map[pendingKey]*pendingQuery),
+		conns:   make(map[connKey]*tcpConn),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// AnalyzeReader drains a packet reader (classic pcap or pcapng — use
+// pcapio.Open to sniff the format).
+func (a *Analyzer) AnalyzeReader(r pcapio.PacketReader) error {
+	return pcapio.ForEachPacket(r, func(pkt pcapio.Packet) error {
+		a.HandlePacket(pkt.Timestamp, pkt.Data)
+		return nil
+	})
+}
+
+// HandlePacket processes one captured frame. Malformed frames are counted
+// and skipped.
+func (a *Analyzer) HandlePacket(ts time.Time, frame []byte) {
+	a.curTS = ts
+	flow, err := a.parser.Decode(frame)
+	if err != nil {
+		a.MalformedPackets++
+		return
+	}
+	switch flow.Proto {
+	case layers.IPProtoUDP:
+		a.handleUDP(flow, a.parser.Payload)
+	case layers.IPProtoTCP:
+		a.handleTCP(ts, flow, &a.parser.TCP, a.parser.Payload)
+	}
+}
+
+// handleUDP processes one UDP datagram (a whole DNS message).
+func (a *Analyzer) handleUDP(flow layers.Flow, payload []byte) {
+	if flow.DstPort == 53 {
+		msg, err := dnswire.Unpack(payload)
+		if err != nil || msg.Header.Response {
+			a.MalformedPackets++
+			return
+		}
+		a.noteQuery(flow, msg, false)
+		return
+	}
+	if flow.SrcPort == 53 {
+		msg, err := dnswire.Unpack(payload)
+		if err != nil || !msg.Header.Response {
+			a.MalformedPackets++
+			return
+		}
+		a.noteResponse(flow, msg, false)
+	}
+}
+
+// handleTCP processes one TCP segment: handshake timing and stream
+// reassembly of framed DNS messages.
+func (a *Analyzer) handleTCP(ts time.Time, flow layers.Flow, tcp *layers.TCP, payload []byte) {
+	var key connKey
+	toServer := flow.DstPort == 53
+	if toServer {
+		key = connKey{
+			client: netip.AddrPortFrom(flow.Src, flow.SrcPort),
+			server: netip.AddrPortFrom(flow.Dst, flow.DstPort),
+		}
+	} else if flow.SrcPort == 53 {
+		key = connKey{
+			client: netip.AddrPortFrom(flow.Dst, flow.DstPort),
+			server: netip.AddrPortFrom(flow.Src, flow.SrcPort),
+		}
+	} else {
+		return
+	}
+	conn, ok := a.conns[key]
+	if !ok {
+		conn = &tcpConn{}
+		a.conns[key] = conn
+	}
+
+	switch {
+	case tcp.SYN() && tcp.ACK():
+		conn.synAckAt = ts
+		conn.s2c.syncTo(tcp.Seq + 1)
+	case tcp.SYN():
+		conn.c2s.syncTo(tcp.Seq + 1)
+	case tcp.ACK() && toServer && len(payload) == 0 && !conn.rttStored && !conn.synAckAt.IsZero():
+		// First bare ACK from the client completes the handshake:
+		// ts - t(SYN-ACK) estimates the client's RTT (§4.3).
+		rtt := ts.Sub(conn.synAckAt)
+		conn.rttStored = true
+		client := key.client.Addr()
+		if a.reg.ProviderOf(client) == a.focus {
+			k := rttKey{Client: client, Server: key.server.Addr()}
+			a.agg.RTTs[k] = append(a.agg.RTTs[k], rtt)
+		}
+	}
+	if len(payload) > 0 {
+		if toServer {
+			if conn.c2s.push(tcp.Seq, payload) {
+				conn.c2s.buf = a.drainFrames(conn.c2s.buf, flow, false)
+			}
+		} else {
+			if conn.s2c.push(tcp.Seq, payload) {
+				conn.s2c.buf = a.drainFrames(conn.s2c.buf, flow, true)
+			}
+		}
+	}
+	if tcp.FIN() || tcp.RST() {
+		if tcp.FIN() && !toServer {
+			delete(a.conns, key)
+		}
+	}
+}
+
+// drainFrames parses complete length-prefixed DNS messages out of buf.
+func (a *Analyzer) drainFrames(buf []byte, flow layers.Flow, response bool) []byte {
+	for len(buf) >= 2 {
+		n := int(buf[0])<<8 | int(buf[1])
+		if len(buf) < 2+n {
+			break
+		}
+		msg, err := dnswire.Unpack(buf[2 : 2+n])
+		if err != nil {
+			a.MalformedPackets++
+		} else if response && msg.Header.Response {
+			a.noteResponse(flow, msg, true)
+		} else if !response && !msg.Header.Response {
+			a.noteQuery(flow, msg, true)
+		} else {
+			a.MalformedPackets++
+		}
+		buf = buf[2+n:]
+	}
+	return buf
+}
+
+// noteQuery records a query and parks it awaiting its response.
+func (a *Analyzer) noteQuery(flow layers.Flow, msg *dnswire.Message, tcp bool) {
+	client := flow.Src
+	provider := a.reg.ProviderOf(client)
+	q := msg.Question()
+
+	pq := &pendingQuery{
+		provider:  provider,
+		qtype:     q.Type,
+		v6:        flow.IsIPv6(),
+		tcp:       tcp,
+		public:    a.reg.IsPublicDNSAddr(client),
+		client:    client,
+		minimized: a.looksMinimized(q),
+	}
+	if msg.Edns != nil {
+		pq.edns = int(msg.Edns.UDPSize)
+	}
+	key := pendingKey{
+		client: netip.AddrPortFrom(flow.Src, flow.SrcPort),
+		server: netip.AddrPortFrom(flow.Dst, flow.DstPort),
+		id:     msg.Header.ID,
+		tcp:    tcp,
+	}
+	if old, dup := a.pending[key]; dup {
+		// Retransmission: count the earlier instance as an unanswered
+		// query now, keep the newer one pending.
+		a.finalize(old, nil)
+	}
+	// Bound the join table: a capture with massive response loss must not
+	// grow memory without limit — flush arbitrary oldest entries as
+	// unanswered, like ENTRADA's bounded join windows.
+	if len(a.pending) >= maxPendingQueries {
+		for k, old := range a.pending {
+			a.finalize(old, nil)
+			delete(a.pending, k)
+			if len(a.pending) < maxPendingQueries-pendingFlushBatch {
+				break
+			}
+		}
+	}
+	a.pending[key] = pq
+	if !a.curTS.IsZero() {
+		a.agg.Hourly[a.curTS.Unix()/3600]++
+	}
+
+	// Per-server focus accounting happens at query time.
+	if provider == a.focus {
+		k := rttKey{Client: client, Server: flow.Dst}
+		fc, ok := a.agg.FocusQueries[k]
+		if !ok {
+			fc = &FamilyCount{}
+			a.agg.FocusQueries[k] = fc
+		}
+		if pq.v6 {
+			fc.V6++
+		} else {
+			fc.V4++
+		}
+	}
+}
+
+// noteResponse joins a response to its query and finalizes counters.
+func (a *Analyzer) noteResponse(flow layers.Flow, msg *dnswire.Message, tcp bool) {
+	key := pendingKey{
+		client: netip.AddrPortFrom(flow.Dst, flow.DstPort),
+		server: netip.AddrPortFrom(flow.Src, flow.SrcPort),
+		id:     msg.Header.ID,
+		tcp:    tcp,
+	}
+	pq, ok := a.pending[key]
+	if !ok {
+		a.UnmatchedResp++
+		return
+	}
+	delete(a.pending, key)
+	a.finalize(pq, msg)
+}
+
+// finalize folds one (query, response?) pair into the aggregates.
+func (a *Analyzer) finalize(pq *pendingQuery, resp *dnswire.Message) {
+	ag := a.agg
+	ag.Total++
+	pa := ag.Provider(pq.provider)
+	pa.Queries++
+	pa.ByType[pq.qtype]++
+	if pq.v6 {
+		pa.V6++
+	}
+	if pq.tcp {
+		pa.TCP++
+	} else {
+		pa.EDNSSizes.Add(pq.edns)
+	}
+	if pq.public {
+		pa.PublicDNSQueries++
+	}
+	if pq.minimized {
+		pa.MinimizedQueries++
+	}
+	pa.Resolvers[pq.client] = struct{}{}
+	ag.AllResolvers[pq.client] = struct{}{}
+	if asn, ok := a.reg.LookupAddr(pq.client); ok {
+		ag.ASes[asn] = struct{}{}
+	}
+	if resp == nil {
+		// Unanswered queries count as valid (the paper's junk definition
+		// needs an RCODE; missing responses are rare in our traces).
+		ag.Valid++
+		return
+	}
+	if resp.Header.RCode == dnswire.RCodeNoError {
+		ag.Valid++
+	} else {
+		pa.Junk++
+	}
+	ag.RCodes[resp.Header.RCode]++
+	if pq.tcp {
+		ag.TCPResponses++
+	} else {
+		ag.UDPResponses++
+		pa.UDPResponses++
+		if resp.Header.Truncated {
+			pa.TruncatedUDP++
+		}
+	}
+}
+
+// Finish flushes queries still awaiting responses and returns the
+// aggregates. Call exactly once after the last packet.
+func (a *Analyzer) Finish() *Aggregates {
+	for key, pq := range a.pending {
+		a.finalize(pq, nil)
+		delete(a.pending, key)
+	}
+	return a.agg
+}
+
+// MedianRTTs computes per-(client,server) median RTTs from the samples.
+func (ag *Aggregates) MedianRTTs() map[rttKey]time.Duration {
+	out := make(map[rttKey]time.Duration, len(ag.RTTs))
+	for k, samples := range ag.RTTs {
+		out[k] = stats.MedianDurations(samples)
+	}
+	return out
+}
+
+// RTTKey constructs the exported key type (for tests and reports).
+func RTTKey(client, server netip.Addr) rttKey { return rttKey{Client: client, Server: server} }
+
+// String summarizes the aggregates.
+func (ag *Aggregates) String() string {
+	return fmt.Sprintf("entrada: %d queries (%.1f%% valid), %d resolvers, %d ASes, cloud share %.1f%%",
+		ag.Total, 100*stats.Ratio(ag.Valid, ag.Total), len(ag.AllResolvers), len(ag.ASes), 100*ag.CloudShare())
+}

@@ -1,0 +1,119 @@
+package entrada
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/stats"
+)
+
+// Report is the JSON-serializable summary of an analysis run; cmd/entrada
+// writes it and cmd/cloudreport consumes it.
+type Report struct {
+	TotalQueries uint64  `json:"total_queries"`
+	ValidShare   float64 `json:"valid_share"`
+	Resolvers    int     `json:"resolvers"`
+	ASes         int     `json:"ases"`
+	CloudShare   float64 `json:"cloud_share"`
+
+	Providers map[string]ProviderReport `json:"providers"`
+
+	// Focus carries the Figure 5 data: per (client, server) query counts
+	// and median RTTs for the focus provider's resolvers.
+	Focus []FocusRow `json:"focus,omitempty"`
+}
+
+// ProviderReport is the per-provider summary.
+type ProviderReport struct {
+	Queries        uint64             `json:"queries"`
+	Share          float64            `json:"share"`
+	JunkShare      float64            `json:"junk_share"`
+	V6Share        float64            `json:"v6_share"`
+	TCPShare       float64            `json:"tcp_share"`
+	TypeShares     map[string]float64 `json:"type_shares"`
+	EDNSCDF        []stats.CDFPoint   `json:"edns_cdf,omitempty"`
+	TruncatedShare float64            `json:"truncated_udp_share"`
+	Resolvers      ResolverCounts     `json:"resolvers"`
+	PublicShare    float64            `json:"public_dns_share"`
+	MinimizedShare float64            `json:"minimized_share"`
+}
+
+// FocusRow is one (client, server) row of the Figure 5 dataset.
+type FocusRow struct {
+	Client      string  `json:"client"`
+	Server      string  `json:"server"`
+	V4Queries   uint64  `json:"v4_queries"`
+	V6Queries   uint64  `json:"v6_queries"`
+	MedianRTTms float64 `json:"median_rtt_ms,omitempty"`
+}
+
+// BuildReport converts aggregates into the serializable report using the
+// registry for public-DNS classification.
+func BuildReport(ag *Aggregates, reg *astrie.Registry) *Report {
+	r := &Report{
+		TotalQueries: ag.Total,
+		ValidShare:   stats.Ratio(ag.Valid, ag.Total),
+		Resolvers:    len(ag.AllResolvers),
+		ASes:         len(ag.ASes),
+		CloudShare:   ag.CloudShare(),
+		Providers:    make(map[string]ProviderReport),
+	}
+	for p, pa := range ag.ByProvider {
+		pr := ProviderReport{
+			Queries:        pa.Queries,
+			Share:          stats.Ratio(pa.Queries, ag.Total),
+			JunkShare:      stats.Ratio(pa.Junk, pa.Queries),
+			V6Share:        stats.Ratio(pa.V6, pa.Queries),
+			TCPShare:       stats.Ratio(pa.TCP, pa.Queries),
+			TypeShares:     make(map[string]float64),
+			EDNSCDF:        pa.EDNSSizes.CDF(),
+			TruncatedShare: stats.Ratio(pa.TruncatedUDP, pa.UDPResponses),
+			Resolvers:      pa.ResolverCounts(reg.IsPublicDNSAddr),
+			PublicShare:    stats.Ratio(pa.PublicDNSQueries, pa.Queries),
+			MinimizedShare: stats.Ratio(pa.MinimizedQueries, pa.Queries),
+		}
+		for t, c := range pa.ByType {
+			pr.TypeShares[t.String()] = stats.Ratio(c, pa.Queries)
+		}
+		r.Providers[p.String()] = pr
+	}
+	medians := ag.MedianRTTs()
+	for k, fc := range ag.FocusQueries {
+		row := FocusRow{
+			Client:    k.Client.String(),
+			Server:    k.Server.String(),
+			V4Queries: fc.V4,
+			V6Queries: fc.V6,
+		}
+		if m, ok := medians[k]; ok {
+			row.MedianRTTms = float64(m) / float64(time.Millisecond)
+		}
+		r.Focus = append(r.Focus, row)
+	}
+	sort.Slice(r.Focus, func(i, j int) bool {
+		if r.Focus[i].Client != r.Focus[j].Client {
+			return r.Focus[i].Client < r.Focus[j].Client
+		}
+		return r.Focus[i].Server < r.Focus[j].Server
+	})
+	return r
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a JSON report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,102 @@
+package entrada
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"dnscentral/internal/dnswire"
+)
+
+// RSSAC002 is the aggregate statistics format root-server operators
+// publish (RSSAC002: "RSSAC Advisory on Measurements of the Root Server
+// System"), which the paper uses in §3 to put B-Root's junk levels in
+// context of the other root letters. The reproduction computes the three
+// measurements relevant to the paper from the same Aggregates the rest of
+// the analysis uses.
+type RSSAC002 struct {
+	Label string `json:"label"`
+
+	// Traffic volume (RSSAC002 "traffic-volume").
+	UDPQueries   uint64 `json:"dns-udp-queries"`
+	TCPQueries   uint64 `json:"dns-tcp-queries"`
+	UDPResponses uint64 `json:"dns-udp-responses"`
+	TCPResponses uint64 `json:"dns-tcp-responses"`
+
+	// RCode distribution (RSSAC002 "rcode-volume").
+	RCodeVolume map[string]uint64 `json:"rcode-volume"`
+
+	// Unique sources (RSSAC002 "unique-sources"): distinct IPv4
+	// addresses, distinct IPv6 addresses, and distinct IPv6 /64s.
+	UniqueIPv4     uint64 `json:"num-sources-ipv4"`
+	UniqueIPv6     uint64 `json:"num-sources-ipv6"`
+	UniqueIPv6Agg  uint64 `json:"num-sources-ipv6-aggregate"`
+}
+
+// RSSAC002Report derives the advisory's measurements from the aggregates.
+func (ag *Aggregates) RSSAC002Report(label string) *RSSAC002 {
+	r := &RSSAC002{Label: label, RCodeVolume: make(map[string]uint64)}
+	for rc, n := range ag.RCodes {
+		r.RCodeVolume[rc.String()] = n
+	}
+	var tcp uint64
+	for _, pa := range ag.ByProvider {
+		tcp += pa.TCP
+	}
+	r.TCPQueries = tcp
+	r.UDPQueries = ag.Total - tcp
+	r.UDPResponses = ag.UDPResponses
+	r.TCPResponses = ag.TCPResponses
+
+	slash64 := make(map[netip.Prefix]struct{})
+	for a := range ag.AllResolvers {
+		if a.Is4() || a.Is4In6() {
+			r.UniqueIPv4++
+			continue
+		}
+		r.UniqueIPv6++
+		p, err := a.Prefix(64)
+		if err == nil {
+			slash64[p] = struct{}{}
+		}
+	}
+	r.UniqueIPv6Agg = uint64(len(slash64))
+	return r
+}
+
+// ValidShare computes the NOERROR fraction from the rcode volumes (the
+// paper's §3 method for the 11 root letters publishing RSSAC002 data).
+func (r *RSSAC002) ValidShare() float64 {
+	var total, valid uint64
+	for name, n := range r.RCodeVolume {
+		total += n
+		if name == dnswire.RCodeNoError.String() {
+			valid += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(valid) / float64(total)
+}
+
+// String renders the report in the advisory's YAML-ish key:value style.
+func (r *RSSAC002) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "service: %s\n", r.Label)
+	fmt.Fprintf(&sb, "traffic-volume:\n  dns-udp-queries: %d\n  dns-tcp-queries: %d\n  dns-udp-responses: %d\n  dns-tcp-responses: %d\n",
+		r.UDPQueries, r.TCPQueries, r.UDPResponses, r.TCPResponses)
+	sb.WriteString("rcode-volume:\n")
+	names := make([]string, 0, len(r.RCodeVolume))
+	for name := range r.RCodeVolume {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "  %s: %d\n", name, r.RCodeVolume[name])
+	}
+	fmt.Fprintf(&sb, "unique-sources:\n  num-sources-ipv4: %d\n  num-sources-ipv6: %d\n  num-sources-ipv6-aggregate: %d\n",
+		r.UniqueIPv4, r.UniqueIPv6, r.UniqueIPv6Agg)
+	return sb.String()
+}

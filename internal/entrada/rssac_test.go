@@ -1,0 +1,103 @@
+package entrada
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/workload"
+)
+
+func TestRSSAC002Report(t *testing.T) {
+	_, gt, ag := runPipeline(t, workload.Config{
+		Vantage: cloudmodel.VantageBRoot, Week: cloudmodel.W2020,
+		TotalQueries: 12000, Seed: 31, ResolverScale: 0.002,
+	})
+	rep := ag.RSSAC002Report("b-root-reproduction")
+
+	if rep.UDPQueries+rep.TCPQueries != gt.Queries {
+		t.Errorf("traffic volume %d+%d != %d", rep.UDPQueries, rep.TCPQueries, gt.Queries)
+	}
+	// RCODE volumes must cover every matched response and reproduce the
+	// §3 validity computation: B-Root 2020 was ~20% valid.
+	valid := rep.ValidShare()
+	if math.Abs(valid-0.20) > 0.04 {
+		t.Errorf("RSSAC002 valid share = %.3f, want ≈0.20", valid)
+	}
+	if rep.RCodeVolume[dnswire.RCodeNXDomain.String()] == 0 {
+		t.Error("no NXDOMAIN volume at the root")
+	}
+	// Unique sources must match the resolver set split.
+	var v4, v6 uint64
+	for a := range ag.AllResolvers {
+		if a.Is4() {
+			v4++
+		} else {
+			v6++
+		}
+	}
+	if rep.UniqueIPv4 != v4 || rep.UniqueIPv6 != v6 {
+		t.Errorf("unique sources %d/%d, want %d/%d", rep.UniqueIPv4, rep.UniqueIPv6, v4, v6)
+	}
+	if rep.UniqueIPv6Agg == 0 || rep.UniqueIPv6Agg > rep.UniqueIPv6 {
+		t.Errorf("v6 aggregate = %d (v6 = %d)", rep.UniqueIPv6Agg, rep.UniqueIPv6)
+	}
+
+	out := rep.String()
+	for _, want := range []string{"traffic-volume:", "rcode-volume:", "unique-sources:", "NXDOMAIN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+func TestHourlySeriesShowsDiurnalPattern(t *testing.T) {
+	_, _, ag := runPipeline(t, workload.Config{
+		Vantage: cloudmodel.VantageNZ, Week: cloudmodel.W2020,
+		TotalQueries: 30000, Seed: 32, ResolverScale: 0.002,
+		DiurnalAmplitude: 0.6,
+	})
+	if len(ag.Hourly) < 7*24-2 {
+		t.Fatalf("hourly buckets = %d, want ≈168", len(ag.Hourly))
+	}
+	minN, maxN := interiorHourRange(ag.Hourly)
+	if maxN < 2*minN {
+		t.Errorf("peak/trough = %d/%d, want ≥2x diurnal swing", maxN, minN)
+	}
+}
+
+// interiorHourRange finds the min/max hourly counts excluding the first
+// and last (partially covered) capture hours.
+func interiorHourRange(hourly map[int64]uint64) (minN, maxN uint64) {
+	keys := make([]int64, 0, len(hourly))
+	for h := range hourly {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	minN = math.MaxUint64
+	for _, h := range keys[1 : len(keys)-1] {
+		n := hourly[h]
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return minN, maxN
+}
+
+func TestFlatTraceHasNoDiurnalSwing(t *testing.T) {
+	_, _, ag := runPipeline(t, workload.Config{
+		Vantage: cloudmodel.VantageNZ, Week: cloudmodel.W2020,
+		TotalQueries: 40000, Seed: 33, ResolverScale: 0.002,
+		DiurnalAmplitude: -1, // clamped to 0: flat
+	})
+	minN, maxN := interiorHourRange(ag.Hourly)
+	if float64(maxN) > 1.6*float64(minN) {
+		t.Errorf("flat trace peak/trough = %d/%d", maxN, minN)
+	}
+}

@@ -1,0 +1,274 @@
+// Package layers implements encoding and decoding for the link, network and
+// transport layers the reproduction's traces are made of: Ethernet II,
+// IPv4, IPv6, UDP and TCP, with correct checksums.
+//
+// The design follows gopacket's DecodingLayerParser idiom: preallocated
+// layer structs are decoded in place (DecodeFromBytes) so a hot analysis
+// loop does not allocate per packet, and serialization prepends layers so a
+// packet is built from the payload outward.
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Errors shared across layer decoders.
+var (
+	ErrTooShort   = errors.New("layers: buffer too short")
+	ErrBadVersion = errors.New("layers: wrong IP version")
+	ErrBadIHL     = errors.New("layers: bad IPv4 header length")
+	ErrBadLength  = errors.New("layers: bad length field")
+)
+
+// LayerType discriminates decoded layers.
+type LayerType uint8
+
+// Layer types produced by Parser.
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeEthernet
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypePayload
+)
+
+// String names the layer type.
+func (lt LayerType) String() string {
+	switch lt {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return "None"
+}
+
+// EtherType values used here.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers used here.
+const (
+	IPProtoTCP uint8 = 6
+	IPProtoUDP uint8 = 17
+)
+
+// MAC is a 6-byte Ethernet address.
+type MAC [6]byte
+
+// String formats the address in canonical colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// EthernetHeaderLen is the length of an Ethernet II header.
+const EthernetHeaderLen = 14
+
+// DecodeFromBytes parses the header and returns the payload.
+func (e *Ethernet) DecodeFromBytes(b []byte) (payload []byte, err error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("ethernet: %w", ErrTooShort)
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[EthernetHeaderLen:], nil
+}
+
+// AppendHeader appends the wire header to b.
+func (e *Ethernet) AppendHeader(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// IPv4 is an IPv4 header without options support on encode (IHL=5); options
+// are skipped on decode.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+	// Length is the total length field as decoded (header + payload).
+	Length uint16
+	// Checksum as decoded; recomputed on encode.
+	Checksum uint16
+}
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// DecodeFromBytes parses the header and returns the payload, honoring the
+// total-length field (trailing link padding is stripped).
+func (ip *IPv4) DecodeFromBytes(b []byte) (payload []byte, err error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, fmt.Errorf("ipv4: %w", ErrTooShort)
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("ipv4: %w: %d", ErrBadVersion, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || ihl > len(b) {
+		return nil, fmt.Errorf("ipv4: %w: ihl=%d", ErrBadIHL, ihl)
+	}
+	ip.TOS = b[1]
+	ip.Length = binary.BigEndian.Uint16(b[2:])
+	if int(ip.Length) < ihl || int(ip.Length) > len(b) {
+		return nil, fmt.Errorf("ipv4: %w: total=%d buf=%d", ErrBadLength, ip.Length, len(b))
+	}
+	ip.ID = binary.BigEndian.Uint16(b[4:])
+	ff := binary.BigEndian.Uint16(b[6:])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1FFF
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:])
+	ip.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	return b[ihl:ip.Length], nil
+}
+
+// AppendHeader appends a 20-byte header for a payload of payloadLen bytes,
+// computing the header checksum.
+func (ip *IPv4) AppendHeader(b []byte, payloadLen int) ([]byte, error) {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return nil, fmt.Errorf("ipv4: %w: src=%s dst=%s", ErrBadVersion, ip.Src, ip.Dst)
+	}
+	total := IPv4HeaderLen + payloadLen
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("ipv4: %w: total=%d", ErrBadLength, total)
+	}
+	start := len(b)
+	b = append(b, 0x45, ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOff&0x1FFF)
+	b = append(b, ip.TTL, ip.Protocol, 0, 0) // checksum placeholder
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	cs := onesComplementChecksum(b[start:], 0)
+	binary.BigEndian.PutUint16(b[start+10:], cs)
+	return b, nil
+}
+
+// IPv6 is a fixed IPv6 header; extension headers are not generated and are
+// rejected on decode except for hop-by-hop skipping being unnecessary in our
+// traces.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+	// PayloadLength as decoded.
+	PayloadLength uint16
+}
+
+// IPv6HeaderLen is the length of the fixed IPv6 header.
+const IPv6HeaderLen = 40
+
+// DecodeFromBytes parses the header and returns the payload.
+func (ip *IPv6) DecodeFromBytes(b []byte) (payload []byte, err error) {
+	if len(b) < IPv6HeaderLen {
+		return nil, fmt.Errorf("ipv6: %w", ErrTooShort)
+	}
+	if b[0]>>4 != 6 {
+		return nil, fmt.Errorf("ipv6: %w: %d", ErrBadVersion, b[0]>>4)
+	}
+	vtf := binary.BigEndian.Uint32(b[0:4])
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0xFFFFF
+	ip.PayloadLength = binary.BigEndian.Uint16(b[4:])
+	ip.NextHeader = b[6]
+	ip.HopLimit = b[7]
+	ip.Src = netip.AddrFrom16([16]byte(b[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(b[24:40]))
+	end := IPv6HeaderLen + int(ip.PayloadLength)
+	if end > len(b) {
+		return nil, fmt.Errorf("ipv6: %w: payload=%d buf=%d", ErrBadLength, ip.PayloadLength, len(b))
+	}
+	return b[IPv6HeaderLen:end], nil
+}
+
+// AppendHeader appends the 40-byte header for a payload of payloadLen bytes.
+func (ip *IPv6) AppendHeader(b []byte, payloadLen int) ([]byte, error) {
+	if !ip.Src.Is6() || ip.Src.Is4In6() || !ip.Dst.Is6() || ip.Dst.Is4In6() {
+		return nil, fmt.Errorf("ipv6: %w: src=%s dst=%s", ErrBadVersion, ip.Src, ip.Dst)
+	}
+	if payloadLen > 0xFFFF {
+		return nil, fmt.Errorf("ipv6: %w: payload=%d", ErrBadLength, payloadLen)
+	}
+	vtf := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0xFFFFF
+	b = binary.BigEndian.AppendUint32(b, vtf)
+	b = binary.BigEndian.AppendUint16(b, uint16(payloadLen))
+	b = append(b, ip.NextHeader, ip.HopLimit)
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	return b, nil
+}
+
+// onesComplementChecksum computes the Internet checksum over b, seeded with
+// sum (used to chain the pseudo-header).
+func onesComplementChecksum(b []byte, sum uint32) uint16 {
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the TCP/UDP pseudo-header partial sum for
+// src/dst, protocol proto and L4 length l4len.
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, l4len int) uint32 {
+	var sum uint32
+	add := func(b []byte) {
+		for len(b) >= 2 {
+			sum += uint32(binary.BigEndian.Uint16(b))
+			b = b[2:]
+		}
+	}
+	if src.Is4() {
+		s4, d4 := src.As4(), dst.As4()
+		add(s4[:])
+		add(d4[:])
+	} else {
+		s16, d16 := src.As16(), dst.As16()
+		add(s16[:])
+		add(d16[:])
+	}
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}

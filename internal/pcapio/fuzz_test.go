@@ -1,0 +1,40 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader checks the pcap reader never panics and bounds its record
+// sizes on arbitrary inputs.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WritePacket(time.Unix(1, 0), []byte("one"))
+	_ = w.WritePacket(time.Unix(2, 0), bytes.Repeat([]byte{9}, 300))
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA1}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			pkt, err := r.ReadPacket()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(pkt.Data) > len(data) {
+				t.Fatal("record larger than input")
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestNGRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf)
+	base := time.Date(2020, 4, 5, 12, 0, 0, 123456000, time.UTC)
+	pkts := [][]byte{
+		[]byte("first"),
+		bytes.Repeat([]byte{0xEE}, 1000),
+		{},
+	}
+	for i, p := range pkts {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Minute), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewNGReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		got, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Data, want) || got.OrigLen != len(want) {
+			t.Errorf("packet %d: %d bytes (orig %d)", i, len(got.Data), got.OrigLen)
+		}
+		wantTS := base.Add(time.Duration(i) * time.Minute)
+		if d := got.Timestamp.Sub(wantTS); d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("packet %d ts skew %v", i, d)
+		}
+	}
+	if _, err := r.ReadPacket(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestOpenSniffsBothFormats(t *testing.T) {
+	// Classic.
+	var classic bytes.Buffer
+	cw := NewWriter(&classic)
+	_ = cw.WritePacket(time.Unix(5, 0), []byte("classic"))
+	_ = cw.Flush()
+	r, err := Open(&classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.(*Reader); !ok {
+		t.Errorf("classic sniffed as %T", r)
+	}
+	pkt, err := r.ReadPacket()
+	if err != nil || string(pkt.Data) != "classic" {
+		t.Fatalf("classic read: %v %q", err, pkt.Data)
+	}
+
+	// pcapng.
+	var ng bytes.Buffer
+	nw := NewNGWriter(&ng)
+	_ = nw.WritePacket(time.Unix(6, 0), []byte("nextgen"))
+	_ = nw.Flush()
+	r, err = Open(&ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.(*NGReader); !ok {
+		t.Errorf("ng sniffed as %T", r)
+	}
+	pkt, err = r.ReadPacket()
+	if err != nil || string(pkt.Data) != "nextgen" {
+		t.Fatalf("ng read: %v %q", err, pkt.Data)
+	}
+
+	// Garbage.
+	if _, err := Open(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6})); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestNGReaderSkipsUnknownBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf)
+	_ = w.WritePacket(time.Unix(1, 0), []byte("data"))
+	_ = w.Flush()
+	blob := buf.Bytes()
+
+	// Append an unknown block type (e.g. a Name Resolution Block, 4).
+	var extra bytes.Buffer
+	body := []byte{0, 0, 0, 0}
+	total := uint32(12 + len(body))
+	_ = binary.Write(&extra, binary.LittleEndian, uint32(4))
+	_ = binary.Write(&extra, binary.LittleEndian, total)
+	extra.Write(body)
+	_ = binary.Write(&extra, binary.LittleEndian, total)
+
+	full := append(append([]byte{}, blob...), extra.Bytes()...)
+	r, err := NewNGReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err != io.EOF {
+		t.Errorf("unknown trailing block: %v", err)
+	}
+}
+
+func TestNGReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewNGReader(bytes.NewReader(make([]byte, 32))); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	// A truncated SHB.
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf)
+	_ = w.Flush()
+	blob := buf.Bytes()
+	if _, err := NewNGReader(bytes.NewReader(blob[:10])); err == nil {
+		t.Error("truncated SHB accepted")
+	}
+}
+
+func TestNGReaderTrailerMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf)
+	_ = w.WritePacket(time.Unix(1, 0), []byte("abcd"))
+	_ = w.Flush()
+	blob := buf.Bytes()
+	// Corrupt the last 4 bytes (the EPB trailer length).
+	blob[len(blob)-1] ^= 0xFF
+	r, err := NewNGReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, ErrBadNG) {
+		t.Errorf("corrupted trailer: %v", err)
+	}
+}
+
+func TestForEachPacketHelper(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf)
+	for i := 0; i < 5; i++ {
+		_ = w.WritePacket(time.Unix(int64(i), 0), []byte{byte(i)})
+	}
+	_ = w.Flush()
+	r, err := Open(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ForEachPacket(r, func(p Packet) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("visited %d packets", n)
+	}
+}

@@ -1,0 +1,135 @@
+package resolver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+)
+
+func TestDenialRangesAreCorrect(t *testing.T) {
+	cases := []struct {
+		origin, qname string
+	}{
+		{"nl.", "aardvark.nl."},
+		{"nl.", "zzz.nl."},
+		{"nl.", "dog.nl."},
+		{"nl.", "cat.nl."},
+		{".", "chromiumjunk."},
+		{".", "zzz."},
+	}
+	for _, c := range cases {
+		owner, next := authserver.DenialRange(c.origin, c.qname)
+		if !authserver.CoversName(c.origin, owner, next, c.qname) {
+			t.Errorf("DenialRange(%q,%q) = (%q,%q) does not cover the name",
+				c.origin, c.qname, owner, next)
+		}
+	}
+	// Registered d<rank> names must never be covered by either range.
+	for _, qname := range []string{"d0.nl.", "d123.nl.", "d99999.nl."} {
+		for _, junk := range []string{"aaa.nl.", "zzz.nl."} {
+			owner, next := authserver.DenialRange("nl.", junk)
+			if authserver.CoversName("nl.", owner, next, qname) {
+				t.Errorf("range for %q wrongly covers registered %q", junk, qname)
+			}
+		}
+	}
+}
+
+func TestAggressiveNSECSuppressesJunkQueries(t *testing.T) {
+	f := newFixture(t)
+	mk := func(aggressive bool) *Resolver {
+		r := New("nl.", Config{
+			Validate:       true,
+			AggressiveNSEC: aggressive,
+			EDNSSize:       4096,
+			Now:            func() time.Time { return f.now },
+		})
+		r.AddUpstream(FamilyV4, &EngineTransport{Engine: f.engine, Client: clientAddr})
+		return r
+	}
+
+	// Without aggressive caching: every junk name is a fresh query.
+	plain := mk(false)
+	for i := 0; i < 50; i++ {
+		res, err := plain.Resolve(fmt.Sprintf("junk%dzz.nl.", i), dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RCode != dnswire.RCodeNXDomain {
+			t.Fatalf("rcode = %s", res.RCode)
+		}
+	}
+	if st := plain.Stats(); st.Sent < 50 {
+		t.Fatalf("plain resolver sent %d queries, want ≥50", st.Sent)
+	}
+
+	// With aggressive caching: the first NXDOMAIN's NSEC covers the rest.
+	agg := mk(true)
+	for i := 0; i < 50; i++ {
+		res, err := agg.Resolve(fmt.Sprintf("junk%dzz.nl.", i), dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RCode != dnswire.RCodeNXDomain {
+			t.Fatalf("rcode = %s", res.RCode)
+		}
+	}
+	st := agg.Stats()
+	if st.Sent > 3 {
+		t.Fatalf("aggressive resolver sent %d queries, want ≈1", st.Sent)
+	}
+	if st.AggressiveHits < 45 {
+		t.Fatalf("aggressive hits = %d, want ≈49", st.AggressiveHits)
+	}
+}
+
+func TestAggressiveNSECDoesNotDenyRealNames(t *testing.T) {
+	f := newFixture(t)
+	r := New("nl.", Config{
+		Validate:       true,
+		AggressiveNSEC: true,
+		EDNSSize:       4096,
+		Now:            func() time.Time { return f.now },
+	})
+	r.AddUpstream(FamilyV4, &EngineTransport{Engine: f.engine, Client: clientAddr})
+	// Prime the denial cache with junk from both lexical ranges.
+	if _, err := r.Resolve("aaa-junk.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("zzz-junk.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	// Registered names must still resolve positively.
+	res, err := r.Resolve("www.d5.nl.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCode != dnswire.RCodeNoError || res.Delegation != "d5.nl." {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestAggressiveNSECRangesExpire(t *testing.T) {
+	f := newFixture(t)
+	r := New("nl.", Config{
+		Validate:       true,
+		AggressiveNSEC: true,
+		EDNSSize:       4096,
+		Now:            func() time.Time { return f.now },
+	})
+	r.AddUpstream(FamilyV4, &EngineTransport{Engine: f.engine, Client: clientAddr})
+	if _, err := r.Resolve("expired-junk.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	f.now = f.now.Add(3 * time.Hour)
+	res, err := r.Resolve("other-junk.nl.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("expired NSEC range still used")
+	}
+}

@@ -1,0 +1,68 @@
+package resolver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+)
+
+func TestResolverCookiesBypassRRL(t *testing.T) {
+	f := newFixture(t)
+	mk := func(cookies bool, engine *authserver.Engine) *Resolver {
+		r := New("nl.", Config{
+			EDNSSize:   1232,
+			UseCookies: cookies,
+			Now:        func() time.Time { return f.now },
+		})
+		r.AddUpstream(FamilyV4, &EngineTransport{Engine: engine, Client: clientAddr})
+		return r
+	}
+	rrlOpts := []authserver.Option{
+		authserver.WithRRL(authserver.RRLConfig{RatePerSec: 0.0001, Burst: 2, SlipEvery: 1}),
+		authserver.WithClock(func() time.Time { return f.now }),
+	}
+
+	// Without cookies: nearly everything after the burst retries on TCP.
+	plain := mk(false, authserver.NewEngine(f.zone, rrlOpts...))
+	for i := 0; i < 30; i++ {
+		if _, err := plain.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plain.Stats().TCPRetries < 25 {
+		t.Fatalf("plain resolver TCP retries = %d, want ≈28", plain.Stats().TCPRetries)
+	}
+
+	// With cookies: after the first exchange the client is validated and
+	// bypasses RRL (at most the first couple of queries slip).
+	withCookies := mk(true, authserver.NewEngine(f.zone, rrlOpts...))
+	for i := 0; i < 30; i++ {
+		if _, err := withCookies.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if retries := withCookies.Stats().TCPRetries; retries > 2 {
+		t.Fatalf("cookie resolver TCP retries = %d, want ≤2", retries)
+	}
+}
+
+func TestResolverCookieStableAcrossQueries(t *testing.T) {
+	f := newFixture(t)
+	r := f.resolver(Config{EDNSSize: 1232, UseCookies: true})
+	a := r.cookieOption()
+	b := r.cookieOption()
+	if len(a) < authserver.ClientCookieLen || string(a[:8]) != string(b[:8]) {
+		t.Fatal("client cookie not stable")
+	}
+	// After an exchange, the server cookie is attached.
+	if _, err := r.Resolve("www.d1.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	c := r.cookieOption()
+	if len(c) != authserver.ClientCookieLen+authserver.ServerCookieLen {
+		t.Fatalf("cookie option after exchange = %d bytes", len(c))
+	}
+}

@@ -1,0 +1,55 @@
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/zonedb"
+)
+
+// TestNetTransportTCPFallback drives the real-socket transport through the
+// truncation → TCP retry path against a live server.
+func TestNetTransportTCPFallback(t *testing.T) {
+	z, err := zonedb.NewCcTLD("nl", 500, 0, 1.0, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := authserver.Listen("127.0.0.1:0", authserver.NewEngine(z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A fully signed zone + 512-byte EDNS + DO: every referral truncates.
+	r := New("nl.", Config{Validate: true, EDNSSize: 512})
+	r.AddUpstream(FamilyV4, &NetTransport{Server: srv.Addr()})
+	for i := 0; i < 20; i++ {
+		res, err := r.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delegation == "" {
+			t.Fatalf("no delegation for d%d", i)
+		}
+	}
+	st := r.Stats()
+	if st.ByTCP[true] == 0 {
+		t.Fatal("no TCP retries over real sockets")
+	}
+	if st.Truncated == 0 {
+		t.Fatal("no truncated responses observed")
+	}
+}
+
+// TestNetTransportErrorSurface covers the unreachable-server path.
+func TestNetTransportErrorSurface(t *testing.T) {
+	r := New("nl.", Config{EDNSSize: 1232, Retries: 0})
+	// 192.0.2.0/24 is TEST-NET; nothing is listening on loopback port 1.
+	r.AddUpstream(FamilyV4, &NetTransport{Server: netip.MustParseAddrPort("127.0.0.1:1"), Timeout: 200_000_000})
+	if _, err := r.Resolve("www.d1.nl.", dnswire.TypeA); err == nil {
+		t.Fatal("unreachable server resolved")
+	}
+}

@@ -1,0 +1,653 @@
+// Package resolver implements the client side of the paper's measured
+// traffic: a caching recursive resolver as seen from a TLD/root
+// authoritative server. It models exactly the behaviors the paper
+// attributes to cloud resolvers:
+//
+//   - QNAME minimization (RFC 7816): NS queries for names "one label more
+//     than the zone" walked down until the delegation is found (§4.2.1);
+//   - DNSSEC validation: DS queries per delegation and periodic DNSKEY
+//     queries for the zone apex (§4.2.2);
+//   - EDNS(0) buffer sizes driving truncation and TCP retry (§4.4);
+//   - dual-stack IPv4/IPv6 upstream choice informed by measured RTT
+//     (§4.3, following Müller et al.'s "Recursives in the Wild");
+//   - TTL caching, so only cache misses reach the authoritative server.
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+)
+
+// Family selects the IP family of an upstream exchange.
+type Family int
+
+// Families.
+const (
+	FamilyV4 Family = 4
+	FamilyV6 Family = 6
+)
+
+// String names the family.
+func (f Family) String() string {
+	if f == FamilyV6 {
+		return "IPv6"
+	}
+	return "IPv4"
+}
+
+// Transport performs one DNS exchange with the authoritative server and
+// reports how long it took (the RTT signal for family preference).
+type Transport interface {
+	Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message, time.Duration, error)
+}
+
+// Config shapes resolver behavior.
+type Config struct {
+	// Qmin enables QNAME minimization.
+	Qmin bool
+	// Validate enables DNSSEC validation queries (DS + DNSKEY).
+	Validate bool
+	// AggressiveNSEC enables RFC 8198 aggressive use of DNSSEC-validated
+	// negative answers: NSEC ranges from NXDOMAIN responses synthesize
+	// denials for other covered names without querying, the mechanism the
+	// paper suggests behind the 2020 decline in cloud junk (§4.2.3).
+	// Requires Validate.
+	AggressiveNSEC bool
+	// EDNSSize is the advertised EDNS(0) UDP payload size; 0 sends
+	// queries without EDNS (classic 512-byte behavior).
+	EDNSSize uint16
+	// UseCookies attaches RFC 7873 DNS COOKIE options (requires EDNS).
+	// Servers exempt cookie-validated clients from rate limiting.
+	UseCookies bool
+	// ExploreProb is the probability of querying the slower family when
+	// both are available (default 0.1).
+	ExploreProb float64
+	// Retries is how many extra attempts a failed exchange gets (each
+	// retry re-picks the family, so a broken path fails over). Default 1.
+	Retries int
+	// Now is the clock used for TTL caching (default time.Now).
+	Now func() time.Time
+	// Seed makes the resolver's random decisions reproducible.
+	Seed int64
+}
+
+// Stats counts queries actually sent to the authoritative server, broken
+// down the way the paper's tables are.
+type Stats struct {
+	Sent       uint64
+	ByFamily   map[Family]uint64
+	ByTCP      map[bool]uint64
+	ByType     map[dnswire.Type]uint64
+	CacheHits  uint64
+	Truncated  uint64 // responses that came back TC=1
+	TCPRetries uint64
+	// AggressiveHits counts NXDOMAINs synthesized from cached NSEC
+	// ranges (RFC 8198) without any query reaching the server.
+	AggressiveHits uint64
+}
+
+// Result summarizes one resolution from the vantage of the TLD server.
+type Result struct {
+	RCode      dnswire.RCode
+	Delegation string // the delegation the name lives under ("" if none)
+	CacheHit   bool   // true when no query reached the server
+	Queries    int    // queries sent for this resolution
+}
+
+var (
+	// ErrNoUpstream is returned when no transport is registered.
+	ErrNoUpstream = errors.New("resolver: no upstream transport")
+	// ErrExchange wraps transport failures.
+	ErrExchange = errors.New("resolver: exchange failed")
+)
+
+type cacheKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+type cacheEntry struct {
+	expires    time.Time
+	rcode      dnswire.RCode
+	delegation string
+}
+
+// nsecRange is one cached RFC 8198 denial range.
+type nsecRange struct {
+	owner, next string
+	expires     time.Time
+}
+
+// Resolver is a simulated caching resolver pointed at one zone's
+// authoritative servers.
+type Resolver struct {
+	origin string
+	cfg    Config
+
+	mu           sync.Mutex
+	upstreams    map[Family]Transport
+	rttEWMA      map[Family]time.Duration
+	cache        map[cacheKey]cacheEntry
+	nsec         []nsecRange
+	clientCookie []byte
+	serverCookie []byte
+	rng          *rand.Rand
+	nextID       uint16
+	stats        Stats
+}
+
+// New builds a resolver for the zone rooted at origin.
+func New(origin string, cfg Config) *Resolver {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.ExploreProb <= 0 {
+		cfg.ExploreProb = 0.1
+	}
+	return &Resolver{
+		origin:    dnswire.CanonicalName(origin),
+		cfg:       cfg,
+		upstreams: make(map[Family]Transport),
+		rttEWMA:   make(map[Family]time.Duration),
+		cache:     make(map[cacheKey]cacheEntry),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// AddUpstream registers the transport for one family. Registering both
+// families enables the RTT-preference policy.
+func (r *Resolver) AddUpstream(f Family, t Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.upstreams[f] = t
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Resolver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.stats
+	out.ByFamily = copyMap(r.stats.ByFamily)
+	out.ByTCP = copyMap(r.stats.ByTCP)
+	out.ByType = copyMap(r.stats.ByType)
+	return out
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// RTT returns the smoothed RTT estimate for a family (0 if unmeasured).
+func (r *Resolver) RTT(f Family) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rttEWMA[f]
+}
+
+// chooseFamily implements the latency-driven preference: pick the family
+// with the lower smoothed RTT, but explore the other with ExploreProb.
+func (r *Resolver) chooseFamily() (Family, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, has4 := r.upstreams[FamilyV4]
+	_, has6 := r.upstreams[FamilyV6]
+	switch {
+	case !has4 && !has6:
+		return 0, ErrNoUpstream
+	case has4 && !has6:
+		return FamilyV4, nil
+	case has6 && !has4:
+		return FamilyV6, nil
+	}
+	rtt4, rtt6 := r.rttEWMA[FamilyV4], r.rttEWMA[FamilyV6]
+	// Unmeasured families get explored first.
+	if rtt4 == 0 {
+		return FamilyV4, nil
+	}
+	if rtt6 == 0 {
+		return FamilyV6, nil
+	}
+	fast, slow := FamilyV4, FamilyV6
+	rf, rs := rtt4, rtt6
+	if rtt6 < rtt4 {
+		fast, slow = FamilyV6, FamilyV4
+		rf, rs = rtt6, rtt4
+	}
+	// Comparable RTTs (within 20%) get an even split, matching the
+	// observed behavior of production resolvers ("Recursives in the
+	// Wild"); clearly slower paths only see exploration traffic.
+	if rs-rf < rs/5 {
+		if r.rng.Float64() < 0.5 {
+			return slow, nil
+		}
+		return fast, nil
+	}
+	if r.rng.Float64() < r.cfg.ExploreProb {
+		return slow, nil
+	}
+	return fast, nil
+}
+
+// exchange sends one query with retry-and-failover: a failed attempt is
+// retried (re-picking the family) up to Retries extra times, like
+// production resolvers cycling through their upstream set.
+func (r *Resolver) exchange(name string, typ dnswire.Type) (*dnswire.Message, int, error) {
+	retries := r.cfg.Retries
+	if retries <= 0 {
+		retries = 1
+	}
+	sent := 0
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		var resp *dnswire.Message
+		var n int
+		resp, n, err = r.exchangeOnce(name, typ)
+		sent += n
+		if err == nil {
+			return resp, sent, nil
+		}
+		if errors.Is(err, ErrNoUpstream) {
+			break // nothing to fail over to
+		}
+	}
+	return nil, sent, err
+}
+
+// exchangeOnce sends one query, handling family choice, RTT accounting,
+// truncation (TCP retry) and stats. It may send up to two wire queries.
+func (r *Resolver) exchangeOnce(name string, typ dnswire.Type) (*dnswire.Message, int, error) {
+	fam, err := r.chooseFamily()
+	if err != nil {
+		return nil, 0, err
+	}
+	r.mu.Lock()
+	t := r.upstreams[fam]
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+
+	q := dnswire.NewQuery(id, name, typ)
+	if r.cfg.EDNSSize > 0 {
+		q.WithEdns(r.cfg.EDNSSize, r.cfg.Validate)
+		if r.cfg.UseCookies {
+			q.Edns.Options = append(q.Edns.Options, dnswire.EDNSOption{
+				Code: dnswire.EDNSOptionCookie, Data: r.cookieOption(),
+			})
+		}
+	}
+
+	sent := 0
+	resp, rtt, err := t.Exchange(q, false)
+	sent++
+	r.note(fam, false, typ, rtt, err == nil)
+	if err != nil {
+		return nil, sent, fmt.Errorf("%w: udp %s %s: %v", ErrExchange, name, typ, err)
+	}
+	r.learnCookie(resp)
+	if resp.Header.Truncated {
+		r.mu.Lock()
+		r.stats.Truncated++
+		r.stats.TCPRetries++
+		r.mu.Unlock()
+		resp, rtt, err = t.Exchange(q, true)
+		sent++
+		r.note(fam, true, typ, rtt, err == nil)
+		if err != nil {
+			return nil, sent, fmt.Errorf("%w: tcp %s %s: %v", ErrExchange, name, typ, err)
+		}
+	}
+	return resp, sent, nil
+}
+
+// cookieOption builds the COOKIE option payload: the resolver's client
+// cookie plus the last server cookie it learned, if any.
+func (r *Resolver) cookieOption() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.clientCookie == nil {
+		r.clientCookie = make([]byte, authserver.ClientCookieLen)
+		r.rng.Read(r.clientCookie)
+	}
+	out := append([]byte(nil), r.clientCookie...)
+	return append(out, r.serverCookie...)
+}
+
+// learnCookie remembers the server cookie echoed in a response.
+func (r *Resolver) learnCookie(resp *dnswire.Message) {
+	if !r.cfg.UseCookies || resp == nil || resp.Edns == nil {
+		return
+	}
+	for _, opt := range resp.Edns.Options {
+		if opt.Code == dnswire.EDNSOptionCookie && len(opt.Data) > authserver.ClientCookieLen {
+			r.mu.Lock()
+			r.serverCookie = append(r.serverCookie[:0], opt.Data[authserver.ClientCookieLen:]...)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// note updates stats and the RTT estimator.
+func (r *Resolver) note(f Family, tcp bool, typ dnswire.Type, rtt time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Sent++
+	if r.stats.ByFamily == nil {
+		r.stats.ByFamily = make(map[Family]uint64)
+		r.stats.ByTCP = make(map[bool]uint64)
+		r.stats.ByType = make(map[dnswire.Type]uint64)
+	}
+	r.stats.ByFamily[f]++
+	r.stats.ByTCP[tcp]++
+	r.stats.ByType[typ]++
+	if ok && rtt > 0 {
+		if prev := r.rttEWMA[f]; prev == 0 {
+			r.rttEWMA[f] = rtt
+		} else {
+			r.rttEWMA[f] = (prev*7 + rtt) / 8
+		}
+		return
+	}
+	if !ok {
+		// A failed exchange penalizes the family's estimate so retries
+		// fail over to the other upstream.
+		penalty := 2 * time.Second
+		if prev := r.rttEWMA[f]; prev*2 > penalty {
+			penalty = prev * 2
+		}
+		r.rttEWMA[f] = penalty
+	}
+}
+
+// cacheGet returns a live cache entry.
+func (r *Resolver) cacheGet(name string, typ dnswire.Type) (cacheEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[cacheKey{name, typ}]
+	if !ok || r.cfg.Now().After(e.expires) {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+func (r *Resolver) cachePut(name string, typ dnswire.Type, e cacheEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[cacheKey{name, typ}] = e
+}
+
+// ttlOf extracts a caching TTL from a response (minimum RR TTL, or the SOA
+// minimum for negative answers), floored at 1s and capped at 1h to keep
+// simulations lively.
+func ttlOf(m *dnswire.Message) time.Duration {
+	best := uint32(3600)
+	seen := false
+	scan := func(rrs []dnswire.RR) {
+		for _, rr := range rrs {
+			if rr.TTL < best || !seen {
+				best, seen = rr.TTL, true
+			}
+			if soa, ok := rr.Data.(dnswire.SOAData); ok {
+				if soa.Minimum < best {
+					best = soa.Minimum
+				}
+			}
+		}
+	}
+	scan(m.Answers)
+	scan(m.Authority)
+	if best < 1 {
+		best = 1
+	}
+	if best > 3600 {
+		best = 3600
+	}
+	return time.Duration(best) * time.Second
+}
+
+// classify inspects a TLD response: the delegation it refers to, if any.
+func classify(m *dnswire.Message) (delegation string, delegated bool) {
+	for _, rr := range m.Authority {
+		if rr.Data.Type() == dnswire.TypeNS {
+			return rr.Name, true
+		}
+	}
+	for _, rr := range m.Answers {
+		if rr.Data.Type() == dnswire.TypeNS {
+			return rr.Name, true
+		}
+	}
+	return "", false
+}
+
+// Resolve performs the TLD-side work to resolve (qname, qtype): finds the
+// covering delegation (possibly via QNAME minimization), performs DNSSEC
+// validation queries if configured, and returns what the authoritative
+// vantage point saw.
+func (r *Resolver) Resolve(qname string, qtype dnswire.Type) (*Result, error) {
+	qname = dnswire.CanonicalName(qname)
+	if !dnswire.IsSubdomain(qname, r.origin) {
+		return nil, fmt.Errorf("resolver: %s not under %s", qname, r.origin)
+	}
+	res := &Result{}
+
+	// Cache: any cached covering delegation means no query is sent.
+	if e, ok := r.coveringDelegation(qname); ok {
+		r.mu.Lock()
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		res.CacheHit = true
+		res.RCode = e.rcode
+		res.Delegation = e.delegation
+		return res, nil
+	}
+	// Cached negative answer?
+	if e, ok := r.cacheGet(qname, qtype); ok && e.rcode == dnswire.RCodeNXDomain {
+		r.mu.Lock()
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		res.CacheHit = true
+		res.RCode = dnswire.RCodeNXDomain
+		return res, nil
+	}
+	// RFC 8198: a cached validated NSEC range covering qname lets us
+	// synthesize NXDOMAIN without asking the authoritative server at all.
+	if r.cfg.AggressiveNSEC && r.coveredByNSEC(qname) {
+		r.mu.Lock()
+		r.stats.CacheHits++
+		r.stats.AggressiveHits++
+		r.mu.Unlock()
+		res.CacheHit = true
+		res.RCode = dnswire.RCodeNXDomain
+		return res, nil
+	}
+
+	var err error
+	if r.cfg.Qmin {
+		err = r.resolveQmin(qname, res)
+	} else {
+		err = r.resolveDirect(qname, qtype, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Validate && res.Delegation != "" {
+		if err := r.validate(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// coveringDelegation scans cached NS entries for qname's suffixes.
+func (r *Resolver) coveringDelegation(qname string) (cacheEntry, bool) {
+	name := qname
+	for {
+		if name == r.origin || !dnswire.IsSubdomain(name, r.origin) {
+			return cacheEntry{}, false
+		}
+		if e, ok := r.cacheGet(name, dnswire.TypeNS); ok && e.delegation != "" {
+			return e, true
+		}
+		name = dnswire.ParentName(name)
+	}
+}
+
+// resolveDirect sends the full qname/qtype, pre-RFC7816 style.
+func (r *Resolver) resolveDirect(qname string, qtype dnswire.Type, res *Result) error {
+	resp, sent, err := r.exchange(qname, qtype)
+	res.Queries += sent
+	if err != nil {
+		return err
+	}
+	return r.absorb(qname, qtype, resp, res)
+}
+
+// resolveQmin walks NS queries down one label at a time (RFC 7816 §3).
+func (r *Resolver) resolveQmin(qname string, res *Result) error {
+	labels := dnswire.SplitLabels(qname)
+	originCount := dnswire.CountLabels(r.origin)
+	// Build names from apex+1 label to the full name.
+	for depth := originCount + 1; depth <= len(labels); depth++ {
+		name := joinSuffix(labels, depth)
+		if e, ok := r.cacheGet(name, dnswire.TypeNS); ok {
+			if e.delegation != "" {
+				res.RCode = e.rcode
+				res.Delegation = e.delegation
+				return nil
+			}
+			if e.rcode == dnswire.RCodeNXDomain {
+				res.RCode = e.rcode
+				return nil
+			}
+			continue // cached ENT; go deeper
+		}
+		resp, sent, err := r.exchange(name, dnswire.TypeNS)
+		res.Queries += sent
+		if err != nil {
+			return err
+		}
+		if err := r.absorb(name, dnswire.TypeNS, resp, res); err != nil {
+			return err
+		}
+		if res.Delegation != "" || res.RCode == dnswire.RCodeNXDomain {
+			return nil
+		}
+		// NODATA at an empty non-terminal (e.g. co.nz): continue deeper.
+	}
+	return nil
+}
+
+// joinSuffix returns the name formed by the last depth labels.
+func joinSuffix(labels []string, depth int) string {
+	out := ""
+	for i := len(labels) - depth; i < len(labels); i++ {
+		out += labels[i] + "."
+	}
+	return out
+}
+
+// absorb caches and records a response.
+func (r *Resolver) absorb(qname string, qtype dnswire.Type, resp *dnswire.Message, res *Result) error {
+	ttl := ttlOf(resp)
+	now := r.cfg.Now()
+	switch resp.Header.RCode {
+	case dnswire.RCodeNoError:
+		if delegation, ok := classify(resp); ok {
+			res.Delegation = delegation
+			res.RCode = dnswire.RCodeNoError
+			r.cachePut(delegation, dnswire.TypeNS, cacheEntry{
+				expires: now.Add(ttl), rcode: dnswire.RCodeNoError, delegation: delegation,
+			})
+			return nil
+		}
+		// NODATA (apex or ENT): cache the absence.
+		res.RCode = dnswire.RCodeNoError
+		r.cachePut(qname, qtype, cacheEntry{expires: now.Add(ttl), rcode: dnswire.RCodeNoError})
+		return nil
+	case dnswire.RCodeNXDomain:
+		res.RCode = dnswire.RCodeNXDomain
+		r.cachePut(qname, qtype, cacheEntry{expires: now.Add(ttl), rcode: dnswire.RCodeNXDomain})
+		if r.cfg.AggressiveNSEC && r.cfg.Validate {
+			r.rememberNSEC(resp, now.Add(ttl))
+		}
+		return nil
+	default:
+		res.RCode = resp.Header.RCode
+		return nil
+	}
+}
+
+// rememberNSEC stores the NSEC denial ranges of a validated negative
+// response for RFC 8198 reuse.
+func (r *Resolver) rememberNSEC(resp *dnswire.Message, expires time.Time) {
+	for _, rr := range resp.Authority {
+		nsec, ok := rr.Data.(dnswire.NSECData)
+		if !ok {
+			continue
+		}
+		r.mu.Lock()
+		r.nsec = append(r.nsec, nsecRange{
+			owner:   dnswire.CanonicalName(rr.Name),
+			next:    dnswire.CanonicalName(nsec.NextName),
+			expires: expires,
+		})
+		r.mu.Unlock()
+	}
+}
+
+// coveredByNSEC reports whether any live cached NSEC range denies qname,
+// compacting expired ranges as a side effect.
+func (r *Resolver) coveredByNSEC(qname string) bool {
+	now := r.cfg.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := r.nsec[:0]
+	covered := false
+	for _, nr := range r.nsec {
+		if now.After(nr.expires) {
+			continue
+		}
+		live = append(live, nr)
+		if authserver.CoversName(r.origin, nr.owner, nr.next, qname) {
+			covered = true
+		}
+	}
+	r.nsec = live
+	return covered
+}
+
+// validate issues the DNSSEC queries of a validating resolver: DS for the
+// delegation (per-domain) and DNSKEY for the zone apex (once per TTL).
+func (r *Resolver) validate(res *Result) error {
+	if _, ok := r.cacheGet(res.Delegation, dnswire.TypeDS); !ok {
+		resp, sent, err := r.exchange(res.Delegation, dnswire.TypeDS)
+		res.Queries += sent
+		if err != nil {
+			return err
+		}
+		r.cachePut(res.Delegation, dnswire.TypeDS, cacheEntry{
+			expires: r.cfg.Now().Add(ttlOf(resp)), rcode: resp.Header.RCode,
+		})
+	}
+	if _, ok := r.cacheGet(r.origin, dnswire.TypeDNSKEY); !ok {
+		resp, sent, err := r.exchange(r.origin, dnswire.TypeDNSKEY)
+		res.Queries += sent
+		if err != nil {
+			return err
+		}
+		r.cachePut(r.origin, dnswire.TypeDNSKEY, cacheEntry{
+			expires: r.cfg.Now().Add(ttlOf(resp)), rcode: resp.Header.RCode,
+		})
+	}
+	return nil
+}

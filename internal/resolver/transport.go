@@ -1,0 +1,131 @@
+package resolver
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+)
+
+// EngineTransport exchanges messages with an in-process authoritative
+// Engine, faithfully passing through the wire format (pack, truncate,
+// unpack) so EDNS-driven truncation behaves exactly as on a socket.
+// SimulatedRTT is reported as the exchange duration (TCP exchanges report
+// twice the value: handshake plus query round), giving deterministic
+// latency signals for the family-preference policy without sleeping.
+type EngineTransport struct {
+	Engine       *authserver.Engine
+	Client       netip.Addr
+	SimulatedRTT time.Duration
+}
+
+// Exchange implements Transport.
+func (t *EngineTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message, time.Duration, error) {
+	// Round-trip the query through the wire format too, so malformed
+	// constructions are caught in tests.
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, 0, err
+	}
+	parsed, err := dnswire.Unpack(wire)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := t.Engine.Handle(parsed, t.Client, tcp)
+	if r == nil {
+		return nil, 0, fmt.Errorf("engine transport: query dropped (RRL)")
+	}
+	out, err := authserver.PackResponse(r, parsed, tcp)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil {
+		return nil, 0, err
+	}
+	rtt := t.SimulatedRTT
+	if rtt == 0 {
+		rtt = time.Millisecond
+	}
+	if tcp {
+		rtt *= 2
+	}
+	return resp, rtt, nil
+}
+
+// NetTransport exchanges messages with a real authoritative server over
+// UDP and TCP sockets. The reported duration is the socket-level exchange
+// time (for TCP: connect + query, matching how the paper estimates RTTs
+// from TCP handshakes).
+type NetTransport struct {
+	// Server is the authoritative server address (UDP and TCP same port).
+	Server netip.AddrPort
+	// Timeout bounds each exchange (default 5s).
+	Timeout time.Duration
+}
+
+// Exchange implements Transport.
+func (t *NetTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message, time.Duration, error) {
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	var raw []byte
+	if tcp {
+		raw, err = t.exchangeTCP(wire, timeout)
+	} else {
+		raw, err = t.exchangeUDP(wire, timeout)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, elapsed, err
+	}
+	resp, err := dnswire.Unpack(raw)
+	if err != nil {
+		return nil, elapsed, err
+	}
+	if resp.Header.ID != q.Header.ID {
+		return nil, elapsed, fmt.Errorf("net transport: response ID %d != query ID %d", resp.Header.ID, q.Header.ID)
+	}
+	return resp, elapsed, nil
+}
+
+func (t *NetTransport) exchangeUDP(wire []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(t.Server))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func (t *NetTransport) exchangeTCP(wire []byte, timeout time.Duration) ([]byte, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", t.Server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := authserver.WriteTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	return authserver.ReadTCPMessage(conn)
+}

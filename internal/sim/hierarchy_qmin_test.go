@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dnscentral/internal/dnswire"
+)
+
+// TestHierarchyQminJunkUnderTLD covers the minimized probe for a
+// nonexistent name: the TLD sees only the minimized NS query.
+func TestHierarchyQminJunkUnderTLD(t *testing.T) {
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, true, func() time.Time { return now })
+	r, err := c.Resolve("a.b.nosuchname.nl.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %s", r.Header.RCode)
+	}
+	// The minimized first step under nl. is "nosuchname.nl. NS".
+	if q := r.Question(); q.Type != dnswire.TypeNS || q.Name != "nosuchname.nl." {
+		t.Fatalf("TLD saw %s %s, want minimized NS probe", q.Name, q.Type)
+	}
+	if st := c.Stats(); st.TLD != 1 || st.Leaf != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMinimizedStepShapes(t *testing.T) {
+	cases := []struct{ origin, qname, want string }{
+		{"nl.", "www.d5.nl.", "d5.nl."},
+		{"nl.", "a.b.c.d5.nl.", "d5.nl."},
+		{".", "www.d5.nl.", "nl."},
+		{"nl.", "d5.nl.", "d5.nl."}, // already at the cut
+	}
+	for _, c := range cases {
+		if got := minimizedStep(c.origin, c.qname); got != c.want {
+			t.Errorf("minimizedStep(%q, %q) = %q, want %q", c.origin, c.qname, got, c.want)
+		}
+	}
+}
+
+// TestHierarchyDefaultClock covers the nil-clock constructor path.
+func TestHierarchyDefaultClock(t *testing.T) {
+	h := newHierarchy(t)
+	c := h.NewIterClient(iterAddr, false, nil)
+	if _, err := c.Resolve("www.d1.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+}

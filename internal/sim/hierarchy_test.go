@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/zonedb"
+)
+
+func newHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	nl, err := zonedb.NewCcTLD("nl", 5000, 0, 0.55, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz, err := zonedb.NewCcTLD("nz", 500, 2000, 0.3, []string{"ns1.dns.net.nz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(nl, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+var iterAddr = netip.MustParseAddr("100.0.0.42")
+
+func TestHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	leaf, _ := zonedb.NewLeaf("x.nl.", []string{"ns1.x.nl."})
+	if _, err := NewHierarchy(leaf); err == nil {
+		t.Error("leaf accepted as TLD")
+	}
+}
+
+func TestIterativeWalkAnswers(t *testing.T) {
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, false, func() time.Time { return now })
+	r, err := c.Resolve("www.d7.nl.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.RCode != dnswire.RCodeNoError || len(r.Answers) == 0 {
+		t.Fatalf("final answer: %+v", r.Header)
+	}
+	if r.Answers[0].Data.Type() != dnswire.TypeA {
+		t.Fatalf("answer type %s", r.Answers[0].Data.Type())
+	}
+	st := c.Stats()
+	if st.Root != 1 || st.TLD != 1 || st.Leaf != 1 {
+		t.Fatalf("level stats = %+v, want 1/1/1", st)
+	}
+}
+
+func TestHierarchyCachingAsymmetry(t *testing.T) {
+	// The Figure 1 asymmetry: resolving many domains under one TLD hits
+	// the root once but the TLD per domain — the root's share of
+	// hierarchy traffic collapses, like B-Root's 8.7% vs the ccTLDs' 33%.
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, true, func() time.Time { return now })
+	const domains = 400
+	for i := 0; i < domains; i++ {
+		if _, err := c.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Root != 1 {
+		t.Errorf("root queries = %d, want 1 (TLD NS cached)", st.Root)
+	}
+	if st.TLD != domains || st.Leaf != domains {
+		t.Errorf("TLD/leaf queries = %d/%d, want %d each", st.TLD, st.Leaf, domains)
+	}
+	rootShare := float64(st.Root) / float64(st.Root+st.TLD+st.Leaf)
+	if rootShare > 0.01 {
+		t.Errorf("root share = %.4f, want ≪ TLD share", rootShare)
+	}
+}
+
+func TestHierarchyRepeatedDomainServedFromLeafOnly(t *testing.T) {
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, true, func() time.Time { return now })
+	for i := 0; i < 10; i++ {
+		if _, err := c.Resolve("www.d3.nl.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.TLD != 1 {
+		t.Errorf("TLD queries = %d, want 1 (delegation cached)", st.TLD)
+	}
+	if st.Leaf != 10 {
+		t.Errorf("leaf queries = %d, want 10", st.Leaf)
+	}
+}
+
+func TestHierarchyCacheExpiry(t *testing.T) {
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, true, func() time.Time { return now })
+	if _, err := c.Resolve("www.d3.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour) // past the delegation TTL, below the root's
+	if _, err := c.Resolve("www.d3.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Root != 1 {
+		t.Errorf("root queries = %d, want 1", st.Root)
+	}
+	if st.TLD != 2 {
+		t.Errorf("TLD queries = %d, want 2 (delegation expired)", st.TLD)
+	}
+}
+
+func TestHierarchyJunkStopsAtTheRightLevel(t *testing.T) {
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, false, func() time.Time { return now })
+	// Junk TLD: NXDOMAIN from the root.
+	r, err := c.Resolve("www.chromiumjunk.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("junk TLD rcode = %s", r.Header.RCode)
+	}
+	if st := c.Stats(); st.TLD != 0 || st.Leaf != 0 {
+		t.Errorf("junk TLD leaked below the root: %+v", st)
+	}
+	// Junk under a real TLD: NXDOMAIN from the TLD.
+	r, err = c.Resolve("nosuchname.nl.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("junk SLD rcode = %s", r.Header.RCode)
+	}
+	if st := c.Stats(); st.Leaf != 0 {
+		t.Errorf("junk name leaked to a leaf: %+v", st)
+	}
+	// Junk host under a real domain: NXDOMAIN from the leaf.
+	r, err = c.Resolve("nohost.d3.nl.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("junk host rcode = %s", r.Header.RCode)
+	}
+	if st := c.Stats(); st.Leaf != 1 {
+		t.Errorf("leaf queries = %d, want 1", st.Leaf)
+	}
+}
+
+func TestHierarchyThirdLevelNZ(t *testing.T) {
+	h := newHierarchy(t)
+	now := time.Unix(1586000000, 0)
+	c := h.NewIterClient(iterAddr, true, func() time.Time { return now })
+	// Rank 500 is the first third-level .nz domain.
+	nz := h.TLDs["nz."].Zone()
+	name, err := nz.DomainName(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Resolve("www."+name, dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.RCode != dnswire.RCodeNoError || len(r.Answers) == 0 {
+		t.Fatalf("third-level answer: %+v", r.Header)
+	}
+}
+
+func TestLeafZoneSemantics(t *testing.T) {
+	z, err := zonedb.NewLeaf("d9.nl.", []string{"ns1.d9.nl."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.IsLeaf() {
+		t.Fatal("not leaf")
+	}
+	if !z.LeafOwns("d9.nl.") || !z.LeafOwns("www.d9.nl.") {
+		t.Error("leaf does not own its names")
+	}
+	if z.LeafOwns("nope.d9.nl.") || z.LeafOwns("a.www.d9.nl.") || z.LeafOwns("other.nl.") {
+		t.Error("leaf owns foreign names")
+	}
+	if _, err := zonedb.NewLeaf("nl.", []string{"ns1.x."}); err == nil {
+		t.Error("TLD accepted as leaf")
+	}
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/resolver"
+	"dnscentral/internal/stats"
+	"dnscentral/internal/zonedb"
+)
+
+func newSim(t *testing.T, sink *pcapio.Writer, rrl *authserver.RRLConfig) *Sim {
+	t.Helper()
+	z, err := zonedb.NewCcTLD("nl", 2000, 0, 0.55, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s workloadSink
+	if sink != nil {
+		s.w = sink
+	}
+	sm, err := New(Config{Zone: z, Sink: s, RRL: rrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// workloadSink adapts *pcapio.Writer to the nil-able sink.
+type workloadSink struct{ w *pcapio.Writer }
+
+func (s workloadSink) WritePacket(ts time.Time, data []byte) error {
+	if s.w == nil {
+		return nil
+	}
+	return s.w.WritePacket(ts, data)
+}
+
+func TestSimRequiresZone(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no zone accepted")
+	}
+}
+
+func TestSimResolverNeedsAddress(t *testing.T) {
+	sm := newSim(t, nil, nil)
+	if _, err := sm.AddResolver(ResolverSpec{}); err == nil {
+		t.Fatal("address-less resolver accepted")
+	}
+}
+
+func TestQminMechanismEmergesAtTheVantage(t *testing.T) {
+	// Two identical resolvers, one minimizing; the NS share difference in
+	// the *capture* is the Figure 3 mechanism from first principles.
+	reg := astrie.NewRegistry(4)
+	for _, qmin := range []bool{false, true} {
+		var buf bytes.Buffer
+		w := pcapio.NewWriter(&buf)
+		sm := newSim(t, w, nil)
+		addr, _ := reg.ResolverAddr(15169, false, false, 1)
+		r, err := sm.AddResolver(ResolverSpec{
+			Addr4:  addr,
+			Config: resolver.Config{Qmin: qmin, EDNSSize: 1232},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			name := fmt.Sprintf("www.d%d.nl.", i)
+			if _, err := r.Resolve(name, dnswire.TypeA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := pcapio.NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := entrada.NewAnalyzer(reg)
+		if err := an.AnalyzeReader(rd); err != nil {
+			t.Fatal(err)
+		}
+		ag := an.Finish()
+		google := ag.Provider(astrie.ProviderGoogle)
+		nsShare := stats.Ratio(google.ByType[dnswire.TypeNS], google.Queries)
+		if qmin && nsShare < 0.95 {
+			t.Errorf("qmin: NS share %.2f, want ≈1", nsShare)
+		}
+		if !qmin && nsShare > 0.05 {
+			t.Errorf("no qmin: NS share %.2f, want ≈0", nsShare)
+		}
+	}
+}
+
+func TestEDNSTruncationMechanism(t *testing.T) {
+	// A 512-byte advertiser validating DNSSEC retries over TCP for signed
+	// referrals; a 1232-byte advertiser never does.
+	reg := astrie.NewRegistry(4)
+	type result struct{ tcpShare float64 }
+	run := func(edns uint16) result {
+		var buf bytes.Buffer
+		w := pcapio.NewWriter(&buf)
+		sm := newSim(t, w, nil)
+		addr, _ := reg.ResolverAddr(32934, false, false, 2)
+		r, err := sm.AddResolver(ResolverSpec{
+			Addr4:  addr,
+			Config: resolver.Config{Validate: true, EDNSSize: edns},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := r.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rd, _ := pcapio.NewReader(&buf)
+		an := entrada.NewAnalyzer(reg)
+		if err := an.AnalyzeReader(rd); err != nil {
+			t.Fatal(err)
+		}
+		ag := an.Finish()
+		fb := ag.Provider(astrie.ProviderFacebook)
+		return result{tcpShare: stats.Ratio(fb.TCP, fb.Queries)}
+	}
+	small := run(512)
+	big := run(1232)
+	if small.tcpShare < 0.10 {
+		t.Errorf("512B advertiser TCP share %.3f, want substantial", small.tcpShare)
+	}
+	if big.tcpShare > 0.01 {
+		t.Errorf("1232B advertiser TCP share %.3f, want ≈0", big.tcpShare)
+	}
+}
+
+func TestRRLForcesTCP(t *testing.T) {
+	reg := astrie.NewRegistry(4)
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	sm := newSim(t, w, &authserver.RRLConfig{RatePerSec: 0.0000001, Burst: 2, SlipEvery: 1})
+	addr, _ := reg.ResolverAddr(16509, false, false, 3)
+	r, err := sm.AddResolver(ResolverSpec{
+		Addr4:  addr,
+		Config: resolver.Config{EDNSSize: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := r.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.TCPRetries < 40 {
+		t.Errorf("TCP retries = %d, want ≈48 (rate-limited past burst)", st.TCPRetries)
+	}
+}
+
+func TestDualStackRTTPreferenceInCapture(t *testing.T) {
+	// A dual-stack resolver with a much faster IPv6 path must show mostly
+	// IPv6 queries at the vantage (§4.3's mechanism).
+	reg := astrie.NewRegistry(4)
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	sm := newSim(t, w, nil)
+	a4, _ := reg.ResolverAddr(32934, false, false, 4)
+	a6, _ := reg.ResolverAddr(32934, true, false, 4)
+	r, err := sm.AddResolver(ResolverSpec{
+		Addr4: a4, Addr6: a6,
+		RTT4: 80 * time.Millisecond, RTT6: 8 * time.Millisecond,
+		Config: resolver.Config{EDNSSize: 1232, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := r.Resolve(fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := pcapio.NewReader(&buf)
+	an := entrada.NewAnalyzer(reg)
+	if err := an.AnalyzeReader(rd); err != nil {
+		t.Fatal(err)
+	}
+	ag := an.Finish()
+	fb := ag.Provider(astrie.ProviderFacebook)
+	v6Share := stats.Ratio(fb.V6, fb.Queries)
+	if v6Share < 0.7 {
+		t.Errorf("v6 share at the vantage = %.2f, want > 0.7 when v6 is 10x faster", v6Share)
+	}
+	// Both addresses must appear as distinct resolvers.
+	rc := fb.ResolverCounts(nil)
+	if rc.V4 != 1 || rc.V6 != 1 {
+		t.Errorf("resolver counts = %+v", rc)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	sm := newSim(t, nil, nil)
+	start := sm.Clock.Now()
+	reg := astrie.NewRegistry(1)
+	addr, _ := reg.ResolverAddr(15169, false, false, 9)
+	r, err := sm.AddResolver(ResolverSpec{Addr4: addr, RTT4: 50 * time.Millisecond,
+		Config: resolver.Config{EDNSSize: 1232}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("www.d1.nl.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Clock.Now().Sub(start) < 50*time.Millisecond {
+		t.Error("clock did not advance by an RTT")
+	}
+}
+
+func TestCaptureParsesCleanly(t *testing.T) {
+	reg := astrie.NewRegistry(2)
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	sm := newSim(t, w, nil)
+	a4, _ := reg.ResolverAddr(13335, false, false, 1)
+	r, err := sm.AddResolver(ResolverSpec{Addr4: a4,
+		Config: resolver.Config{Qmin: true, Validate: true, EDNSSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := r.Resolve(fmt.Sprintf("mail.d%d.nl.", i), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := pcapio.NewReader(&buf)
+	an := entrada.NewAnalyzer(reg)
+	if err := an.AnalyzeReader(rd); err != nil {
+		t.Fatal(err)
+	}
+	if an.MalformedPackets != 0 {
+		t.Errorf("malformed packets in capture: %d", an.MalformedPackets)
+	}
+	ag := an.Finish()
+	// Analyzer totals must match the resolver's own accounting.
+	if ag.Total != r.Stats().Sent {
+		t.Errorf("capture total %d != resolver sent %d", ag.Total, r.Stats().Sent)
+	}
+	_ = netip.Addr{}
+}

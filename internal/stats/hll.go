@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// HLL is a HyperLogLog cardinality estimator. ENTRADA-scale deployments
+// cannot keep exact per-day resolver sets for billions of queries; the
+// ablation benchmarks compare this estimator against exact set counting
+// (the reproduction's default, which is exact because traces are scaled).
+type HLL struct {
+	p         uint8
+	registers []uint8
+}
+
+// NewHLL creates an estimator with 2^p registers (4 ≤ p ≤ 16). p=12 gives
+// a typical standard error of ~1.6%.
+func NewHLL(p uint8) *HLL {
+	if p < 4 {
+		p = 4
+	}
+	if p > 16 {
+		p = 16
+	}
+	return &HLL{p: p, registers: make([]uint8, 1<<p)}
+}
+
+// Add observes one item.
+func (h *HLL) Add(item []byte) {
+	hash := fnv.New64a()
+	_, _ = hash.Write(item)
+	x := hash.Sum64()
+	// FNV's high bits mix poorly for short keys; finalize with splitmix64
+	// so both the register index and the rank bits are uniform.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // ensure a terminating bit
+	rank := uint8(1)
+	for rest&(1<<63) == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// AddString observes a string item.
+func (h *HLL) AddString(s string) { h.Add([]byte(s)) }
+
+// Estimate returns the cardinality estimate.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	// Small-range correction: linear counting.
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Merge folds other into h (register-wise max); both must share p.
+func (h *HLL) Merge(other *HLL) {
+	if other == nil || other.p != h.p {
+		return
+	}
+	for i, r := range other.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+}

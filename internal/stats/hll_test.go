@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 50000} {
+		h := NewHLL(12)
+		for i := 0; i < n; i++ {
+			h.AddString(fmt.Sprintf("resolver-%d", i))
+		}
+		est := h.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		if relErr > 0.06 {
+			t.Errorf("n=%d: estimate %.0f, relative error %.3f", n, est, relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHLL(12)
+	for i := 0; i < 100000; i++ {
+		h.AddString(fmt.Sprintf("resolver-%d", i%500))
+	}
+	est := h.Estimate()
+	if est < 400 || est > 600 {
+		t.Errorf("estimate %.0f, want ≈500", est)
+	}
+}
+
+func TestHLLEmpty(t *testing.T) {
+	h := NewHLL(12)
+	if est := h.Estimate(); est != 0 {
+		t.Errorf("empty estimate = %v", est)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHLL(12), NewHLL(12)
+	for i := 0; i < 1000; i++ {
+		a.AddString(fmt.Sprintf("a-%d", i))
+		b.AddString(fmt.Sprintf("b-%d", i))
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	if math.Abs(est-2000)/2000 > 0.08 {
+		t.Errorf("merged estimate %.0f, want ≈2000", est)
+	}
+	// Mismatched precision merge is a no-op, not a panic.
+	c := NewHLL(8)
+	a.Merge(c)
+	a.Merge(nil)
+}
+
+func TestHLLPrecisionClamped(t *testing.T) {
+	if got := len(NewHLL(2).registers); got != 16 {
+		t.Errorf("p clamp low: %d registers", got)
+	}
+	if got := len(NewHLL(20).registers); got != 1<<16 {
+		t.Errorf("p clamp high: %d registers", got)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := NewHLL(12)
+	buf := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf[0] = byte(i)
+		buf[1] = byte(i >> 8)
+		h.Add(buf)
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// diurnal models the time-of-day density of Internet traffic the paper
+// compensates for by capturing whole weeks (§2.1, citing "When the
+// Internet Sleeps"). Query density over the capture follows
+//
+//	f(x) = 1 + A·sin(2π·k·x − φ)
+//
+// with one cycle per day (k = days in the capture) and amplitude A.
+type diurnal struct {
+	amplitude float64
+	cycles    float64
+}
+
+// newDiurnal builds the pattern for a capture of length dur.
+func newDiurnal(dur time.Duration, amplitude float64) diurnal {
+	days := dur.Hours() / 24
+	if days < 1 {
+		days = 1
+	}
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude > 0.95 {
+		amplitude = 0.95
+	}
+	return diurnal{amplitude: amplitude, cycles: days}
+}
+
+// cdf is the cumulative distribution of the density over [0,1].
+func (d diurnal) cdf(x float64) float64 {
+	w := 2 * math.Pi * d.cycles
+	return x + d.amplitude/w*(1-math.Cos(w*x))
+}
+
+// warp maps a uniform position u ∈ [0,1] to the diurnal position t with
+// CDF(t) = u, by Newton iteration on the strictly monotone CDF.
+func (d diurnal) warp(u float64) float64 {
+	if d.amplitude == 0 {
+		return u
+	}
+	w := 2 * math.Pi * d.cycles
+	t := u
+	for i := 0; i < 8; i++ {
+		f := d.cdf(t) - u
+		df := 1 + d.amplitude*math.Sin(w*t)
+		if df < 0.05 {
+			df = 0.05
+		}
+		t -= f / df
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+	}
+	return t
+}

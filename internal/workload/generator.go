@@ -1,0 +1,684 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"dnscentral/internal/anycast"
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+	"dnscentral/internal/rdns"
+	"dnscentral/internal/stats"
+	"dnscentral/internal/zonedb"
+)
+
+// PacketSink receives generated packets in timestamp order; pcapio.Writer
+// satisfies it.
+type PacketSink interface {
+	WritePacket(ts time.Time, data []byte) error
+}
+
+// Config parameterizes one generated trace.
+type Config struct {
+	Vantage cloudmodel.Vantage
+	Week    cloudmodel.Week
+	// TotalQueries is the number of query events (cache misses) to
+	// generate; the paper's billions scale down to this.
+	TotalQueries int
+	// ResolverScale scales resolver populations (default 0.02).
+	ResolverScale float64
+	// LongTailASes is the number of non-cloud ASes (default: scaled from
+	// Table 3's AS counts).
+	LongTailASes int
+	// NumServers splits the vantage across several authoritative server
+	// addresses (Table 2: .nl data covers two servers — Figures 5 and 8).
+	NumServers int
+	// Seed makes the trace reproducible.
+	Seed int64
+	// ProviderFilter, when non-empty, restricts generation to these
+	// providers (used by the Figure 3 monthly harness).
+	ProviderFilter []astrie.Provider
+	// QminOverride, when non-nil, overrides every provider's QminShare
+	// (Figure 3: Google's fleet before/after Dec 2019).
+	QminOverride *float64
+	// Anomaly injects the Feb-2020 .nz cyclic-dependency event: a flood of
+	// repeated A/AAAA queries from Google for two broken domains (§4.2.1).
+	Anomaly bool
+	// DiurnalAmplitude shapes the time-of-day traffic density (0 = flat,
+	// default 0.4: daytime peaks ≈2.3× the nightly trough, per the
+	// diurnal patterns the paper compensates for by capturing full weeks).
+	DiurnalAmplitude float64
+	// Start overrides the trace start time (defaults to the Table 2 week).
+	Start time.Time
+}
+
+// WeekStart returns the capture start of each vantage/week (Table 2 and
+// §2.2's DITL days).
+func WeekStart(v cloudmodel.Vantage, w cloudmodel.Week) time.Time {
+	if v == cloudmodel.VantageBRoot {
+		switch w {
+		case cloudmodel.W2018:
+			return time.Date(2018, 4, 10, 0, 0, 0, 0, time.UTC)
+		case cloudmodel.W2019:
+			return time.Date(2019, 4, 9, 0, 0, 0, 0, time.UTC)
+		default:
+			return time.Date(2020, 5, 6, 0, 0, 0, 0, time.UTC)
+		}
+	}
+	switch w {
+	case cloudmodel.W2018:
+		return time.Date(2018, 11, 4, 0, 0, 0, 0, time.UTC)
+	case cloudmodel.W2019:
+		return time.Date(2019, 11, 3, 0, 0, 0, 0, time.UTC)
+	default:
+		return time.Date(2020, 4, 5, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// Duration returns the capture length: a week for ccTLDs, one day for
+// B-Root (DITL collections).
+func Duration(v cloudmodel.Vantage) time.Duration {
+	if v == cloudmodel.VantageBRoot {
+		return 24 * time.Hour
+	}
+	return 7 * 24 * time.Hour
+}
+
+// ServerAddr returns the address of the i-th authoritative server of the
+// vantage. The space (198.51.x / 2001:500:1b::x) is disjoint from resolver
+// and glue allocations.
+func ServerAddr(v cloudmodel.Vantage, i int, v6 bool) netip.Addr {
+	base := map[cloudmodel.Vantage]byte{
+		cloudmodel.VantageNL: 10, cloudmodel.VantageNZ: 20, cloudmodel.VantageBRoot: 30,
+	}[v]
+	if v6 {
+		var b [16]byte
+		copy(b[:6], []byte{0x20, 0x01, 0x05, 0x00, 0x00, 0x1b})
+		b[14] = base
+		b[15] = byte(i + 1)
+		return netip.AddrFrom16(b)
+	}
+	return netip.AddrFrom4([4]byte{198, 51, base, byte(i + 1)})
+}
+
+// GroundTruth counts what the generator emitted, for validating the
+// analysis pipeline against an oracle.
+type GroundTruth struct {
+	Queries      uint64
+	ByProvider   map[astrie.Provider]uint64
+	JunkQueries  map[astrie.Provider]uint64
+	V6Queries    map[astrie.Provider]uint64
+	TCPQueries   map[astrie.Provider]uint64
+	Truncated    map[astrie.Provider]uint64
+	ByType       map[dnswire.Type]uint64
+	ResolverSet  map[netip.Addr]struct{}
+	OtherQueries uint64
+	OtherJunk    uint64
+}
+
+// Generator produces one trace.
+type Generator struct {
+	cfg    Config
+	vw     *cloudmodel.VantageWeek
+	reg    *astrie.Registry
+	zone   *zonedb.Zone
+	engine *authserver.Engine
+	ptrDB  *rdns.DB
+
+	pools    map[astrie.Provider]*providerPool
+	longTail *longTailPool
+	pickProv *stats.WeightedChoice
+	provIdx  []astrie.Provider // index space of pickProv: providers + Other last
+
+	zipf *stats.Zipf
+	rng  *rand.Rand
+
+	nextID   uint16
+	nextPort uint16
+}
+
+// NewGenerator builds all state for one trace configuration.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.TotalQueries <= 0 {
+		return nil, fmt.Errorf("workload: TotalQueries must be positive")
+	}
+	if cfg.ResolverScale <= 0 {
+		cfg.ResolverScale = 0.02
+	}
+	if cfg.NumServers <= 0 {
+		cfg.NumServers = 1
+		if cfg.Vantage == cloudmodel.VantageNL {
+			cfg.NumServers = 2 // Table 2: two analyzed .nl servers
+		}
+	}
+	vw, err := cloudmodel.Get(cfg.Vantage, cfg.Week)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LongTailASes <= 0 {
+		cfg.LongTailASes = vw.ASes / 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	reg := astrie.NewRegistry(cfg.LongTailASes)
+	zone, err := buildZone(cfg.Vantage)
+	if err != nil {
+		return nil, err
+	}
+	deployment := deploymentFor(cfg.Vantage, cfg.Week)
+	g := &Generator{
+		cfg:    cfg,
+		vw:     vw,
+		reg:    reg,
+		zone:   zone,
+		engine: authserver.NewEngine(zone),
+		ptrDB:  rdns.NewDB(),
+		pools:  make(map[astrie.Provider]*providerPool),
+		rng:    rng,
+	}
+
+	filter := cfg.ProviderFilter
+	if len(filter) == 0 {
+		filter = astrie.CloudProviders
+	}
+	var weights []float64
+	cloudShare := 0.0
+	for _, p := range filter {
+		profile := vw.Providers[p]
+		if cfg.QminOverride != nil {
+			profile.QminShare = *cfg.QminOverride
+		}
+		pool, err := buildProviderPool(reg, p, profile, cfg.ResolverScale, rng, g.ptrDB, deployment)
+		if err != nil {
+			return nil, err
+		}
+		g.pools[p] = pool
+		g.provIdx = append(g.provIdx, p)
+		weights = append(weights, profile.Share)
+		cloudShare += profile.Share
+	}
+	// The long tail only participates in unfiltered runs.
+	if len(cfg.ProviderFilter) == 0 {
+		cloudResolvers := 0
+		for _, p := range astrie.CloudProviders {
+			cloudResolvers += vw.Providers[p].Resolvers
+		}
+		nOther := scaledCount(vw.Resolvers-cloudResolvers, cfg.ResolverScale/4, cfg.LongTailASes)
+		lt, err := buildLongTailPool(reg, nOther, cfg.LongTailASes, cfg.Week, rng, deployment)
+		if err != nil {
+			return nil, err
+		}
+		g.longTail = lt
+		g.provIdx = append(g.provIdx, astrie.ProviderOther)
+		weights = append(weights, 1-cloudShare)
+	}
+	g.pickProv, err = stats.NewWeightedChoice(weights)
+	if err != nil {
+		return nil, err
+	}
+	g.zipf = stats.NewZipf(rng, 1.1, uint64(zone.Size()))
+	g.nextPort = 1024
+	return g, nil
+}
+
+// deploymentFor returns the vantage's anycast site set: B-Root's grows
+// across the snapshots (§3's explanation for its resolver growth); the
+// ccTLD authoritative services are anycast across roughly a dozen (.nl,
+// §2.1.1) and several (.nz) global locations throughout.
+func deploymentFor(v cloudmodel.Vantage, w cloudmodel.Week) *anycast.Deployment {
+	if v == cloudmodel.VantageBRoot {
+		return anycast.BRootDeployments[w.Year()]
+	}
+	if v == cloudmodel.VantageNL {
+		return nlDeployment
+	}
+	return nzDeployment
+}
+
+var nlDeployment = mustDeployment([]anycast.Site{
+	{Code: "ams", Lat: 52.31, Lon: 4.76},
+	{Code: "lhr", Lat: 51.47, Lon: -0.45},
+	{Code: "fra", Lat: 50.03, Lon: 8.56},
+	{Code: "cdg", Lat: 49.01, Lon: 2.55},
+	{Code: "iad", Lat: 38.94, Lon: -77.46},
+	{Code: "ord", Lat: 41.97, Lon: -87.91},
+	{Code: "sjc", Lat: 37.36, Lon: -121.93},
+	{Code: "gru", Lat: -23.44, Lon: -46.47},
+	{Code: "sin", Lat: 1.36, Lon: 103.99},
+	{Code: "nrt", Lat: 35.76, Lon: 140.39},
+	{Code: "syd", Lat: -33.95, Lon: 151.18},
+	{Code: "jnb", Lat: -26.13, Lon: 28.23},
+})
+
+var nzDeployment = mustDeployment([]anycast.Site{
+	{Code: "akl", Lat: -37.01, Lon: 174.79},
+	{Code: "wlg", Lat: -41.33, Lon: 174.81},
+	{Code: "syd", Lat: -33.95, Lon: 151.18},
+	{Code: "lax", Lat: 33.94, Lon: -118.41},
+	{Code: "lhr", Lat: 51.47, Lon: -0.45},
+	{Code: "fra", Lat: 50.03, Lon: 8.56},
+	{Code: "sin", Lat: 1.36, Lon: 103.99},
+})
+
+func mustDeployment(sites []anycast.Site) *anycast.Deployment {
+	d, err := anycast.NewDeployment(sites)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// buildZone creates the vantage's zone at a scaled-down size that keeps
+// the .nz second/third-level split (Table 2's zone sizes are virtual, so
+// the full sizes would also work; scaled sizes keep Zipf sampling fast).
+func buildZone(v cloudmodel.Vantage) (*zonedb.Zone, error) {
+	switch v {
+	case cloudmodel.VantageNL:
+		return zonedb.NewCcTLD("nl", 590_000, 0, 0.55,
+			[]string{"ns1.dns.nl", "ns3.dns.nl"})
+	case cloudmodel.VantageNZ:
+		// 140.5K second-level, 574.5K third-level scaled by 10.
+		return zonedb.NewCcTLD("nz", 14_050, 57_450, 0.30,
+			[]string{"ns1.dns.net.nz", "ns2.dns.net.nz"})
+	case cloudmodel.VantageBRoot:
+		return zonedb.NewRoot(zonedb.DefaultRootTLDs, []string{"b.root-servers.net"})
+	}
+	return nil, fmt.Errorf("workload: unknown vantage %q", v)
+}
+
+// Registry exposes the AS registry used (the analysis pipeline must use
+// the same one).
+func (g *Generator) Registry() *astrie.Registry { return g.reg }
+
+// PTRDB exposes the PTR database for the Figure 5 reverse-DNS step.
+func (g *Generator) PTRDB() *rdns.DB { return g.ptrDB }
+
+// Zone exposes the zone served at the vantage.
+func (g *Generator) Zone() *zonedb.Zone { return g.zone }
+
+// newGroundTruth allocates the counters.
+func newGroundTruth() *GroundTruth {
+	return &GroundTruth{
+		ByProvider:  make(map[astrie.Provider]uint64),
+		JunkQueries: make(map[astrie.Provider]uint64),
+		V6Queries:   make(map[astrie.Provider]uint64),
+		TCPQueries:  make(map[astrie.Provider]uint64),
+		Truncated:   make(map[astrie.Provider]uint64),
+		ByType:      make(map[dnswire.Type]uint64),
+		ResolverSet: make(map[netip.Addr]struct{}),
+	}
+}
+
+// Run generates the trace into sink and returns the ground truth.
+func (g *Generator) Run(sink PacketSink) (*GroundTruth, error) {
+	gt := newGroundTruth()
+	start := g.cfg.Start
+	if start.IsZero() {
+		start = WeekStart(g.cfg.Vantage, g.cfg.Week)
+	}
+	dur := Duration(g.cfg.Vantage)
+	n := g.cfg.TotalQueries
+	step := dur / time.Duration(n+1)
+	amplitude := g.cfg.DiurnalAmplitude
+	if amplitude == 0 {
+		amplitude = 0.4
+	}
+	pattern := newDiurnal(dur, amplitude)
+
+	anomalyEvery := 0
+	if g.cfg.Anomaly {
+		// The misconfiguration roughly doubled Google's A/AAAA volume:
+		// interleave one anomaly query per regular event.
+		anomalyEvery = 2
+	}
+
+	for i := 0; i < n; i++ {
+		frac := pattern.warp((float64(i) + 0.5) / float64(n))
+		ts := start.Add(time.Duration(frac*float64(dur)) + time.Duration(g.rng.Int63n(int64(step))))
+		if anomalyEvery > 0 && i%anomalyEvery == 0 {
+			if err := g.emitAnomalyQuery(sink, ts, gt); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := g.emitEvent(sink, ts, gt); err != nil {
+			return nil, err
+		}
+	}
+	return gt, nil
+}
+
+// emitEvent generates one query event (which may expand to several packets
+// for TCP or truncation retries).
+func (g *Generator) emitEvent(sink PacketSink, ts time.Time, gt *GroundTruth) error {
+	provider := g.provIdx[g.pickProv.Pick(g.rng)]
+	server := g.rng.Intn(g.cfg.NumServers)
+
+	var desc *resolverDesc
+	var v6 bool
+	var junkShare float64
+	if provider == astrie.ProviderOther {
+		desc = g.longTail.pick(g.rng)
+		v6 = desc.addr6.IsValid()
+		junkShare = g.vw.OtherJunkShare
+	} else {
+		pool := g.pools[provider]
+		desc, v6 = pool.pick(g.rng, server)
+		junkShare = pool.profile.JunkShare
+	}
+	if desc == nil {
+		return fmt.Errorf("workload: empty pool for %s", provider)
+	}
+
+	junk := g.rng.Float64() < junkShare
+	qname, qtype := g.pickQuery(desc, junk)
+
+	// Transport: deliberate TCP per profile; Facebook site 0 never TCP.
+	tcpShare := 0.0
+	if provider != astrie.ProviderOther {
+		tcpShare = g.pools[provider].profile.TCPShare
+	}
+	deliberateTCP := g.rng.Float64() < tcpShare
+	if desc.site >= 0 && !FacebookSiteModel[desc.site].TCP {
+		deliberateTCP = false
+	}
+	return g.emitExchange(sink, ts, desc, provider, v6, server, qname, qtype, junk, deliberateTCP, gt)
+}
+
+// emitAnomalyQuery injects the Feb-2020 .nz cyclic-dependency traffic:
+// Google resolvers repeatedly asking A/AAAA for two misconfigured domains.
+func (g *Generator) emitAnomalyQuery(sink PacketSink, ts time.Time, gt *GroundTruth) error {
+	pool, ok := g.pools[astrie.ProviderGoogle]
+	if !ok {
+		return fmt.Errorf("workload: anomaly requires Google in the provider set")
+	}
+	server := g.rng.Intn(g.cfg.NumServers)
+	desc, v6 := pool.pick(g.rng, server)
+	broken := [2]string{"d77.nz.", "d78.nz."}
+	qname := broken[g.rng.Intn(2)]
+	qtype := dnswire.TypeA
+	if g.rng.Intn(2) == 0 {
+		qtype = dnswire.TypeAAAA
+	}
+	return g.emitExchange(sink, ts, desc, astrie.ProviderGoogle, v6, server, qname, qtype, false, false, gt)
+}
+
+// pickQuery chooses the query name and type for one event.
+func (g *Generator) pickQuery(desc *resolverDesc, junk bool) (string, dnswire.Type) {
+	if junk {
+		if desc.qmin {
+			// A minimizing resolver's first probe for a junk name is an
+			// NS query for the minimized name, which already NXDOMAINs.
+			return g.junkName(), dnswire.TypeNS
+		}
+		return g.junkName(), dnswire.TypeA
+	}
+	// Validation traffic first: DS / DNSKEY shares.
+	var profile cloudmodel.Profile
+	if desc.provider == astrie.ProviderOther {
+		profile = cloudmodel.Profile{DSShare: 0.02, DNSKEYShare: 0.001}
+	} else {
+		profile = g.pools[desc.provider].profile
+	}
+	if desc.validate {
+		x := g.rng.Float64()
+		if x < profile.DSShare {
+			return g.validDomain(), dnswire.TypeDS
+		}
+		if x < profile.DSShare+profile.DNSKEYShare {
+			return g.zone.Origin, dnswire.TypeDNSKEY
+		}
+	}
+	domain := g.validDomain()
+	if desc.qmin {
+		// Q-min resolvers expose only NS queries for the delegation.
+		return domain, dnswire.TypeNS
+	}
+	// Classic resolvers leak the full name and original qtype.
+	qname := domain
+	if g.rng.Float64() < 0.6 {
+		qname = "www." + domain
+	}
+	return qname, g.baseQtype()
+}
+
+// baseQtype draws from the pre-Qmin record mix (Figure 2's 2018 shape).
+func (g *Generator) baseQtype() dnswire.Type {
+	x := g.rng.Float64()
+	switch {
+	case x < 0.60:
+		return dnswire.TypeA
+	case x < 0.84:
+		return dnswire.TypeAAAA
+	case x < 0.89:
+		return dnswire.TypeMX
+	case x < 0.94:
+		return dnswire.TypeTXT
+	case x < 0.97:
+		return dnswire.TypeNS
+	case x < 0.985:
+		return dnswire.TypeSOA
+	default:
+		return dnswire.TypeCNAME
+	}
+}
+
+// validDomain draws a registered delegation by Zipf popularity.
+func (g *Generator) validDomain() string {
+	rank := int(g.zipf.Next())
+	name, err := g.zone.DomainName(rank)
+	if err != nil {
+		name = g.zone.Origin
+	}
+	return name
+}
+
+// junkName fabricates a non-existing name: random labels under the ccTLD,
+// or Chromium-style random TLD probes at the root (§3).
+func (g *Generator) junkName() string {
+	n := 7 + g.rng.Intn(9)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + g.rng.Intn(26))
+	}
+	if g.zone.IsRoot() {
+		return string(b) + "."
+	}
+	return string(b) + "." + g.zone.Origin
+}
+
+// ephemeralPort hands out client ports, skipping the well-known range.
+func (g *Generator) ephemeralPort() uint16 {
+	g.nextPort++
+	if g.nextPort < 1024 {
+		g.nextPort = 1024
+	}
+	return g.nextPort
+}
+
+// emitExchange writes the packets of one resolver↔server exchange.
+func (g *Generator) emitExchange(
+	sink PacketSink,
+	ts time.Time,
+	desc *resolverDesc,
+	provider astrie.Provider,
+	v6 bool,
+	server int,
+	qname string,
+	qtype dnswire.Type,
+	junk, deliberateTCP bool,
+	gt *GroundTruth,
+) error {
+	clientAddr := desc.addr4
+	if v6 && desc.addr6.IsValid() {
+		clientAddr = desc.addr6
+	} else if !clientAddr.IsValid() {
+		clientAddr = desc.addr6
+	}
+	v6 = clientAddr.Is6()
+	serverAddr := ServerAddr(g.cfg.Vantage, server, v6)
+	src := netip.AddrPortFrom(clientAddr, g.ephemeralPort())
+	dst := netip.AddrPortFrom(serverAddr, 53)
+
+	g.nextID++
+	q := dnswire.NewQuery(g.nextID, qname, qtype)
+	// The advertised EDNS size follows the provider's per-query mix
+	// (Figure 6 is a query-weighted CDF, not a resolver-weighted one).
+	if size := g.pickEDNSFor(provider); size > 0 {
+		q.WithEdns(size, desc.validate)
+	}
+	resp := g.engine.Handle(q, clientAddr, deliberateTCP)
+	if resp == nil {
+		return fmt.Errorf("workload: engine dropped query")
+	}
+
+	count := func(tcp bool) {
+		gt.Queries++
+		if provider == astrie.ProviderOther {
+			gt.OtherQueries++
+			if junk {
+				gt.OtherJunk++
+			}
+		} else {
+			gt.ByProvider[provider]++
+			if junk {
+				gt.JunkQueries[provider]++
+			}
+			if v6 {
+				gt.V6Queries[provider]++
+			}
+			if tcp {
+				gt.TCPQueries[provider]++
+			}
+		}
+		gt.ByType[qtype]++
+		gt.ResolverSet[clientAddr] = struct{}{}
+	}
+
+	rtt := desc.rtt
+	if desc.site >= 0 {
+		s := FacebookSiteModel[desc.site]
+		base := s.RTT4
+		if v6 {
+			base = s.RTT6
+		}
+		rtt = time.Duration(float64(base) * serverRTTFactor(desc.site, server, v6))
+	}
+
+	if deliberateTCP {
+		count(true)
+		return g.emitTCP(sink, ts, src, dst, q, resp, rtt)
+	}
+
+	// UDP exchange.
+	count(false)
+	qwire, err := q.Pack()
+	if err != nil {
+		return err
+	}
+	if err := g.writeUDP(sink, ts, src, dst, qwire); err != nil {
+		return err
+	}
+	rwire, err := authserver.PackResponse(resp, q, false)
+	if err != nil {
+		return err
+	}
+	if err := g.writeUDP(sink, ts.Add(200*time.Microsecond), dst, src, rwire); err != nil {
+		return err
+	}
+	parsedTC := resp.Header.Truncated
+	if !parsedTC {
+		// PackResponse may have set TC during truncation; check the wire.
+		if m, err := dnswire.Unpack(rwire); err == nil {
+			parsedTC = m.Header.Truncated
+		}
+	}
+	if parsedTC {
+		if provider != astrie.ProviderOther {
+			gt.Truncated[provider]++
+		}
+		// Retry over TCP unless the site never speaks TCP (Facebook
+		// location 1 — its truncated answers go unretried, §4.3).
+		if desc.site >= 0 && !FacebookSiteModel[desc.site].TCP {
+			return nil
+		}
+		count(true)
+		retrySrc := netip.AddrPortFrom(clientAddr, g.ephemeralPort())
+		return g.emitTCP(sink, ts.Add(rtt+time.Millisecond), retrySrc, dst, q, resp, rtt)
+	}
+	return nil
+}
+
+// writeUDP emits one UDP frame.
+func (g *Generator) writeUDP(sink PacketSink, ts time.Time, src, dst netip.AddrPort, payload []byte) error {
+	frame, err := layers.BuildUDP(src, dst, payload)
+	if err != nil {
+		return err
+	}
+	return sink.WritePacket(ts, frame)
+}
+
+// emitTCP writes a full TCP exchange: handshake (from which the analysis
+// estimates RTT, §4.3), framed query and response, and teardown.
+func (g *Generator) emitTCP(sink PacketSink, ts time.Time, src, dst netip.AddrPort, q, resp *dnswire.Message, rtt time.Duration) error {
+	qwire, err := q.Pack()
+	if err != nil {
+		return err
+	}
+	rwire, err := authserver.PackResponse(resp, q, true)
+	if err != nil {
+		return err
+	}
+	iss, irs := g.rng.Uint32(), g.rng.Uint32()
+	proc := 200 * time.Microsecond
+
+	type pkt struct {
+		at   time.Time
+		from netip.AddrPort
+		to   netip.AddrPort
+		meta layers.TCPMeta
+		data []byte
+	}
+	frameQ := append(lenPrefix(len(qwire)), qwire...)
+	frameR := append(lenPrefix(len(rwire)), rwire...)
+	seq := []pkt{
+		// SYN arrives at the capture point at ts.
+		{ts, src, dst, layers.TCPMeta{Seq: iss, Flags: layers.TCPFlagSYN}, nil},
+		// Server replies immediately; the client's ACK lands one RTT later:
+		// t(ACK) − t(SYN-ACK) is the §4.3 RTT estimator.
+		{ts.Add(proc), dst, src, layers.TCPMeta{Seq: irs, Ack: iss + 1, Flags: layers.TCPFlagSYN | layers.TCPFlagACK}, nil},
+		{ts.Add(proc + rtt), src, dst, layers.TCPMeta{Seq: iss + 1, Ack: irs + 1, Flags: layers.TCPFlagACK}, nil},
+		{ts.Add(proc + rtt + 50*time.Microsecond), src, dst, layers.TCPMeta{Seq: iss + 1, Ack: irs + 1, Flags: layers.TCPFlagPSH | layers.TCPFlagACK}, frameQ},
+		{ts.Add(proc + rtt + 250*time.Microsecond), dst, src, layers.TCPMeta{Seq: irs + 1, Ack: iss + 1 + uint32(len(frameQ)), Flags: layers.TCPFlagPSH | layers.TCPFlagACK}, frameR},
+		{ts.Add(proc + 2*rtt + 300*time.Microsecond), src, dst, layers.TCPMeta{Seq: iss + 1 + uint32(len(frameQ)), Ack: irs + 1 + uint32(len(frameR)), Flags: layers.TCPFlagFIN | layers.TCPFlagACK}, nil},
+		{ts.Add(proc + 2*rtt + 500*time.Microsecond), dst, src, layers.TCPMeta{Seq: irs + 1 + uint32(len(frameR)), Ack: iss + 2 + uint32(len(frameQ)), Flags: layers.TCPFlagFIN | layers.TCPFlagACK}, nil},
+	}
+	for _, p := range seq {
+		frame, err := layers.BuildTCP(p.from, p.to, p.meta, p.data)
+		if err != nil {
+			return err
+		}
+		if err := sink.WritePacket(p.at, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickEDNSFor draws an advertised EDNS size from the provider's mix.
+func (g *Generator) pickEDNSFor(p astrie.Provider) uint16 {
+	if p == astrie.ProviderOther {
+		return pickEDNS(longTailEDNSMix, g.rng)
+	}
+	return pickEDNS(g.pools[p].profile.EDNSSizes, g.rng)
+}
+
+// lenPrefix builds the RFC 1035 §4.2.2 two-byte length prefix.
+func lenPrefix(n int) []byte {
+	return []byte{byte(n >> 8), byte(n)}
+}

@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+	"dnscentral/internal/rdns"
+)
+
+// memSink collects generated packets in memory.
+type memSink struct {
+	ts     []time.Time
+	frames [][]byte
+}
+
+func (m *memSink) WritePacket(ts time.Time, data []byte) error {
+	m.ts = append(m.ts, ts)
+	m.frames = append(m.frames, append([]byte(nil), data...))
+	return nil
+}
+
+func generate(t *testing.T, cfg Config) (*Generator, *memSink, *GroundTruth) {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &memSink{}
+	gt, err := g.Run(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sink, gt
+}
+
+func TestGeneratorProducesParseablePackets(t *testing.T) {
+	_, sink, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 3000, Seed: 1, ResolverScale: 0.002,
+	})
+	if gt.Queries < 3000 {
+		t.Fatalf("ground truth queries = %d", gt.Queries)
+	}
+	if len(sink.frames) < 6000 { // at least query+response per event
+		t.Fatalf("frames = %d", len(sink.frames))
+	}
+	p := layers.NewParser()
+	dnsCount := 0
+	for i, frame := range sink.frames {
+		if _, err := p.Decode(frame); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(p.Payload) > 0 && p.Decoded[2] == layers.LayerTypeUDP {
+			if _, err := dnswire.Unpack(p.Payload); err != nil {
+				t.Fatalf("frame %d DNS: %v", i, err)
+			}
+			dnsCount++
+		}
+	}
+	if dnsCount == 0 {
+		t.Fatal("no UDP DNS payloads decoded")
+	}
+}
+
+func TestTimestampsMonotonicWithinTolerance(t *testing.T) {
+	_, sink, _ := generate(t, Config{
+		Vantage: cloudmodel.VantageNZ, Week: cloudmodel.W2019,
+		TotalQueries: 2000, Seed: 2, ResolverScale: 0.002,
+	})
+	start := WeekStart(cloudmodel.VantageNZ, cloudmodel.W2019)
+	end := start.Add(Duration(cloudmodel.VantageNZ)).Add(time.Hour)
+	for i, ts := range sink.ts {
+		if ts.Before(start) || ts.After(end) {
+			t.Fatalf("packet %d at %v outside capture window", i, ts)
+		}
+	}
+}
+
+func TestProviderSharesApproximateModel(t *testing.T) {
+	_, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 30000, Seed: 3, ResolverScale: 0.002,
+	})
+	vw, _ := cloudmodel.Get(cloudmodel.VantageNL, cloudmodel.W2020)
+	for _, p := range astrie.CloudProviders {
+		got := float64(gt.ByProvider[p]) / float64(gt.Queries)
+		want := vw.Providers[p].Share
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s share = %.3f, model %.3f", p, got, want)
+		}
+	}
+	cloud := uint64(0)
+	for _, c := range gt.ByProvider {
+		cloud += c
+	}
+	frac := float64(cloud) / float64(gt.Queries)
+	if frac < 0.28 || frac > 0.38 {
+		t.Errorf("cloud share = %.3f, want ≈1/3 (Figure 1a)", frac)
+	}
+}
+
+func TestTransportSharesApproximateTable5(t *testing.T) {
+	_, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 40000, Seed: 4, ResolverScale: 0.002,
+	})
+	// Microsoft: all IPv4, all UDP.
+	if gt.V6Queries[astrie.ProviderMicrosoft] != 0 {
+		t.Error("Microsoft sent IPv6")
+	}
+	if gt.TCPQueries[astrie.ProviderMicrosoft] != 0 {
+		t.Error("Microsoft sent TCP")
+	}
+	// Google: roughly half IPv6, no TCP to speak of.
+	gv6 := float64(gt.V6Queries[astrie.ProviderGoogle]) / float64(gt.ByProvider[astrie.ProviderGoogle])
+	if math.Abs(gv6-0.48) > 0.08 {
+		t.Errorf("Google v6 share = %.3f, want ≈0.48", gv6)
+	}
+	// Facebook: majority IPv6 and the heaviest TCP user.
+	fv6 := float64(gt.V6Queries[astrie.ProviderFacebook]) / float64(gt.ByProvider[astrie.ProviderFacebook])
+	if fv6 < 0.6 {
+		t.Errorf("Facebook v6 share = %.3f, want > 0.6", fv6)
+	}
+	ftcp := float64(gt.TCPQueries[astrie.ProviderFacebook]) / float64(gt.ByProvider[astrie.ProviderFacebook])
+	if ftcp < 0.06 || ftcp > 0.30 {
+		t.Errorf("Facebook TCP share = %.3f, want ≈0.14", ftcp)
+	}
+	for _, p := range []astrie.Provider{astrie.ProviderGoogle, astrie.ProviderCloudflare} {
+		tcp := float64(gt.TCPQueries[p]) / float64(gt.ByProvider[p])
+		if tcp >= ftcp {
+			t.Errorf("%s TCP share %.3f ≥ Facebook %.3f", p, tcp, ftcp)
+		}
+	}
+}
+
+func TestFacebookTruncationDominates(t *testing.T) {
+	_, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 40000, Seed: 5, ResolverScale: 0.002,
+	})
+	ftr := float64(gt.Truncated[astrie.ProviderFacebook]) / float64(gt.ByProvider[astrie.ProviderFacebook])
+	gtr := float64(gt.Truncated[astrie.ProviderGoogle]) / float64(gt.ByProvider[astrie.ProviderGoogle])
+	if ftr < 0.05 {
+		t.Errorf("Facebook truncation = %.4f, want ≳0.1 (paper: 0.17)", ftr)
+	}
+	if gtr > 0.01 {
+		t.Errorf("Google truncation = %.4f, want ≈0.0004", gtr)
+	}
+	if ftr < 20*gtr {
+		t.Errorf("Facebook/Google truncation ratio = %.1f, want ≫1", ftr/gtr)
+	}
+}
+
+func TestQminShapesQueryTypes(t *testing.T) {
+	zero, one := 0.0, 1.0
+	// Google only, Q-min off (pre-Dec-2019).
+	_, _, before := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2019,
+		TotalQueries: 8000, Seed: 6, ResolverScale: 0.002,
+		ProviderFilter: []astrie.Provider{astrie.ProviderGoogle},
+		QminOverride:   &zero,
+	})
+	nsBefore := float64(before.ByType[dnswire.TypeNS]) / float64(before.Queries)
+	// Q-min on (post-Dec-2019).
+	_, _, after := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2019,
+		TotalQueries: 8000, Seed: 6, ResolverScale: 0.002,
+		ProviderFilter: []astrie.Provider{astrie.ProviderGoogle},
+		QminOverride:   &one,
+	})
+	nsAfter := float64(after.ByType[dnswire.TypeNS]) / float64(after.Queries)
+	if nsBefore > 0.10 {
+		t.Errorf("NS share before Q-min = %.3f, want small", nsBefore)
+	}
+	if nsAfter < 0.80 {
+		t.Errorf("NS share after Q-min = %.3f, want dominant", nsAfter)
+	}
+}
+
+func TestAnomalyInflatesAQueries(t *testing.T) {
+	one := 1.0
+	_, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNZ, Week: cloudmodel.W2020,
+		TotalQueries: 6000, Seed: 7, ResolverScale: 0.002,
+		ProviderFilter: []astrie.Provider{astrie.ProviderGoogle},
+		QminOverride:   &one,
+		Anomaly:        true,
+	})
+	aShare := float64(gt.ByType[dnswire.TypeA]+gt.ByType[dnswire.TypeAAAA]) / float64(gt.Queries)
+	if aShare < 0.4 {
+		t.Errorf("A/AAAA share with anomaly = %.3f, want ≈0.5 (§4.2.1 Feb 2020)", aShare)
+	}
+}
+
+func TestJunkSharesReconcile(t *testing.T) {
+	_, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNZ, Week: cloudmodel.W2020,
+		TotalQueries: 30000, Seed: 8, ResolverScale: 0.002,
+	})
+	vw, _ := cloudmodel.Get(cloudmodel.VantageNZ, cloudmodel.W2020)
+	junk := gt.OtherJunk
+	for _, j := range gt.JunkQueries {
+		junk += j
+	}
+	got := float64(junk) / float64(gt.Queries)
+	want := 1 - vw.ValidShare
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("junk share = %.3f, Table 3 implies %.3f", got, want)
+	}
+}
+
+func TestFacebookPTRsRegistered(t *testing.T) {
+	g, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 5000, Seed: 9, ResolverScale: 0.002,
+	})
+	db := g.PTRDB()
+	if db.Len() == 0 {
+		t.Fatal("no PTR records registered")
+	}
+	// Every Facebook resolver that queried must reverse-resolve.
+	reg := g.Registry()
+	fbSeen, fbResolved := 0, 0
+	for addr := range gt.ResolverSet {
+		if reg.ProviderOf(addr) == astrie.ProviderFacebook {
+			fbSeen++
+			if target, ok := db.Lookup(addr); ok {
+				if _, _, _, ok := rdns.ParseFacebookPTR(target); !ok {
+					t.Errorf("PTR %q not Facebook-shaped", target)
+				}
+				fbResolved++
+			}
+		}
+	}
+	if fbSeen == 0 || fbResolved != fbSeen {
+		t.Errorf("facebook resolvers seen=%d resolved=%d", fbSeen, fbResolved)
+	}
+}
+
+func TestBRootMostlyJunk(t *testing.T) {
+	_, _, gt := generate(t, Config{
+		Vantage: cloudmodel.VantageBRoot, Week: cloudmodel.W2020,
+		TotalQueries: 20000, Seed: 10, ResolverScale: 0.002,
+	})
+	junk := gt.OtherJunk
+	for _, j := range gt.JunkQueries {
+		junk += j
+	}
+	got := float64(junk) / float64(gt.Queries)
+	if got < 0.7 {
+		t.Errorf("B-Root junk share = %.3f, want ≈0.8 (Table 3)", got)
+	}
+	// Cloud share under 10%.
+	cloud := uint64(0)
+	for _, c := range gt.ByProvider {
+		cloud += c
+	}
+	if frac := float64(cloud) / float64(gt.Queries); frac > 0.12 {
+		t.Errorf("B-Root cloud share = %.3f, want < 0.1", frac)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2018,
+		TotalQueries: 1000, Seed: 11, ResolverScale: 0.002,
+	}
+	_, s1, gt1 := generate(t, cfg)
+	_, s2, gt2 := generate(t, cfg)
+	if len(s1.frames) != len(s2.frames) || gt1.Queries != gt2.Queries {
+		t.Fatalf("runs differ: %d vs %d frames", len(s1.frames), len(s2.frames))
+	}
+	for i := range s1.frames {
+		if string(s1.frames[i]) != string(s2.frames[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020}); err == nil {
+		t.Error("zero TotalQueries accepted")
+	}
+	if _, err := NewGenerator(Config{Vantage: "mars", Week: cloudmodel.W2020, TotalQueries: 10}); err == nil {
+		t.Error("unknown vantage accepted")
+	}
+}
+
+func TestWeekStartsMatchTable2(t *testing.T) {
+	if WeekStart(cloudmodel.VantageNL, cloudmodel.W2018) != time.Date(2018, 11, 4, 0, 0, 0, 0, time.UTC) {
+		t.Error("w2018 start")
+	}
+	if WeekStart(cloudmodel.VantageNL, cloudmodel.W2020) != time.Date(2020, 4, 5, 0, 0, 0, 0, time.UTC) {
+		t.Error("w2020 start")
+	}
+	if WeekStart(cloudmodel.VantageBRoot, cloudmodel.W2020) != time.Date(2020, 5, 6, 0, 0, 0, 0, time.UTC) {
+		t.Error("B-Root 2020 day")
+	}
+	if Duration(cloudmodel.VantageBRoot) != 24*time.Hour || Duration(cloudmodel.VantageNL) != 7*24*time.Hour {
+		t.Error("durations")
+	}
+}
+
+func TestServerAddrsDistinctAndWellKnown(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range cloudmodel.Vantages {
+		for i := 0; i < 2; i++ {
+			for _, v6 := range []bool{false, true} {
+				a := ServerAddr(v, i, v6)
+				if !a.IsValid() {
+					t.Fatalf("invalid server addr %s/%d/%v", v, i, v6)
+				}
+				if seen[a.String()] {
+					t.Fatalf("duplicate server addr %s", a)
+				}
+				seen[a.String()] = true
+			}
+		}
+	}
+}
+
+func TestFacebookAggregateV6ShareMatchesTable5(t *testing.T) {
+	got := FacebookAggregateV6Share()
+	if got < 0.70 || got > 0.86 {
+		t.Errorf("site-model aggregate v6 share = %.3f, want ≈0.76–0.83", got)
+	}
+}
+
+func TestNLUsesTwoServers(t *testing.T) {
+	_, sink, _ := generate(t, Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 3000, Seed: 12, ResolverScale: 0.002,
+	})
+	p := layers.NewParser()
+	servers := map[string]bool{}
+	for _, frame := range sink.frames {
+		flow, err := p.Decode(frame)
+		if err != nil {
+			continue
+		}
+		if flow.DstPort == 53 {
+			servers[flow.Dst.String()] = true
+		}
+	}
+	// Two servers × two families.
+	if len(servers) != 4 {
+		t.Errorf("distinct server addrs = %d, want 4", len(servers))
+	}
+}

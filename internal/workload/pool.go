@@ -1,0 +1,369 @@
+// Package workload synthesizes the resolver→authoritative DNS traffic the
+// paper measured: weekly pcap snapshots per vantage (.nl, .nz, B-Root) in
+// which every packet is a well-formed Ethernet/IP/UDP-or-TCP frame
+// carrying a DNS message generated from the cloudmodel behavior profiles
+// and answered by a real authserver engine. The absolute volume is scaled
+// down from the paper's billions; every reported metric is a ratio or
+// distribution, so the shape survives scaling.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"dnscentral/internal/anycast"
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/rdns"
+)
+
+// resolverDesc is one resolver address (or dual-stack pair for Facebook).
+type resolverDesc struct {
+	provider astrie.Provider
+	asn      uint32
+	addr4    netip.Addr // valid when the resolver has an IPv4 address
+	addr6    netip.Addr // valid when the resolver has an IPv6 address
+	public   bool
+	qmin     bool
+	validate bool
+	ednsSize uint16
+	site     int // Facebook site index, -1 otherwise
+	rtt      time.Duration
+}
+
+// providerPool indexes a provider's resolvers for weighted selection.
+type providerPool struct {
+	provider astrie.Provider
+	profile  cloudmodel.Profile
+	descs    []*resolverDesc
+	// subpools[public][v6] hold indices into descs for non-Facebook
+	// providers (each resolver is a single address).
+	subpools [2][2][]int
+	// fbSites groups dual-stack Facebook resolver units per site index.
+	fbSites [][]int
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// scaledCount scales a real-world count down, keeping at least min.
+func scaledCount(n int, scale float64, min int) int {
+	s := int(float64(n) * scale)
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// pickEDNS draws an advertised EDNS size from the profile mix.
+func pickEDNS(sizes map[uint16]float64, rng *rand.Rand) uint16 {
+	x := rng.Float64()
+	cum := 0.0
+	var last uint16
+	// Iterate deterministically: map iteration order is random, so walk
+	// keys sorted to keep draws reproducible across runs with one seed.
+	keys := sortedEDNSKeys(sizes)
+	for _, size := range keys {
+		cum += sizes[size]
+		last = size
+		if x < cum {
+			return size
+		}
+	}
+	return last
+}
+
+func sortedEDNSKeys(sizes map[uint16]float64) []uint16 {
+	keys := make([]uint16, 0, len(sizes))
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// buildProviderPool materializes the scaled resolver population of one
+// provider: addresses from the registry, behavior flags drawn from the
+// profile, Facebook units dual-stack with PTR records registered.
+func buildProviderPool(
+	reg *astrie.Registry,
+	p astrie.Provider,
+	profile cloudmodel.Profile,
+	scale float64,
+	rng *rand.Rand,
+	ptrDB *rdns.DB,
+	deployment *anycast.Deployment,
+) (*providerPool, error) {
+	pool := &providerPool{provider: p, profile: profile}
+	asns := astrie.ProviderASNs[p]
+	if len(asns) == 0 {
+		return nil, fmt.Errorf("workload: provider %s has no ASNs", p)
+	}
+	n := scaledCount(profile.Resolvers, scale, 8)
+
+	if p == astrie.ProviderFacebook {
+		return buildFacebookPool(reg, pool, n, rng, ptrDB)
+	}
+
+	// idx counters per (asn, family, public) keep addresses unique.
+	type key struct {
+		asn    uint32
+		v6     bool
+		public bool
+	}
+	counters := make(map[key]uint32)
+	for i := 0; i < n; i++ {
+		asn := asns[i%len(asns)]
+		// Low-discrepancy assignment keeps the family and public splits
+		// near-exact even in small scaled pools (Tables 4 and 6 compare
+		// these fractions directly); distinct irrational strides decorrelate
+		// the two flags.
+		v6 := lowDiscrepancy(i, 0.6180339887498949) < profile.ResolverV6Frac
+		public := lowDiscrepancy(i, 0.7548776662466927) < profile.PublicResolverFrac
+		k := key{asn, v6, public}
+		idx := counters[k]
+		counters[k]++
+		addr, err := reg.ResolverAddr(asn, v6, public, idx)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s resolver %d: %w", p, i, err)
+		}
+		d := &resolverDesc{
+			provider: p,
+			asn:      asn,
+			public:   public,
+			qmin:     lowDiscrepancy(i, 0.5545497331806323) < profile.QminShare,
+			validate: lowDiscrepancy(i, 0.3247179572447461) < profile.ValidateShare,
+			ednsSize: pickEDNS(profile.EDNSSizes, rng),
+			site:     -1,
+			rtt:      catchRTT(deployment, addr, rng),
+		}
+		if v6 {
+			d.addr6 = addr
+		} else {
+			d.addr4 = addr
+		}
+		pool.descs = append(pool.descs, d)
+		pool.subpools[b2i(public)][b2i(v6)] = append(pool.subpools[b2i(public)][b2i(v6)], len(pool.descs)-1)
+	}
+	return pool, nil
+}
+
+// buildFacebookPool creates dual-stack units spread over the site model.
+func buildFacebookPool(reg *astrie.Registry, pool *providerPool, n int, rng *rand.Rand, ptrDB *rdns.DB) (*providerPool, error) {
+	asn := astrie.ProviderASNs[astrie.ProviderFacebook][0]
+	units := n / 2 // each unit contributes a v4 and a v6 address
+	if units < 2*len(FacebookSiteModel) {
+		units = 2 * len(FacebookSiteModel)
+	}
+	pool.fbSites = make([][]int, len(FacebookSiteModel))
+	var idx uint32
+	for u := 0; u < units; u++ {
+		// The first unit of every site is guaranteed; the rest follow the
+		// traffic weights.
+		site := u
+		if u >= len(FacebookSiteModel) {
+			site = siteForUnit(u-len(FacebookSiteModel), units-len(FacebookSiteModel))
+		}
+		a4, err := reg.ResolverAddr(asn, false, false, idx)
+		if err != nil {
+			return nil, err
+		}
+		a6, err := reg.ResolverAddr(asn, true, false, idx)
+		if err != nil {
+			return nil, err
+		}
+		idx++
+		s := FacebookSiteModel[site]
+		d := &resolverDesc{
+			provider: astrie.ProviderFacebook,
+			asn:      asn,
+			addr4:    a4,
+			addr6:    a6,
+			qmin:     lowDiscrepancy(u, 0.5545497331806323) < pool.profile.QminShare,
+			validate: lowDiscrepancy(u, 0.3247179572447461) < pool.profile.ValidateShare,
+			ednsSize: pickEDNS(pool.profile.EDNSSizes, rng),
+			site:     site,
+			rtt:      s.RTT4,
+		}
+		pool.descs = append(pool.descs, d)
+		pool.fbSites[site] = append(pool.fbSites[site], len(pool.descs)-1)
+		if ptrDB != nil {
+			// 12 of 13 sites embed the unit's IPv4 in both PTRs; the last
+			// site's PTRs carry an opaque ordinal instead.
+			ptr := rdns.FacebookPTRName(s.Code, a4, u)
+			ptrDB.Add(a4, ptr)
+			ptrDB.Add(a6, ptr)
+		}
+	}
+	return pool, nil
+}
+
+// siteForUnit deterministically assigns units to sites by cumulative
+// weight, so site populations track the traffic model.
+func siteForUnit(u, units int) int {
+	frac := (float64(u) + 0.5) / float64(units)
+	cum := 0.0
+	total := 0.0
+	for _, s := range FacebookSiteModel {
+		total += s.Weight
+	}
+	for i, s := range FacebookSiteModel {
+		cum += s.Weight / total
+		if frac < cum {
+			return i
+		}
+	}
+	return len(FacebookSiteModel) - 1
+}
+
+// pick selects a resolver and the family for one query event.
+func (pp *providerPool) pick(rng *rand.Rand, server int) (d *resolverDesc, v6 bool) {
+	if pp.provider == astrie.ProviderFacebook {
+		site := pickFBSite(rng)
+		ids := pp.fbSites[site]
+		for len(ids) == 0 { // weight rounding may leave a site empty
+			site = (site + 1) % len(pp.fbSites)
+			ids = pp.fbSites[site]
+		}
+		d = pp.descs[ids[rng.Intn(len(ids))]]
+		// The site model encodes the steady-state (2019+) family mix;
+		// scale it to the year's aggregate (Table 5: 48% v6 in 2018,
+		// 76%+ later) while preserving the per-site ordering.
+		share := fbSiteV6Share(site, server)
+		if agg := FacebookAggregateV6Share(); agg > 0 {
+			share *= pp.profile.V6Share / agg
+		}
+		if share > 1 {
+			share = 1
+		}
+		v6 = rng.Float64() < share
+		return d, v6
+	}
+	public := rng.Float64() < pp.profile.PublicDNSShare
+	v6 = rng.Float64() < pp.profile.V6Share
+	ids := pp.subpools[b2i(public)][b2i(v6)]
+	// Fall back across subpools when a cell is empty at small scales.
+	for _, alt := range [][2]int{
+		{b2i(public), b2i(v6)},
+		{b2i(public), 1 - b2i(v6)},
+		{1 - b2i(public), b2i(v6)},
+		{1 - b2i(public), 1 - b2i(v6)},
+	} {
+		ids = pp.subpools[alt[0]][alt[1]]
+		if len(ids) > 0 {
+			d = pp.descs[ids[rng.Intn(len(ids))]]
+			return d, d.addr6.IsValid()
+		}
+	}
+	return nil, false
+}
+
+// pickFBSite draws a site index by weight.
+func pickFBSite(rng *rand.Rand) int {
+	total := 0.0
+	for _, s := range FacebookSiteModel {
+		total += s.Weight
+	}
+	x := rng.Float64() * total
+	cum := 0.0
+	for i, s := range FacebookSiteModel {
+		cum += s.Weight
+		if x < cum {
+			return i
+		}
+	}
+	return len(FacebookSiteModel) - 1
+}
+
+// lowDiscrepancy returns the fractional part of i·stride — a Weyl
+// sequence whose below-threshold fraction converges to the threshold much
+// faster than Bernoulli draws.
+func lowDiscrepancy(i int, stride float64) float64 {
+	x := float64(i+1) * stride
+	return x - float64(int(x))
+}
+
+// catchRTT derives a resolver's RTT to the vantage from the anycast
+// catchment model, falling back to a uniform draw when no deployment is
+// configured (tests building pools directly).
+func catchRTT(d *anycast.Deployment, addr netip.Addr, rng *rand.Rand) time.Duration {
+	if d == nil {
+		return time.Duration(5+rng.Intn(115)) * time.Millisecond
+	}
+	_, rtt := d.Catch(addr)
+	return rtt
+}
+
+// longTailEDNSMix is the EDNS(0) size mix of the non-cloud Internet.
+var longTailEDNSMix = map[uint16]float64{0: 0.10, 512: 0.15, 1232: 0.25, 4096: 0.50}
+
+// longTailPool models the rest of the Internet: single-address resolvers
+// spread over the long-tail ASes.
+type longTailPool struct {
+	descs []*resolverDesc
+}
+
+// buildLongTailPool creates n resolvers over the registry's long-tail ASes.
+// Behavior reflects the non-cloud Internet of the period: modest IPv6,
+// partial validation, and a Q-min share that grows by year (de Vries et
+// al. found 33–40% of queries minimized by 2019, across all resolvers).
+func buildLongTailPool(reg *astrie.Registry, n, numASes int, week cloudmodel.Week, rng *rand.Rand, deployment *anycast.Deployment) (*longTailPool, error) {
+	if numASes < 1 {
+		return nil, fmt.Errorf("workload: long tail needs at least one AS")
+	}
+	qminShare := map[cloudmodel.Week]float64{
+		cloudmodel.W2018: 0.05, cloudmodel.W2019: 0.12, cloudmodel.W2020: 0.22,
+	}[week]
+	lt := &longTailPool{}
+	counters := make(map[[2]uint32]uint32) // (asn, family) -> next idx
+	for i := 0; i < n; i++ {
+		asn := astrie.LongTailASNBase + uint32(i%numASes)
+		v6 := rng.Float64() < 0.12
+		k := [2]uint32{asn, uint32(b2i(v6))}
+		idx := counters[k]
+		counters[k]++
+		addr, err := reg.ResolverAddr(asn, v6, false, idx)
+		if err != nil {
+			return nil, err
+		}
+		d := &resolverDesc{
+			provider: astrie.ProviderOther,
+			asn:      asn,
+			qmin:     rng.Float64() < qminShare,
+			validate: rng.Float64() < 0.30,
+			ednsSize: pickEDNS(longTailEDNSMix, rng),
+			site:     -1,
+			rtt:      catchRTT(deployment, addr, rng),
+		}
+		if v6 {
+			d.addr6 = addr
+		} else {
+			d.addr4 = addr
+		}
+		lt.descs = append(lt.descs, d)
+	}
+	return lt, nil
+}
+
+// pick selects a long-tail resolver; popularity is skewed so some
+// resolvers (big ISPs) dominate, like real traffic.
+func (lt *longTailPool) pick(rng *rand.Rand) *resolverDesc {
+	n := len(lt.descs)
+	// Power-law-ish: square a uniform draw to bias toward low indices.
+	x := rng.Float64()
+	i := int(x * x * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return lt.descs[i]
+}
