@@ -2,6 +2,7 @@ package dnscentral_test
 
 import (
 	"encoding/json"
+	"errors"
 	"net"
 	"os"
 	"os/exec"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dnscentral/internal/pcapio"
 )
 
 // buildTools compiles the cmd/ binaries once per test run.
@@ -108,6 +111,70 @@ func TestCLIShardedAnalysis(t *testing.T) {
 	}
 	if parsed.TotalQueries < 6000 {
 		t.Fatalf("merged total = %d", parsed.TotalQueries)
+	}
+}
+
+// TestCLIWorkersParity checks the -workers flag end to end: parallel and
+// sequential ingestion of the same capture write identical report JSON.
+func TestCLIWorkersParity(t *testing.T) {
+	bins := buildTools(t, "dnstracegen", "entrada")
+	dir := t.TempDir()
+	pcap := filepath.Join(dir, "nl.pcap")
+	runTool(t, bins["dnstracegen"], "-vantage", "nl", "-week", "w2020",
+		"-queries", "6000", "-scale", "0.002", "-seed", "9", "-out", pcap)
+
+	seq := filepath.Join(dir, "seq.json")
+	par := filepath.Join(dir, "par.json")
+	runTool(t, bins["entrada"], "-in", pcap, "-zone", "nl", "-workers", "1", "-out", seq)
+	runTool(t, bins["entrada"], "-in", pcap, "-zone", "nl", "-workers", "4", "-out", par)
+
+	a, err := os.ReadFile(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("-workers 4 report differs from -workers 1 report")
+	}
+}
+
+// TestCLIAllMalformedExit feeds entrada a capture of pure garbage frames:
+// it must warn and exit non-zero (satellite: wrong-file detection).
+func TestCLIAllMalformedExit(t *testing.T) {
+	bins := buildTools(t, "entrada")
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.pcap")
+	f, err := os.Create(junk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := pcapio.NewWriter(f)
+	for i := 0; i < 40; i++ {
+		if err := w.WritePacket(time.Unix(int64(i), 0), make([]byte, 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bins["entrada"], "-in", junk)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("entrada exited zero on an all-malformed capture:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("err = %v, want exit code 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "all 40 packets malformed") {
+		t.Fatalf("missing wrong-file warning:\n%s", out)
 	}
 }
 

@@ -7,17 +7,23 @@
 //	entrada -in nl-w2020.pcap -out nl-w2020.json   # accepts pcap and pcapng
 //
 // Pass -in multiple times to analyze shards of a split capture; the
-// per-shard aggregates are merged before reporting.
+// per-shard aggregates are merged before reporting. Ingestion is
+// flow-sharded across -workers cores (default: all of them); -workers 1
+// preserves the exact sequential behavior.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"dnscentral/internal/astrie"
 	"dnscentral/internal/entrada"
 	"dnscentral/internal/pcapio"
+	"dnscentral/internal/pipeline"
 )
 
 func main() {
@@ -28,6 +34,8 @@ func main() {
 	})
 	out := flag.String("out", "", "output JSON report path (default stdout)")
 	zone := flag.String("zone", "", "zone origin the capture's server is authoritative for (enables the Q-min heuristic), e.g. nl")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-shard worker count (1 = sequential)")
+	progress := flag.Duration("progress", 0, "print ingestion progress at this interval, e.g. 2s (0 disables)")
 	flag.Parse()
 	if len(inputs) == 0 {
 		fmt.Fprintln(os.Stderr, "entrada: at least one -in is required")
@@ -39,26 +47,56 @@ func main() {
 	// can always use the maximal registry regardless of how many
 	// long-tail ASes the generator used.
 	reg := astrie.NewRegistry(astrie.MaxASes - 20)
-	var opts []entrada.Option
+	var anOpts []entrada.Option
 	if *zone != "" {
-		opts = append(opts, entrada.WithZoneOrigin(*zone))
+		anOpts = append(anOpts, entrada.WithZoneOrigin(*zone))
 	}
-	var ag *entrada.Aggregates
-	for _, path := range inputs {
-		shard, malformed, err := analyzeFile(reg, path, opts)
+
+	readers := make([]pcapio.PacketReader, len(inputs))
+	for i, path := range inputs {
+		f, err := os.Open(path)
 		if err != nil {
 			fatal(err)
 		}
-		if malformed > 0 {
-			fmt.Fprintf(os.Stderr, "entrada: %s: skipped %d malformed packets\n", path, malformed)
-		}
-		if ag == nil {
-			ag = shard
-		} else {
-			ag.Merge(shard)
+		defer f.Close()
+		if readers[i], err = pcapio.Open(f); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 	}
-	fmt.Fprintln(os.Stderr, ag)
+
+	opts := pipeline.Options{
+		Workers:      *workers,
+		Registry:     reg,
+		AnalyzerOpts: anOpts,
+	}
+	if *progress > 0 {
+		opts.ProgressInterval = *progress
+		opts.Progress = func(st pipeline.Stats) {
+			fmt.Fprintf(os.Stderr, "%s (queues %v)\n", st, st.QueueDepths)
+		}
+	}
+	ag, st, err := pipeline.Run(context.Background(), readers, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Per-file and total malformed accounting: a capture whose every
+	// packet is malformed is almost certainly the wrong file.
+	allBad := false
+	for i, fs := range st.PerFile {
+		if fs.Malformed > 0 {
+			fmt.Fprintf(os.Stderr, "entrada: %s: skipped %d malformed packets\n", inputs[i], fs.Malformed)
+		}
+		if fs.Packets > 0 && fs.Malformed == fs.Packets {
+			fmt.Fprintf(os.Stderr, "entrada: %s: all %d packets malformed — wrong file?\n", inputs[i], fs.Packets)
+			allBad = true
+		}
+	}
+	if len(inputs) > 1 && st.Malformed > 0 {
+		fmt.Fprintf(os.Stderr, "entrada: %d malformed packets total across %d inputs\n", st.Malformed, len(inputs))
+	}
+	fmt.Fprintf(os.Stderr, "%s [%d packets, %d workers, %s, %.0f pkt/s]\n",
+		ag, st.PacketsRead, st.Workers, st.Elapsed.Round(time.Millisecond), st.PacketsPerSec)
 
 	rep := entrada.BuildReport(ag, reg)
 	w := os.Stdout
@@ -73,23 +111,9 @@ func main() {
 	if err := rep.WriteJSON(w); err != nil {
 		fatal(err)
 	}
-}
-
-func analyzeFile(reg *astrie.Registry, path string, opts []entrada.Option) (*entrada.Aggregates, uint64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
+	if allBad {
+		os.Exit(1)
 	}
-	defer f.Close()
-	r, err := pcapio.Open(f)
-	if err != nil {
-		return nil, 0, err
-	}
-	an := entrada.NewAnalyzer(reg, opts...)
-	if err := an.AnalyzeReader(r); err != nil {
-		return nil, 0, err
-	}
-	return an.Finish(), an.MalformedPackets, nil
 }
 
 func fatal(err error) {

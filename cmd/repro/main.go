@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dnscentral/internal/core"
@@ -21,6 +22,7 @@ func main() {
 		queries = flag.Int("queries", 200_000, "query events per vantage/week")
 		scale   = flag.Float64("scale", 0.01, "resolver population scale")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "vantage/week cells and flow shards run under this worker budget (1 = sequential)")
 		out     = flag.String("out", "", "output path (default stdout)")
 	)
 	flag.Parse()
@@ -39,6 +41,7 @@ func main() {
 		TotalQueries:  *queries,
 		ResolverScale: *scale,
 		Seed:          *seed,
+		Workers:       *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -8,12 +8,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"dnscentral/internal/astrie"
 	"dnscentral/internal/cloudmodel"
 	"dnscentral/internal/entrada"
+	"dnscentral/internal/pipeline"
 	"dnscentral/internal/rdns"
 	"dnscentral/internal/workload"
 	"dnscentral/internal/zonedb"
@@ -27,6 +30,13 @@ type RunConfig struct {
 	ResolverScale float64
 	// Seed for reproducibility.
 	Seed int64
+	// Workers is the parallelism budget: RunAll runs up to Workers
+	// vantage/week cells concurrently, and each cell's analysis streams
+	// through a flow-sharded internal/pipeline engine when spare workers
+	// remain. 0 or 1 preserves the sequential behavior; results are
+	// identical either way (per-cell seeds are fixed up front and the
+	// pipeline's merge is order-insensitive).
+	Workers int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -62,7 +72,9 @@ func (s analyzerSink) WritePacket(ts time.Time, data []byte) error {
 	return nil
 }
 
-// Run generates and analyzes one vantage/week.
+// Run generates and analyzes one vantage/week. With cfg.Workers > 1 the
+// generated packets stream through a flow-sharded pipeline engine instead
+// of a single inline analyzer; the merged result is identical.
 func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, error) {
 	cfg = cfg.withDefaults()
 	gen, err := workload.NewGenerator(workload.Config{
@@ -75,12 +87,34 @@ func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, err
 	if err != nil {
 		return nil, err
 	}
-	an := entrada.NewAnalyzer(gen.Registry(),
-		entrada.WithZoneOrigin(gen.Zone().Origin))
-	truth, err := gen.Run(analyzerSink{an})
-	if err != nil {
-		return nil, err
+	anOpts := []entrada.Option{entrada.WithZoneOrigin(gen.Zone().Origin)}
+
+	var agg *entrada.Aggregates
+	var truth *workload.GroundTruth
+	if cfg.Workers > 1 {
+		eng, err := pipeline.NewEngine(context.Background(), pipeline.Options{
+			Workers:      cfg.Workers,
+			Registry:     gen.Registry(),
+			AnalyzerOpts: anOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if truth, err = gen.Run(eng); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		if agg, err = eng.Close(); err != nil {
+			return nil, err
+		}
+	} else {
+		an := entrada.NewAnalyzer(gen.Registry(), anOpts...)
+		if truth, err = gen.Run(analyzerSink{an}); err != nil {
+			return nil, err
+		}
+		agg = an.Finish()
 	}
+
 	model, err := cloudmodel.Get(v, w)
 	if err != nil {
 		return nil, err
@@ -92,7 +126,7 @@ func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, err
 	return &VWResult{
 		Vantage:    v,
 		Week:       w,
-		Agg:        an.Finish(),
+		Agg:        agg,
 		Reg:        gen.Registry(),
 		PTR:        gen.PTRDB(),
 		Zone:       gen.Zone(),
@@ -104,22 +138,73 @@ func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, err
 
 // RunAll runs every vantage/week with per-cell seeds derived from
 // cfg.Seed. B-Root traces use the same query budget (its day-long capture
-// had comparable volume to a ccTLD week).
+// had comparable volume to a ccTLD week). With cfg.Workers > 1 the cells
+// run concurrently under that worker budget; per-cell seeds are assigned
+// in the fixed vantage/week order first, so the results are identical to
+// a sequential run.
 func RunAll(cfg RunConfig) (map[cloudmodel.Vantage]map[cloudmodel.Week]*VWResult, error) {
-	out := make(map[cloudmodel.Vantage]map[cloudmodel.Week]*VWResult)
+	type cell struct {
+		v    cloudmodel.Vantage
+		w    cloudmodel.Week
+		seed int64
+	}
+	var cells []cell
 	seed := cfg.Seed
 	for _, v := range cloudmodel.Vantages {
-		out[v] = make(map[cloudmodel.Week]*VWResult)
 		for _, w := range cloudmodel.Weeks {
 			seed++
-			c := cfg
-			c.Seed = seed
-			res, err := Run(v, w, c)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s/%s: %w", v, w, err)
-			}
-			out[v][w] = res
+			cells = append(cells, cell{v, w, seed})
 		}
+	}
+
+	results := make([]*VWResult, len(cells))
+	errs := make([]error, len(cells))
+	runCell := func(i int, workers int) {
+		c := cfg
+		c.Seed = cells[i].seed
+		c.Workers = workers
+		results[i], errs[i] = Run(cells[i].v, cells[i].w, c)
+	}
+
+	if cfg.Workers <= 1 {
+		for i := range cells {
+			runCell(i, cfg.Workers)
+		}
+	} else {
+		// Spread the budget: up to Workers cells in flight, each cell's
+		// engine getting an even share of the remaining parallelism.
+		pilots := cfg.Workers
+		if len(cells) < pilots {
+			pilots = len(cells)
+		}
+		perCell := cfg.Workers / pilots
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for p := 0; p < pilots; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runCell(i, perCell)
+				}
+			}()
+		}
+		for i := range cells {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	out := make(map[cloudmodel.Vantage]map[cloudmodel.Week]*VWResult)
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: %s/%s: %w", c.v, c.w, errs[i])
+		}
+		if out[c.v] == nil {
+			out[c.v] = make(map[cloudmodel.Week]*VWResult)
+		}
+		out[c.v][c.w] = results[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/entrada"
+)
+
+// TestRunParallelMatchesSequential pins the pipeline-wiring invariant:
+// streaming a cell's generated packets through the flow-sharded engine
+// (Workers > 1) yields byte-identical aggregates to the inline analyzer.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	cfg := RunConfig{TotalQueries: 8_000, ResolverScale: 0.003, Seed: 11}
+
+	seq, err := Run(cloudmodel.VantageNL, cloudmodel.W2020, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Run(cloudmodel.VantageNL, cloudmodel.W2020, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sj := reportJSON(t, seq.Agg, seq)
+	pj := reportJSON(t, par.Agg, par)
+	if string(sj) != string(pj) {
+		t.Fatalf("parallel report differs from sequential:\nseq: %.200s\npar: %.200s", sj, pj)
+	}
+}
+
+// TestRunAllParallelMatchesSequential checks that the concurrent cell
+// scheduler assigns the same per-cell seeds as the sequential loop.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every vantage/week twice")
+	}
+	cfg := RunConfig{TotalQueries: 2_000, ResolverScale: 0.003, Seed: 3}
+	seq, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cloudmodel.Vantages {
+		for _, w := range cloudmodel.Weeks {
+			s, p := seq[v][w], par[v][w]
+			if s.Truth.Queries != p.Truth.Queries {
+				t.Fatalf("%s/%s: query totals differ: %d vs %d", v, w, s.Truth.Queries, p.Truth.Queries)
+			}
+			sj := reportJSON(t, s.Agg, s)
+			pj := reportJSON(t, p.Agg, p)
+			if string(sj) != string(pj) {
+				t.Errorf("%s/%s: parallel RunAll report differs from sequential", v, w)
+			}
+		}
+	}
+}
+
+func reportJSON(t *testing.T, ag *entrada.Aggregates, res *VWResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(entrada.BuildReport(ag, res.Reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -111,6 +111,9 @@ type Aggregates struct {
 	// UDPResponses / TCPResponses count matched responses per transport.
 	UDPResponses uint64
 	TCPResponses uint64
+	// DroppedSegments counts out-of-order TCP segments discarded because a
+	// stream's reassembly buffer was full — silent data loss otherwise.
+	DroppedSegments uint64
 }
 
 // FamilyCount splits query counts by IP family.
@@ -171,7 +174,14 @@ type tcpStream struct {
 	synced   bool
 	buf      []byte            // contiguous reassembled payload
 	pending  map[uint32][]byte // out-of-order segments by sequence
+	// drops, when set, counts future segments discarded because pending
+	// was full (Aggregates.DroppedSegments).
+	drops *uint64
 }
+
+// maxPendingSegments bounds each stream's out-of-order buffer; segments
+// arriving while it is full are dropped and counted.
+const maxPendingSegments = 64
 
 // push ingests one data segment and returns true if new contiguous bytes
 // became available in s.buf.
@@ -204,8 +214,10 @@ func (s *tcpStream) push(seq uint32, payload []byte) bool {
 			if s.pending == nil {
 				s.pending = make(map[uint32][]byte)
 			}
-			if len(s.pending) < 64 {
+			if _, parked := s.pending[seq]; parked || len(s.pending) < maxPendingSegments {
 				s.pending[seq] = append([]byte(nil), payload...)
+			} else if s.drops != nil {
+				*s.drops++
 			}
 		}
 		// Try to drain parked segments that are now due.
@@ -396,6 +408,8 @@ func (a *Analyzer) handleTCP(ts time.Time, flow layers.Flow, tcp *layers.TCP, pa
 	conn, ok := a.conns[key]
 	if !ok {
 		conn = &tcpConn{}
+		conn.c2s.drops = &a.agg.DroppedSegments
+		conn.s2c.drops = &a.agg.DroppedSegments
 		a.conns[key] = conn
 	}
 
@@ -584,6 +598,12 @@ func (a *Analyzer) finalize(pq *pendingQuery, resp *dnswire.Message) {
 	}
 }
 
+// DroppedSegments reports the TCP reassembly drops counted so far; unlike
+// the MalformedPackets field it lives in the aggregates (it is part of the
+// merged result), so concurrent ingestion engines read it through this
+// accessor for progress reporting.
+func (a *Analyzer) DroppedSegments() uint64 { return a.agg.DroppedSegments }
+
 // Finish flushes queries still awaiting responses and returns the
 // aggregates. Call exactly once after the last packet.
 func (a *Analyzer) Finish() *Aggregates {
@@ -608,6 +628,10 @@ func RTTKey(client, server netip.Addr) rttKey { return rttKey{Client: client, Se
 
 // String summarizes the aggregates.
 func (ag *Aggregates) String() string {
-	return fmt.Sprintf("entrada: %d queries (%.1f%% valid), %d resolvers, %d ASes, cloud share %.1f%%",
+	s := fmt.Sprintf("entrada: %d queries (%.1f%% valid), %d resolvers, %d ASes, cloud share %.1f%%",
 		ag.Total, 100*stats.Ratio(ag.Valid, ag.Total), len(ag.AllResolvers), len(ag.ASes), 100*ag.CloudShare())
+	if ag.DroppedSegments > 0 {
+		s += fmt.Sprintf(", %d dropped TCP segments", ag.DroppedSegments)
+	}
+	return s
 }

@@ -1,0 +1,112 @@
+package entrada
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"dnscentral/internal/layers"
+)
+
+// frames builds a (forward, reverse) UDP or TCP frame pair for one flow.
+func flowFramePair(t *testing.T, src, dst netip.AddrPort, tcp bool) ([]byte, []byte) {
+	t.Helper()
+	build := func(a, b netip.AddrPort) []byte {
+		var frame []byte
+		var err error
+		if tcp {
+			frame, err = layers.BuildTCP(a, b, layers.TCPMeta{Seq: 1, Flags: layers.TCPFlagACK}, []byte{0, 1, 2})
+		} else {
+			frame, err = layers.BuildUDP(a, b, []byte{0, 1, 2})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+	return build(src, dst), build(dst, src)
+}
+
+func TestFlowKeySymmetric(t *testing.T) {
+	cases := []struct {
+		src, dst string
+		tcp      bool
+	}{
+		{"100.0.0.7:40000", "198.51.10.1:53", false},
+		{"100.0.0.7:40000", "198.51.10.1:53", true},
+		{"[2001:db8::7]:40000", "[2001:db8:1::1]:53", false},
+		{"[2001:db8::7]:40000", "[2001:db8:1::1]:53", true},
+	}
+	for _, tc := range cases {
+		fwd, rev := flowFramePair(t, netip.MustParseAddrPort(tc.src), netip.MustParseAddrPort(tc.dst), tc.tcp)
+		kf, ok := FlowKey(fwd)
+		if !ok {
+			t.Fatalf("%s: forward frame not parseable", tc.src)
+		}
+		kr, ok := FlowKey(rev)
+		if !ok {
+			t.Fatalf("%s: reverse frame not parseable", tc.src)
+		}
+		if kf != kr {
+			t.Errorf("%s>%s tcp=%v: forward key %x != reverse key %x", tc.src, tc.dst, tc.tcp, kf, kr)
+		}
+	}
+}
+
+func TestFlowKeyDistinguishesFlowsAndProtocols(t *testing.T) {
+	server := netip.MustParseAddrPort("198.51.10.1:53")
+	a, _ := flowFramePair(t, netip.MustParseAddrPort("100.0.0.7:40000"), server, false)
+	b, _ := flowFramePair(t, netip.MustParseAddrPort("100.0.0.7:40001"), server, false)
+	c, _ := flowFramePair(t, netip.MustParseAddrPort("100.0.0.7:40000"), server, true)
+	ka, _ := FlowKey(a)
+	kb, _ := FlowKey(b)
+	kc, _ := FlowKey(c)
+	if ka == kb {
+		t.Error("different ports produced the same key")
+	}
+	if ka == kc {
+		t.Error("UDP and TCP of the same tuple produced the same key")
+	}
+}
+
+func TestFlowKeyRejectsGarbage(t *testing.T) {
+	for _, frame := range [][]byte{
+		nil,
+		make([]byte, 10),                    // short ethernet
+		append(make([]byte, 12), 0x12, 0x34), // unknown ethertype
+		func() []byte { // IPv4 ethertype but truncated IP header
+			f := make([]byte, 14+10)
+			f[12], f[13] = 0x08, 0x00
+			return f
+		}(),
+	} {
+		if _, ok := FlowKey(frame); ok {
+			t.Errorf("FlowKey accepted garbage frame of %d bytes", len(frame))
+		}
+		if s := FlowShard(frame, 8); s != 0 {
+			t.Errorf("garbage frame sharded to %d, want 0", s)
+		}
+	}
+}
+
+// TestFlowShardSpreads checks the shard function actually distributes
+// distinct flows instead of clumping them.
+func TestFlowShardSpreads(t *testing.T) {
+	const shards = 8
+	counts := make([]int, shards)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{100, byte(r.Intn(256)), byte(r.Intn(256)), byte(1 + r.Intn(250))}), uint16(1024+r.Intn(60000)))
+		dst := netip.MustParseAddrPort("198.51.10.1:53")
+		frame, err := layers.BuildUDP(src, dst, []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[FlowShard(frame, shards)]++
+	}
+	for s, n := range counts {
+		if n < 2000/shards/4 {
+			t.Errorf("shard %d starved: %d of 2000 flows (counts %v)", s, n, counts)
+		}
+	}
+}

@@ -12,6 +12,7 @@ func (ag *Aggregates) Merge(other *Aggregates) {
 	ag.Valid += other.Valid
 	ag.UDPResponses += other.UDPResponses
 	ag.TCPResponses += other.TCPResponses
+	ag.DroppedSegments += other.DroppedSegments
 	for p, opa := range other.ByProvider {
 		pa := ag.Provider(p)
 		pa.Queries += opa.Queries
@@ -21,6 +22,7 @@ func (ag *Aggregates) Merge(other *Aggregates) {
 		pa.UDPResponses += opa.UDPResponses
 		pa.TruncatedUDP += opa.TruncatedUDP
 		pa.PublicDNSQueries += opa.PublicDNSQueries
+		pa.MinimizedQueries += opa.MinimizedQueries
 		for t, n := range opa.ByType {
 			pa.ByType[t] += n
 		}

@@ -18,6 +18,9 @@ type Report struct {
 	Resolvers    int     `json:"resolvers"`
 	ASes         int     `json:"ases"`
 	CloudShare   float64 `json:"cloud_share"`
+	// DroppedSegments reports TCP reassembly data loss (out-of-order
+	// segments discarded because a stream buffer was full).
+	DroppedSegments uint64 `json:"dropped_segments,omitempty"`
 
 	Providers map[string]ProviderReport `json:"providers"`
 
@@ -54,12 +57,13 @@ type FocusRow struct {
 // registry for public-DNS classification.
 func BuildReport(ag *Aggregates, reg *astrie.Registry) *Report {
 	r := &Report{
-		TotalQueries: ag.Total,
-		ValidShare:   stats.Ratio(ag.Valid, ag.Total),
-		Resolvers:    len(ag.AllResolvers),
-		ASes:         len(ag.ASes),
-		CloudShare:   ag.CloudShare(),
-		Providers:    make(map[string]ProviderReport),
+		TotalQueries:    ag.Total,
+		ValidShare:      stats.Ratio(ag.Valid, ag.Total),
+		Resolvers:       len(ag.AllResolvers),
+		ASes:            len(ag.ASes),
+		CloudShare:      ag.CloudShare(),
+		DroppedSegments: ag.DroppedSegments,
+		Providers:       make(map[string]ProviderReport),
 	}
 	for p, pa := range ag.ByProvider {
 		pr := ProviderReport{

@@ -116,6 +116,67 @@ func TestPropertyTCPStreamAnyOrder(t *testing.T) {
 	}
 }
 
+// TestTCPStreamCountsPendingDrops fills the out-of-order buffer and checks
+// the overflow is counted instead of silently discarded.
+func TestTCPStreamCountsPendingDrops(t *testing.T) {
+	var dropped uint64
+	s := tcpStream{drops: &dropped}
+	s.syncTo(0)
+	// Non-contiguous future segments: seq 2, 4, 6, ... never fill the gap
+	// at 0, so every one of them parks until the buffer is full.
+	for i := 0; i < maxPendingSegments+6; i++ {
+		s.push(uint32(2+2*i), []byte{byte(i)})
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	// Retransmitting an already-parked segment must not count as a drop.
+	s.push(2, []byte{0})
+	if dropped != 6 {
+		t.Fatalf("retransmit of parked segment counted as drop: %d", dropped)
+	}
+}
+
+// TestAnalyzerCountsDroppedSegments drives the drop path end to end: the
+// counter must land in Aggregates, survive Merge, and appear in the report.
+func TestAnalyzerCountsDroppedSegments(t *testing.T) {
+	reg := astrie.NewRegistry(2)
+	client, _ := reg.ResolverAddr(15169, false, false, 1)
+	src := netip.AddrPortFrom(client, 40001)
+	dst := netip.MustParseAddrPort("198.51.10.1:53")
+
+	an := NewAnalyzer(reg)
+	ts := time.Unix(0, 0)
+	send := func(seq uint32, payload []byte, flags uint8) {
+		frame, err := layers.BuildTCP(src, dst, layers.TCPMeta{Seq: seq, Flags: flags}, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an.HandlePacket(ts, frame)
+		ts = ts.Add(time.Millisecond)
+	}
+	const iss = 100
+	send(iss, nil, layers.TCPFlagSYN)
+	// Future segments with gaps; with the first post-SYN byte missing none
+	// of them can drain, so the buffer fills and the rest are dropped.
+	for i := 0; i < maxPendingSegments+4; i++ {
+		send(iss+2+uint32(2*i), []byte{byte(i)}, layers.TCPFlagACK)
+	}
+	ag := an.Finish()
+	if ag.DroppedSegments != 4 {
+		t.Fatalf("DroppedSegments = %d, want 4", ag.DroppedSegments)
+	}
+
+	other := NewAnalyzer(reg).Finish()
+	other.Merge(ag)
+	if other.DroppedSegments != 4 {
+		t.Fatalf("merged DroppedSegments = %d, want 4", other.DroppedSegments)
+	}
+	if rep := BuildReport(ag, reg); rep.DroppedSegments != 4 {
+		t.Fatalf("report DroppedSegments = %d, want 4", rep.DroppedSegments)
+	}
+}
+
 // TestAnalyzerHandlesOutOfOrderTCP rebuilds a TCP exchange with the data
 // segments swapped and checks the query is still extracted.
 func TestAnalyzerHandlesOutOfOrderTCP(t *testing.T) {

@@ -1,0 +1,196 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscentral/internal/entrada"
+)
+
+// Engine is a concurrent ingestion sink for one logical capture: packets
+// written to it are hashed by 5-tuple flow and fanned out over bounded
+// queues to per-shard entrada.Analyzer workers; Close joins the workers
+// and merges the shard aggregates. Both directions of a flow hash to the
+// same shard, so query/response joining and TCP reassembly stay
+// shard-local and the merged result equals a single-Analyzer run.
+//
+// WritePacket must be called from a single goroutine (it satisfies
+// workload.PacketSink); Snapshot may be called from any goroutine.
+type Engine struct {
+	ctx    context.Context
+	shards []*shard
+	fill   []*batch // per-shard batch the dispatcher is filling
+	pool   *sync.Pool
+	cnt    *counters
+
+	batchSize  int
+	batchBytes int
+
+	closed    bool
+	malformed uint64 // summed from the analyzers at Close
+	unmatched uint64
+}
+
+// ErrClosed reports a write to a closed engine.
+var ErrClosed = errors.New("pipeline: engine is closed")
+
+// shard is one worker: a bounded queue feeding a dedicated analyzer. depth
+// is this worker's queue gauge inside the run-wide counters.
+type shard struct {
+	ch    chan *batch
+	an    *entrada.Analyzer
+	depth *atomic.Int64
+	done  chan struct{}
+}
+
+// NewEngine starts opts.Workers shard workers that analyze packets
+// streamed via WritePacket. The caller must Close it to collect the
+// merged aggregates.
+func NewEngine(ctx context.Context, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if opts.Registry == nil {
+		return nil, errors.New("pipeline: Options.Registry is required")
+	}
+	return newEngine(ctx, opts.Workers, 0, newCounters(opts.Workers), opts), nil
+}
+
+// newEngine wires shards workers whose queue-depth gauges live at
+// cnt.depths[slotOffset:slotOffset+shards] (Run packs several engines'
+// workers into one budget-wide depth array).
+func newEngine(ctx context.Context, shards, slotOffset int, cnt *counters, opts Options) *Engine {
+	e := &Engine{
+		ctx:        ctx,
+		fill:       make([]*batch, shards),
+		pool:       newBatchPool(opts.BatchBytes, opts.BatchSize),
+		cnt:        cnt,
+		batchSize:  opts.BatchSize,
+		batchBytes: opts.BatchBytes,
+	}
+	for i := 0; i < shards; i++ {
+		sh := &shard{
+			ch:    make(chan *batch, opts.QueueDepth),
+			an:    entrada.NewAnalyzer(opts.Registry, opts.AnalyzerOpts...),
+			depth: &cnt.depths[slotOffset+i],
+			done:  make(chan struct{}),
+		}
+		e.shards = append(e.shards, sh)
+		go sh.run(cnt, e.pool)
+	}
+	return e
+}
+
+// run is the worker loop: drain batches, feed the shard's analyzer, and
+// publish progress deltas.
+func (sh *shard) run(cnt *counters, pool *sync.Pool) {
+	defer close(sh.done)
+	var lastMalformed, lastUnmatched, lastDropped uint64
+	for b := range sh.ch {
+		for _, p := range b.pkts {
+			sh.an.HandlePacket(p.ts, b.buf[p.off:p.off+p.size])
+		}
+		sh.depth.Add(-1)
+		// The worker owns its analyzer, so reading the error counters here
+		// is race-free; the shared totals advance by delta.
+		if m := sh.an.MalformedPackets; m != lastMalformed {
+			cnt.malformed.Add(m - lastMalformed)
+			lastMalformed = m
+		}
+		if u := sh.an.UnmatchedResp; u != lastUnmatched {
+			cnt.unmatched.Add(u - lastUnmatched)
+			lastUnmatched = u
+		}
+		if d := sh.an.DroppedSegments(); d != lastDropped {
+			cnt.dropped.Add(d - lastDropped)
+			lastDropped = d
+		}
+		b.reset()
+		pool.Put(b)
+	}
+}
+
+// WritePacket dispatches one captured frame to its flow's shard, blocking
+// when that shard's queue is full (backpressure) and failing fast when the
+// engine's context is canceled. data is copied; the caller may reuse it.
+func (e *Engine) WritePacket(ts time.Time, data []byte) error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.cnt.read.Add(1)
+	s := 0
+	if len(e.shards) > 1 {
+		s = entrada.FlowShard(data, len(e.shards))
+	}
+	b := e.fill[s]
+	if b == nil {
+		b = e.pool.Get().(*batch)
+		e.fill[s] = b
+	}
+	b.add(ts, data)
+	if b.full(e.batchSize, e.batchBytes) {
+		return e.flush(s)
+	}
+	return nil
+}
+
+// flush sends shard s's in-progress batch to its worker.
+func (e *Engine) flush(s int) error {
+	b := e.fill[s]
+	if b == nil || len(b.pkts) == 0 {
+		return nil
+	}
+	e.fill[s] = nil
+	n := uint64(len(b.pkts)) // the worker owns b once the send succeeds
+	select {
+	case e.shards[s].ch <- b:
+		e.shards[s].depth.Add(1)
+		e.cnt.dispatched.Add(n)
+		return nil
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	}
+}
+
+// Close flushes the in-progress batches, joins the workers, and returns
+// the merged aggregates. After a context cancellation Close still joins
+// cleanly and returns the context error alongside the partial result.
+func (e *Engine) Close() (*entrada.Aggregates, error) {
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.closed = true
+	var err error
+	for s := range e.shards {
+		if ferr := e.flush(s); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	agg := e.shards[0].an.Finish()
+	e.malformed = e.shards[0].an.MalformedPackets
+	e.unmatched = e.shards[0].an.UnmatchedResp
+	for _, sh := range e.shards[1:] {
+		agg.Merge(sh.an.Finish())
+		e.malformed += sh.an.MalformedPackets
+		e.unmatched += sh.an.UnmatchedResp
+	}
+	return agg, err
+}
+
+// Malformed returns the total undecodable frames; valid after Close.
+func (e *Engine) Malformed() uint64 { return e.malformed }
+
+// Unmatched returns the total orphan responses; valid after Close.
+func (e *Engine) Unmatched() uint64 { return e.unmatched }
+
+// Snapshot returns the engine's live progress counters.
+func (e *Engine) Snapshot() Stats {
+	return e.cnt.snapshot(len(e.shards), 0)
+}

@@ -1,0 +1,275 @@
+// Package pipeline is the parallel pcap ingestion engine: the
+// multi-core counterpart of a single entrada.Analyzer, playing the role
+// ENTRADA's horizontally-scaled loaders play in the paper's warehouse.
+//
+// A reader goroutine pulls packets off each capture, hashes every frame's
+// 5-tuple flow (direction-insensitively, so a query and its response — and
+// all segments of a TCP connection — land on the same shard), and fans the
+// frames out over bounded queues to per-shard entrada.Analyzer workers;
+// the shard aggregates are merged at the end. Because joining and TCP
+// reassembly are flow-local, the merged result is identical to a
+// sequential single-Analyzer pass — entrada's merge property tests pin
+// that invariant.
+//
+// Multiple captures ingest concurrently under one worker budget: with F
+// files and W workers, min(F, W) files are in flight at once and the W
+// shard workers are spread across them. Each file gets its own analyzers
+// (exactly like the sequential per-file merge cmd/entrada always did), so
+// cross-file interleaving cannot change the result.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/pcapio"
+)
+
+// Options configures a Run (or a streaming Engine).
+type Options struct {
+	// Workers is the total shard-worker budget across all inputs
+	// (default runtime.GOMAXPROCS(0)). Workers == 1 runs the exact
+	// sequential path: one analyzer per file, no goroutines, no copies.
+	Workers int
+	// Registry classifies source addresses; required.
+	Registry *astrie.Registry
+	// AnalyzerOpts are applied to every shard analyzer.
+	AnalyzerOpts []entrada.Option
+	// QueueDepth bounds each worker's queue, in batches (default 32).
+	// Together with BatchBytes it caps buffered memory at roughly
+	// Workers × QueueDepth × BatchBytes — no unbounded buffering no
+	// matter how large the capture is.
+	QueueDepth int
+	// BatchSize is the maximum packets per batch (default 256).
+	BatchSize int
+	// BatchBytes is the maximum frame bytes per batch (default 64 KiB).
+	BatchBytes int
+	// Progress, when set, receives a Stats snapshot every
+	// ProgressInterval (default 1s) while ingestion runs.
+	Progress         func(Stats)
+	ProgressInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 32
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = 64 << 10
+	}
+	if o.ProgressInterval <= 0 {
+		o.ProgressInterval = time.Second
+	}
+	return o
+}
+
+// Run ingests every reader (one pcap/pcapng capture each, as returned by
+// pcapio.Open) through the flow-sharded worker pool and returns the merged
+// aggregates plus the final ingestion stats. Stats.PerFile is indexed like
+// readers. Run fails fast on the first read error or context cancellation.
+func Run(ctx context.Context, readers []pcapio.PacketReader, opts Options) (*entrada.Aggregates, Stats, error) {
+	opts = opts.withDefaults()
+	if opts.Registry == nil {
+		return nil, Stats{}, errors.New("pipeline: Options.Registry is required")
+	}
+	if len(readers) == 0 {
+		return nil, Stats{}, errors.New("pipeline: no inputs")
+	}
+	cnt := newCounters(opts.Workers)
+	perFile := make([]fileCounter, len(readers))
+
+	stopProgress := startProgress(cnt, opts, len(readers))
+	defer stopProgress()
+
+	var agg *entrada.Aggregates
+	var err error
+	if opts.Workers == 1 {
+		agg, err = runSequential(ctx, readers, opts, cnt, perFile)
+	} else {
+		agg, err = runParallel(ctx, readers, opts, cnt, perFile)
+	}
+	stopProgress()
+
+	st := cnt.snapshot(opts.Workers, len(readers))
+	st.PerFile = make([]FileStats, len(readers))
+	for i := range perFile {
+		st.PerFile[i] = FileStats{
+			Packets:   perFile[i].packets.Load(),
+			Malformed: perFile[i].malformed.Load(),
+		}
+	}
+	return agg, st, err
+}
+
+// runSequential preserves the single-threaded behavior exactly: one
+// analyzer per file, packets handled inline, per-file merge at the end.
+func runSequential(ctx context.Context, readers []pcapio.PacketReader, opts Options, cnt *counters, perFile []fileCounter) (*entrada.Aggregates, error) {
+	var agg *entrada.Aggregates
+	for i, r := range readers {
+		an := entrada.NewAnalyzer(opts.Registry, opts.AnalyzerOpts...)
+		for {
+			pkt, rerr := r.ReadPacket()
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return agg, rerr
+			}
+			perFile[i].packets.Add(1)
+			n := cnt.read.Add(1)
+			an.HandlePacket(pkt.Timestamp, pkt.Data)
+			cnt.dispatched.Add(1)
+			if n%1024 == 0 && ctx.Err() != nil {
+				return agg, ctx.Err()
+			}
+		}
+		shard := an.Finish()
+		perFile[i].malformed.Store(an.MalformedPackets)
+		cnt.malformed.Add(an.MalformedPackets)
+		cnt.unmatched.Add(an.UnmatchedResp)
+		cnt.dropped.Add(shard.DroppedSegments)
+		if agg == nil {
+			agg = shard
+		} else {
+			agg.Merge(shard)
+		}
+	}
+	return agg, ctx.Err()
+}
+
+// runParallel spreads the worker budget over min(F, W) concurrently
+// ingesting files, each with its own flow-sharded engine.
+func runParallel(parent context.Context, readers []pcapio.PacketReader, opts Options, cnt *counters, perFile []fileCounter) (*entrada.Aggregates, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	numFiles, workers := len(readers), opts.Workers
+	pilots := numFiles
+	if workers < pilots {
+		pilots = workers
+	}
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range readers {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	pilotAggs := make([]*entrada.Aggregates, pilots)
+	pilotErrs := make([]error, pilots)
+	var wg sync.WaitGroup
+	slot := 0
+	for j := 0; j < pilots; j++ {
+		shards := workers / pilots
+		if j < workers%pilots {
+			shards++
+		}
+		offset := slot
+		slot += shards
+		wg.Add(1)
+		go func(j, shards, offset int) {
+			defer wg.Done()
+			for idx := range jobs {
+				eng := newEngine(ctx, shards, offset, cnt, opts)
+				rerr := drainReader(readers[idx], eng, &perFile[idx])
+				shardAgg, cerr := eng.Close()
+				perFile[idx].malformed.Store(eng.Malformed())
+				if shardAgg != nil {
+					if pilotAggs[j] == nil {
+						pilotAggs[j] = shardAgg
+					} else {
+						pilotAggs[j].Merge(shardAgg)
+					}
+				}
+				if rerr == nil {
+					rerr = cerr
+				}
+				if rerr != nil {
+					pilotErrs[j] = rerr
+					cancel() // fail fast: stop the other pilots too
+					return
+				}
+			}
+		}(j, shards, offset)
+	}
+	wg.Wait()
+
+	var agg *entrada.Aggregates
+	var err error
+	for j := 0; j < pilots; j++ {
+		if pilotAggs[j] != nil {
+			if agg == nil {
+				agg = pilotAggs[j]
+			} else {
+				agg.Merge(pilotAggs[j])
+			}
+		}
+		if err == nil && pilotErrs[j] != nil {
+			err = pilotErrs[j]
+		}
+	}
+	if err == nil {
+		// The internal cancel fires only alongside a recorded pilot error;
+		// caller-initiated cancellation surfaces through the parent.
+		err = parent.Err()
+	}
+	return agg, err
+}
+
+// drainReader feeds one capture into an engine, counting frames per file.
+func drainReader(r pcapio.PacketReader, eng *Engine, fc *fileCounter) error {
+	for {
+		pkt, err := r.ReadPacket()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fc.packets.Add(1)
+		if err := eng.WritePacket(pkt.Timestamp, pkt.Data); err != nil {
+			return err
+		}
+	}
+}
+
+// startProgress launches the snapshot ticker; the returned stop function
+// is idempotent.
+func startProgress(cnt *counters, opts Options, files int) func() {
+	if opts.Progress == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(opts.ProgressInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				opts.Progress(cnt.snapshot(opts.Workers, files))
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of the ingestion engine's progress. Run returns the
+// final snapshot; the Progress option delivers intermediate ones while the
+// engine is running.
+type Stats struct {
+	// PacketsRead counts frames read from all inputs.
+	PacketsRead uint64
+	// PacketsDispatched counts frames handed to shard workers (sequential
+	// mode dispatches inline, so the two counters track each other).
+	PacketsDispatched uint64
+	// Malformed counts frames the analyzers could not decode, summed
+	// across all shards and files.
+	Malformed uint64
+	// UnmatchedResponses counts responses with no pending query.
+	UnmatchedResponses uint64
+	// DroppedSegments mirrors Aggregates.DroppedSegments (TCP reassembly
+	// overflow drops).
+	DroppedSegments uint64
+	// Workers is the shard-worker budget the run used.
+	Workers int
+	// Files is the number of inputs.
+	Files int
+	// QueueDepths is the per-worker-slot queue depth, in batches, at
+	// snapshot time (all zeros in a final snapshot).
+	QueueDepths []int
+	// Elapsed is the wall time since ingestion started.
+	Elapsed time.Duration
+	// PacketsPerSec is PacketsDispatched / Elapsed.
+	PacketsPerSec float64
+	// PerFile holds per-input totals, indexed like the readers passed to
+	// Run (empty for an Engine used as a streaming sink).
+	PerFile []FileStats
+}
+
+// FileStats summarizes one input.
+type FileStats struct {
+	// Packets read from this input.
+	Packets uint64
+	// Malformed frames among them.
+	Malformed uint64
+}
+
+// String renders a one-line progress summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("pipeline: %d packets in %v (%.0f pkt/s, %d workers, %d malformed)",
+		s.PacketsDispatched, s.Elapsed.Round(time.Millisecond), s.PacketsPerSec, s.Workers, s.Malformed)
+}
+
+// counters is the shared mutable progress state of one run; every field is
+// updated atomically so Snapshot can be called from any goroutine.
+type counters struct {
+	start      time.Time
+	read       atomic.Uint64
+	dispatched atomic.Uint64
+	malformed  atomic.Uint64
+	unmatched  atomic.Uint64
+	dropped    atomic.Uint64
+	depths     []atomic.Int64 // one slot per worker
+}
+
+func newCounters(workers int) *counters {
+	return &counters{start: time.Now(), depths: make([]atomic.Int64, workers)}
+}
+
+func (c *counters) snapshot(workers, files int) Stats {
+	elapsed := time.Since(c.start)
+	st := Stats{
+		PacketsRead:        c.read.Load(),
+		PacketsDispatched:  c.dispatched.Load(),
+		Malformed:          c.malformed.Load(),
+		UnmatchedResponses: c.unmatched.Load(),
+		DroppedSegments:    c.dropped.Load(),
+		Workers:            workers,
+		Files:              files,
+		QueueDepths:        make([]int, len(c.depths)),
+		Elapsed:            elapsed,
+	}
+	for i := range c.depths {
+		st.QueueDepths[i] = int(c.depths[i].Load())
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.PacketsPerSec = float64(st.PacketsDispatched) / secs
+	}
+	return st
+}
+
+// fileCounter tracks one input's totals (atomic: the reader goroutine
+// writes while the progress goroutine snapshots).
+type fileCounter struct {
+	packets   atomic.Uint64
+	malformed atomic.Uint64
+}
