@@ -1,0 +1,128 @@
+package dnscentral_test
+
+import (
+	"net"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startAuthserver launches the real authserver binary on a free port and
+// waits until it accepts connections.
+func startAuthserver(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	args := append([]string{"-zone", "nl", "-domains", "1000", "-listen", addr}, extra...)
+	srv := exec.Command(bin, args...)
+	out := &strings.Builder{}
+	srv.Stdout, srv.Stderr = out, out
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return addr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("authserver did not come up: %s", out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// robustnessSection cuts the robustness report block out of resolversim
+// output ("" when the run printed none).
+func robustnessSection(out string) string {
+	i := strings.Index(out, "robustness report:")
+	if i < 0 {
+		return ""
+	}
+	return out[i:]
+}
+
+// TestCLIChaosDeterministicReport: two resolversim runs with the same
+// -chaos-seed and impairment flags must emit byte-identical robustness
+// reports — the acceptance bar for the seeded fault layer at the CLI.
+func TestCLIChaosDeterministicReport(t *testing.T) {
+	bins := buildTools(t, "authserver", "resolversim")
+	addr := startAuthserver(t, bins["authserver"])
+
+	args := []string{
+		"-server", addr, "-zone", "nl", "-n", "120",
+		"-loss", "0.2", "-dup", "0.05", "-corrupt", "0.05",
+		"-retries", "8", "-chaos-seed", "5",
+	}
+	runA := runTool(t, bins["resolversim"], args...)
+	runB := runTool(t, bins["resolversim"], args...)
+
+	repA, repB := robustnessSection(runA), robustnessSection(runB)
+	if repA == "" || repB == "" {
+		t.Fatalf("chaos run printed no robustness report:\n%s", runA)
+	}
+	if repA != repB {
+		t.Fatalf("same -chaos-seed produced different reports:\n--- A ---\n%s--- B ---\n%s", repA, repB)
+	}
+	for _, want := range []string{"amplification", "faults injected", "failure rate"} {
+		if !strings.Contains(repA, want) {
+			t.Errorf("report missing %q:\n%s", want, repA)
+		}
+	}
+	// A different seed must inject a different fault pattern.
+	argsC := append(append([]string(nil), args[:len(args)-1]...), "17")
+	if repC := robustnessSection(runTool(t, bins["resolversim"], argsC...)); repC == repA {
+		t.Error("different -chaos-seed produced an identical report")
+	}
+}
+
+// TestCLIChaosOffBaseline: without impairment flags resolversim must
+// print the pre-chaos baseline output — no robustness section, original
+// summary lines intact, zero failures.
+func TestCLIChaosOffBaseline(t *testing.T) {
+	bins := buildTools(t, "authserver", "resolversim")
+	addr := startAuthserver(t, bins["authserver"])
+
+	out := runTool(t, bins["resolversim"], "-server", addr, "-zone", "nl", "-n", "80")
+	if robustnessSection(out) != "" {
+		t.Fatalf("clean run printed a robustness report:\n%s", out)
+	}
+	if !strings.Contains(out, "resolved 80 names (0 failures)") {
+		t.Fatalf("baseline summary line missing or lookups failed:\n%s", out)
+	}
+	if !strings.Contains(out, "query mix at the authoritative server:") {
+		t.Fatalf("baseline query-mix section missing:\n%s", out)
+	}
+}
+
+// TestCLIChaosProxyImpairment exercises the authserver-side impairment
+// proxy: resolversim's hardened transport must ride out duplicated and
+// truncated responses injected on the server's wire.
+func TestCLIChaosProxyImpairment(t *testing.T) {
+	bins := buildTools(t, "authserver", "resolversim")
+	addr := startAuthserver(t, bins["authserver"],
+		"-chaos-dup", "1", "-chaos-truncate", "0.2", "-chaos-seed", "3")
+
+	out := runTool(t, bins["resolversim"],
+		"-server", addr, "-zone", "nl", "-n", "60", "-retries", "4", "-timeout", "1s")
+	if !strings.Contains(out, "resolved 60 names (0 failures)") {
+		t.Fatalf("lookups failed through the impairment proxy:\n%s", out)
+	}
+	// Forced TC=1 responses must have driven TCP fallbacks through the
+	// proxy's TCP relay.
+	if strings.Contains(out, "TCP 0 (0 TC retries)") {
+		t.Fatalf("no TCP fallback despite forced truncation:\n%s", out)
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dnscentral/internal/authserver"
+	"dnscentral/internal/faults"
 	"dnscentral/internal/zonedb"
 )
 
@@ -28,6 +30,17 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:5300", "UDP+TCP listen address")
 		rrl      = flag.Float64("rrl", 0, "responses/second/client rate limit (0 = off)")
 		verbose  = flag.Bool("v", false, "log per-error diagnostics")
+
+		idle    = flag.Duration("tcp-idle", 10*time.Second, "TCP idle timeout before the server hangs up")
+		maxTCP  = flag.Int("max-tcp", 128, "max concurrent TCP connections (<0 = unlimited)")
+		loss    = flag.Float64("chaos-loss", 0, "impairment proxy: per-direction UDP loss probability")
+		dup     = flag.Float64("chaos-dup", 0, "impairment proxy: response duplication probability")
+		corrupt = flag.Float64("chaos-corrupt", 0, "impairment proxy: response corruption probability")
+		trunc   = flag.Float64("chaos-truncate", 0, "impairment proxy: forced TC=1 probability")
+		tcpfail = flag.Float64("chaos-tcpfail", 0, "impairment proxy: TCP connection failure probability")
+		latency = flag.Duration("chaos-latency", 0, "impairment proxy: extra one-way latency")
+		jitter  = flag.Duration("chaos-jitter", 0, "impairment proxy: uniform extra latency bound")
+		cseed   = flag.Int64("chaos-seed", 1, "impairment proxy: fault seed")
 	)
 	flag.Parse()
 
@@ -51,7 +64,19 @@ func main() {
 			RatePerSec: *rrl, Burst: *rrl * 2, SlipEvery: 1,
 		}))
 	}
-	srv, err := authserver.Listen(*listen, authserver.NewEngine(zone, opts...))
+	chaos := faults.Config{
+		Loss: *loss, Duplicate: *dup, Corrupt: *corrupt, Truncate: *trunc,
+		TCPFail: *tcpfail, Latency: *latency, Jitter: *jitter, Seed: *cseed,
+	}
+	scfg := authserver.ServerConfig{TCPIdleTimeout: *idle, MaxTCPConns: *maxTCP}
+
+	// With impairment configured, the public address is the chaos proxy
+	// and the real server hides behind it on an ephemeral loopback port.
+	serverAddr := *listen
+	if chaos.Enabled() {
+		serverAddr = "127.0.0.1:0"
+	}
+	srv, err := authserver.ListenConfig(serverAddr, authserver.NewEngine(zone, opts...), scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,6 +84,15 @@ func main() {
 		srv.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "authserver: "+format+"\n", args...)
 		}
+	}
+	var proxy *faults.Proxy
+	if chaos.Enabled() {
+		proxy, err = faults.NewProxy(*listen, srv.Addr(), chaos)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("authserver: impairment proxy on %s (loss %.2f dup %.2f corrupt %.2f truncate %.2f tcpfail %.2f seed %d)\n",
+			proxy.Addr(), chaos.Loss, chaos.Duplicate, chaos.Corrupt, chaos.Truncate, chaos.TCPFail, chaos.Seed)
 	}
 	fmt.Printf("authserver: serving %s (%d delegations) on %s (UDP+TCP)\n",
 		zone.Origin, zone.Size(), srv.Addr())
@@ -69,6 +103,11 @@ func main() {
 	st := srv.Engine().Stats()
 	fmt.Printf("\nauthserver: %d queries (%d referrals, %d NXDOMAIN, %d refused, %d RRL slips)\n",
 		st.Queries, st.Referrals, st.NXDomain, st.Refused, st.RRLSlips)
+	if proxy != nil {
+		fs := proxy.Stats()
+		fmt.Printf("authserver: proxy injected %d faults over %d exchanges\n", fs.Total(), fs.Exchanges)
+		_ = proxy.Close()
+	}
 	_ = srv.Close()
 }
 

@@ -3,10 +3,19 @@
 // the query mix the server saw from it — a live demonstration of the
 // paper's per-provider behavioral signatures.
 //
+// The -loss/-corrupt/-brownout-* family of flags inserts a
+// deterministic, seed-driven impairment layer (internal/faults) between
+// the resolver and the wire: the run then ends with a robustness report
+// quantifying the retry amplification the paper attributes to
+// retransmissions and broken resolvers (§5). The report contains only
+// counters, so two runs with the same -chaos-seed and impairment config
+// emit identical report bytes.
+//
 // Usage:
 //
 //	authserver -zone nl -listen 127.0.0.1:5300 &
 //	resolversim -server 127.0.0.1:5300 -zone nl -qmin -validate -n 500
+//	resolversim -server 127.0.0.1:5300 -zone nl -n 500 -loss 0.2 -chaos-seed 7
 package main
 
 import (
@@ -15,8 +24,10 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"time"
 
 	"dnscentral/internal/dnswire"
+	"dnscentral/internal/faults"
 	"dnscentral/internal/resolver"
 )
 
@@ -29,6 +40,24 @@ func main() {
 		validate = flag.Bool("validate", false, "enable DNSSEC validation queries")
 		edns     = flag.Uint("edns", 1232, "advertised EDNS(0) UDP size (0 = no EDNS)")
 		seed     = flag.Int64("seed", 1, "random seed")
+
+		retries  = flag.Int("retries", 1, "extra attempts per failed exchange")
+		timeout  = flag.Duration("timeout", 5*time.Second, "socket timeout per exchange")
+		attemptT = flag.Duration("attempt-timeout", 0, "base per-attempt timeout, escalated 2x per retry (0 = fixed -timeout)")
+		backoff  = flag.Duration("backoff", 0, "base retry backoff, doubled per retry with jitter (0 = none)")
+
+		loss      = flag.Float64("loss", 0, "per-direction UDP loss probability")
+		dup       = flag.Float64("dup", 0, "UDP response duplication probability")
+		reorder   = flag.Float64("reorder", 0, "UDP response reordering probability")
+		corrupt   = flag.Float64("corrupt", 0, "UDP response corruption probability")
+		truncate  = flag.Float64("truncate", 0, "forced-truncation (TC=1) probability")
+		tcpfail   = flag.Float64("tcpfail", 0, "TCP connection failure probability")
+		latency   = flag.Duration("latency", 0, "injected extra one-way latency")
+		jitter    = flag.Duration("jitter", 0, "injected uniform extra latency bound")
+		bEvery    = flag.Int("brownout-every", 0, "brownout window period in exchanges (0 = off)")
+		bLen      = flag.Int("brownout-len", 0, "brownout window length in exchanges")
+		bMode     = flag.String("brownout-mode", "drop", "brownout behavior: drop|servfail")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault injection seed (same seed = same faults)")
 	)
 	flag.Parse()
 
@@ -36,17 +65,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mode, err := faults.ParseBrownoutMode(*bMode)
+	if err != nil {
+		fatal(err)
+	}
+	chaos := faults.Config{
+		Loss:      *loss,
+		Duplicate: *dup,
+		Reorder:   *reorder,
+		Corrupt:   *corrupt,
+		Truncate:  *truncate,
+		TCPFail:   *tcpfail,
+		Latency:   *latency,
+		Jitter:    *jitter,
+		Brownout:  faults.Brownout{Every: *bEvery, Len: *bLen, Mode: mode},
+		Seed:      *chaosSeed,
+	}
 	r := resolver.New(*zone, resolver.Config{
-		Qmin:     *qmin,
-		Validate: *validate,
-		EDNSSize: uint16(*edns),
-		Seed:     *seed,
+		Qmin:           *qmin,
+		Validate:       *validate,
+		EDNSSize:       uint16(*edns),
+		Seed:           *seed,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+		AttemptTimeout: *attemptT,
+		RetryServfail:  chaos.Enabled(),
 	})
 	fam := resolver.FamilyV4
 	if addr.Addr().Is6() {
 		fam = resolver.FamilyV6
 	}
-	r.AddUpstream(fam, &resolver.NetTransport{Server: addr})
+	var upstream resolver.Transport = &resolver.NetTransport{Server: addr, Timeout: *timeout}
+	var inj *faults.Injector
+	if chaos.Enabled() {
+		// The Advance hook is nil: lost exchanges are charged to the
+		// counters, not to wall-clock time, so chaos runs stay fast and
+		// their reports deterministic.
+		inj = faults.NewInjector(chaos)
+		upstream = faults.WrapTransport(upstream, inj, nil)
+	}
+	r.AddUpstream(fam, upstream)
 
 	var failures int
 	for i := 0; i < *n; i++ {
@@ -72,6 +130,9 @@ func main() {
 	fmt.Printf("query mix at the authoritative server:\n")
 	for _, t := range types {
 		fmt.Printf("  %-8s %6d (%5.1f%%)\n", t, st.ByType[t], 100*float64(st.ByType[t])/float64(st.Sent))
+	}
+	if inj != nil {
+		fmt.Print(faults.Robustness(st, uint64(*n), uint64(failures), inj.Stats()).Format())
 	}
 }
 

@@ -8,15 +8,38 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnscentral/internal/dnswire"
 )
 
+// ServerConfig tunes the transport hardening knobs.
+type ServerConfig struct {
+	// TCPIdleTimeout is how long an idle TCP connection may sit between
+	// messages before the server hangs up (default 10s).
+	TCPIdleTimeout time.Duration
+	// MaxTCPConns caps concurrently served TCP connections; excess
+	// connections are accepted and immediately closed so clients see a
+	// fast reset instead of a hang (default 128, negative = unlimited).
+	MaxTCPConns int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.TCPIdleTimeout <= 0 {
+		c.TCPIdleTimeout = 10 * time.Second
+	}
+	if c.MaxTCPConns == 0 {
+		c.MaxTCPConns = 128
+	}
+	return c
+}
+
 // Server binds an Engine to real UDP and TCP sockets, speaking standard
 // DNS transport framing (RFC 1035 §4.2: two-byte length prefix on TCP).
 type Server struct {
 	engine *Engine
+	cfg    ServerConfig
 
 	udp *net.UDPConn
 	tcp *net.TCPListener
@@ -24,13 +47,25 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
+	mu    sync.Mutex
+	conns map[*net.TCPConn]struct{}
+
+	tcpRejected atomic.Uint64
+	panics      atomic.Uint64
+
 	// Logf, when non-nil, receives per-error diagnostics.
 	Logf func(format string, args ...any)
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0" — UDP and TCP bind the
-// same port). The returned server is already serving.
+// same port) with default hardening limits. The returned server is
+// already serving.
 func Listen(addr string, engine *Engine) (*Server, error) {
+	return ListenConfig(addr, engine, ServerConfig{})
+}
+
+// ListenConfig starts a server with explicit transport limits.
+func ListenConfig(addr string, engine *Engine, cfg ServerConfig) (*Server, error) {
 	tcpLn, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("authserver: tcp listen: %w", err)
@@ -46,9 +81,11 @@ func Listen(addr string, engine *Engine) (*Server, error) {
 	}
 	s := &Server{
 		engine: engine,
+		cfg:    cfg.withDefaults(),
 		udp:    udpConn,
 		tcp:    tcpLn.(*net.TCPListener),
 		closed: make(chan struct{}),
+		conns:  make(map[*net.TCPConn]struct{}),
 	}
 	s.wg.Add(2)
 	go s.serveUDP()
@@ -64,14 +101,27 @@ func (s *Server) Addr() netip.AddrPort {
 // Engine returns the underlying engine.
 func (s *Server) Engine() *Engine { return s.engine }
 
-// Close stops serving and waits for the loops to exit.
+// Close stops serving: it closes the listeners, actively severs
+// in-flight TCP connections (so shutdown never waits out an idle
+// timeout), and waits for every handler to drain.
 func (s *Server) Close() error {
 	close(s.closed)
 	s.udp.Close()
 	s.tcp.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
 }
+
+// TCPRejected counts connections turned away by the MaxTCPConns cap.
+func (s *Server) TCPRejected() uint64 { return s.tcpRejected.Load() }
+
+// Panics counts handler panics recovered instead of crashing the server.
+func (s *Server) Panics() uint64 { return s.panics.Load() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
@@ -93,23 +143,35 @@ func (s *Server) serveUDP() {
 				continue
 			}
 		}
-		q, err := dnswire.Unpack(buf[:n])
-		if err != nil {
-			s.logf("udp parse from %s: %v", raddr, err)
-			continue
+		s.handleUDPPacket(buf[:n], raddr)
+	}
+}
+
+// handleUDPPacket serves one datagram; a panic in the engine poisons
+// only that datagram, not the receive loop.
+func (s *Server) handleUDPPacket(pkt []byte, raddr netip.AddrPort) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("udp handler panic from %s: %v", raddr, p)
 		}
-		r := s.engine.Handle(q, raddr.Addr(), false)
-		if r == nil {
-			continue // RRL drop
-		}
-		out, err := PackResponse(r, q, false)
-		if err != nil {
-			s.logf("udp pack: %v", err)
-			continue
-		}
-		if _, err := s.udp.WriteToUDPAddrPort(out, raddr); err != nil {
-			s.logf("udp write to %s: %v", raddr, err)
-		}
+	}()
+	q, err := dnswire.Unpack(pkt)
+	if err != nil {
+		s.logf("udp parse from %s: %v", raddr, err)
+		return
+	}
+	r := s.engine.Handle(q, raddr.Addr(), false)
+	if r == nil {
+		return // RRL drop
+	}
+	out, err := PackResponse(r, q, false)
+	if err != nil {
+		s.logf("udp pack: %v", err)
+		return
+	}
+	if _, err := s.udp.WriteToUDPAddrPort(out, raddr); err != nil {
+		s.logf("udp write to %s: %v", raddr, err)
 	}
 }
 
@@ -126,17 +188,53 @@ func (s *Server) serveTCP() {
 				continue
 			}
 		}
+		if !s.trackConn(conn) {
+			s.tcpRejected.Add(1)
+			conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go s.serveTCPConn(conn)
 	}
 }
 
+// trackConn registers a connection against the concurrency cap; false
+// means the cap is hit (or the server is closing) and the conn must be
+// turned away.
+func (s *Server) trackConn(conn *net.TCPConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	if s.cfg.MaxTCPConns > 0 && len(s.conns) >= s.cfg.MaxTCPConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn *net.TCPConn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
 func (s *Server) serveTCPConn(conn *net.TCPConn) {
 	defer s.wg.Done()
+	defer s.untrackConn(conn)
 	defer conn.Close()
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("tcp handler panic from %s: %v", conn.RemoteAddr(), p)
+		}
+	}()
 	raddr := conn.RemoteAddr().(*net.TCPAddr).AddrPort()
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.TCPIdleTimeout))
 		msg, err := ReadTCPMessage(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {

@@ -3,6 +3,7 @@ package authserver
 import (
 	"bytes"
 	"net"
+	"net/netip"
 	"testing"
 	"time"
 
@@ -203,5 +204,121 @@ func TestTCPFramingRejectsOversize(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteTCPMessage(&buf, make([]byte, 70000)); err == nil {
 		t.Error("oversize message accepted")
+	}
+}
+
+func TestServerCloseFastWithIdleTCPConns(t *testing.T) {
+	z, err := zonedb.NewCcTLD("nl", 50, 0, 0.5, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ListenConfig("127.0.0.1:0", NewEngine(z), ServerConfig{TCPIdleTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park idle connections; one has done a full exchange so the server
+	// is provably inside its read loop, not just the accept queue.
+	var conns []net.Conn
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conns = append(conns, conn)
+	}
+	q := dnswire.NewQuery(7, "nl.", dnswire.TypeSOA)
+	out, _ := q.Pack()
+	if err := WriteTCPMessage(conns[0], out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTCPMessage(conns[0]); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v with idle TCP conns, want <1s", d)
+	}
+}
+
+func TestServerTCPConnCap(t *testing.T) {
+	z, err := zonedb.NewCcTLD("nl", 50, 0, 0.5, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ListenConfig("127.0.0.1:0", NewEngine(z), ServerConfig{MaxTCPConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := dnswire.NewQuery(1, "nl.", dnswire.TypeSOA)
+	out, _ := q.Pack()
+	// Fill the cap with two live connections (a completed exchange
+	// guarantees each is tracked before the next dial).
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := WriteTCPMessage(conn, out); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTCPMessage(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third connection must be turned away promptly.
+	extra, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer extra.Close()
+	_ = extra.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadTCPMessage(extra); err == nil {
+		t.Fatal("over-cap connection was served")
+	}
+	if got := s.TCPRejected(); got != 1 {
+		t.Errorf("TCPRejected = %d, want 1", got)
+	}
+}
+
+func TestServerTCPIdleTimeoutConfigurable(t *testing.T) {
+	z, err := zonedb.NewCcTLD("nl", 50, 0, 0.5, []string{"ns1.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ListenConfig("127.0.0.1:0", NewEngine(z), ServerConfig{TCPIdleTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := ReadTCPMessage(conn); err == nil {
+		t.Fatal("idle connection produced a message")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("idle hangup took %v, want ~100ms", d)
+	}
+}
+
+func TestServerRecoversHandlerPanic(t *testing.T) {
+	// A nil engine makes Handle panic; the per-packet recovery must
+	// swallow it and count it rather than crash the serve loop.
+	s := &Server{conns: make(map[*net.TCPConn]struct{})}
+	q := dnswire.NewQuery(3, "nl.", dnswire.TypeSOA)
+	out, _ := q.Pack()
+	s.handleUDPPacket(out, netip.MustParseAddrPort("192.0.2.1:5353"))
+	if got := s.Panics(); got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
 	}
 }

@@ -1,0 +1,27 @@
+package faults
+
+import (
+	"dnscentral/internal/resolver"
+	"dnscentral/internal/stats"
+)
+
+// Robustness maps resolver counters, caller-side lookup bookkeeping and
+// injected-fault totals onto the stats.Robustness report. This is the
+// one canonical mapping, shared by the simulation and the CLI so their
+// reports agree field for field.
+func Robustness(st resolver.Stats, lookups, failures uint64, fs Stats) stats.Robustness {
+	return stats.Robustness{
+		Lookups:          lookups,
+		Failures:         failures,
+		LogicalExchanges: st.Exchanges,
+		WireQueries:      st.Sent,
+		Retries:          st.Retries,
+		AttemptErrors:    st.AttemptErrors,
+		ServfailRetries:  st.ServfailRetries,
+		FailedExchanges:  st.FailedExchanges,
+		TCPQueries:       st.ByTCP[true],
+		TCPFallbacks:     st.TCPRetries,
+		CacheHits:        st.CacheHits,
+		FaultsInjected:   fs.Total(),
+	}
+}

@@ -47,6 +47,14 @@ type Transport interface {
 	Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message, time.Duration, error)
 }
 
+// DeadlineTransport is a Transport that accepts a per-exchange timeout,
+// letting the resolver escalate deadlines attempt by attempt instead of
+// waiting a full fixed timeout on every retry of a lossy path.
+type DeadlineTransport interface {
+	Transport
+	ExchangeDeadline(q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error)
+}
+
 // Config shapes resolver behavior.
 type Config struct {
 	// Qmin enables QNAME minimization.
@@ -71,6 +79,26 @@ type Config struct {
 	// Retries is how many extra attempts a failed exchange gets (each
 	// retry re-picks the family, so a broken path fails over). Default 1.
 	Retries int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it (±50% jitter, capped at MaxBackoff).
+	// 0 disables backoff, preserving the tight-loop behavior.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the escalated backoff delay (default 2s).
+	MaxBackoff time.Duration
+	// AttemptTimeout enables per-attempt timeout escalation on
+	// DeadlineTransport upstreams: attempt k gets
+	// max(AttemptTimeout, RTO(family)) << k, where RTO is the
+	// Jacobson-style SRTT + 4·RTTVAR estimate. 0 leaves the transport's
+	// own timeout in charge.
+	AttemptTimeout time.Duration
+	// RetryServfail treats SERVFAIL responses as failed attempts (the
+	// brownout signature): the exchange is retried on a re-picked
+	// family, and only after the budget is exhausted is the SERVFAIL
+	// surfaced to the caller.
+	RetryServfail bool
+	// Sleep is the backoff wait hook (default time.Sleep); simulations
+	// point it at a virtual clock.
+	Sleep func(time.Duration)
 	// Now is the clock used for TTL caching (default time.Now).
 	Now func() time.Time
 	// Seed makes the resolver's random decisions reproducible.
@@ -90,6 +118,15 @@ type Stats struct {
 	// AggressiveHits counts NXDOMAINs synthesized from cached NSEC
 	// ranges (RFC 8198) without any query reaching the server.
 	AggressiveHits uint64
+	// Robustness accounting: Exchanges counts logical exchanges (one
+	// per name/type the resolver needed answered); Sent counts wire
+	// queries, so Sent/Exchanges is the retry amplification a perfect
+	// network would hold at 1.0.
+	Exchanges       uint64
+	Retries         uint64 // wire attempts beyond each exchange's first
+	AttemptErrors   uint64 // attempts that failed (timeout, corrupt, refused)
+	ServfailRetries uint64 // attempts retried because of a SERVFAIL answer
+	FailedExchanges uint64 // exchanges that exhausted the retry budget
 }
 
 // Result summarizes one resolution from the vantage of the TLD server.
@@ -124,6 +161,22 @@ type nsecRange struct {
 	expires     time.Time
 }
 
+// rttEstimate is a per-family Jacobson/Karels estimator: the smoothed
+// RTT drives upstream preference, and SRTT + 4·RTTVAR is the
+// retransmission timeout base for per-attempt deadline escalation.
+type rttEstimate struct {
+	srtt   time.Duration
+	rttvar time.Duration
+}
+
+// rto returns the retransmission timeout (0 when unmeasured).
+func (e rttEstimate) rto() time.Duration {
+	if e.srtt == 0 {
+		return 0
+	}
+	return e.srtt + 4*e.rttvar
+}
+
 // Resolver is a simulated caching resolver pointed at one zone's
 // authoritative servers.
 type Resolver struct {
@@ -132,7 +185,7 @@ type Resolver struct {
 
 	mu           sync.Mutex
 	upstreams    map[Family]Transport
-	rttEWMA      map[Family]time.Duration
+	rtt          map[Family]rttEstimate
 	cache        map[cacheKey]cacheEntry
 	nsec         []nsecRange
 	clientCookie []byte
@@ -147,14 +200,20 @@ func New(origin string, cfg Config) *Resolver {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
 	if cfg.ExploreProb <= 0 {
 		cfg.ExploreProb = 0.1
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
 	}
 	return &Resolver{
 		origin:    dnswire.CanonicalName(origin),
 		cfg:       cfg,
 		upstreams: make(map[Family]Transport),
-		rttEWMA:   make(map[Family]time.Duration),
+		rtt:       make(map[Family]rttEstimate),
 		cache:     make(map[cacheKey]cacheEntry),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -191,7 +250,15 @@ func copyMap[K comparable, V any](m map[K]V) map[K]V {
 func (r *Resolver) RTT(f Family) time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.rttEWMA[f]
+	return r.rtt[f].srtt
+}
+
+// RTO returns the retransmission-timeout estimate (SRTT + 4·RTTVAR)
+// for a family, 0 if unmeasured.
+func (r *Resolver) RTO(f Family) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rtt[f].rto()
 }
 
 // chooseFamily implements the latency-driven preference: pick the family
@@ -209,7 +276,7 @@ func (r *Resolver) chooseFamily() (Family, error) {
 	case has6 && !has4:
 		return FamilyV6, nil
 	}
-	rtt4, rtt6 := r.rttEWMA[FamilyV4], r.rttEWMA[FamilyV6]
+	rtt4, rtt6 := r.rtt[FamilyV4].srtt, r.rtt[FamilyV6].srtt
 	// Unmeasured families get explored first.
 	if rtt4 == 0 {
 		return FamilyV4, nil
@@ -238,34 +305,106 @@ func (r *Resolver) chooseFamily() (Family, error) {
 	return fast, nil
 }
 
+// errServfailAnswer marks an attempt that completed but answered
+// SERVFAIL, retried under Config.RetryServfail.
+var errServfailAnswer = errors.New("resolver: upstream answered SERVFAIL")
+
 // exchange sends one query with retry-and-failover: a failed attempt is
 // retried (re-picking the family) up to Retries extra times, like
-// production resolvers cycling through their upstream set.
+// production resolvers cycling through their upstream set. Retries back
+// off exponentially with jitter when RetryBackoff is set, so a
+// browned-out server is not hammered in a tight loop.
 func (r *Resolver) exchange(name string, typ dnswire.Type) (*dnswire.Message, int, error) {
 	retries := r.cfg.Retries
 	if retries <= 0 {
 		retries = 1
 	}
+	r.count(func(s *Stats) { s.Exchanges++ })
 	sent := 0
 	var err error
+	var lastServfail *dnswire.Message
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			r.count(func(s *Stats) { s.Retries++ })
+			r.backoff(attempt)
+		}
 		var resp *dnswire.Message
 		var n int
-		resp, n, err = r.exchangeOnce(name, typ)
+		resp, n, err = r.exchangeOnce(name, typ, attempt)
 		sent += n
 		if err == nil {
 			return resp, sent, nil
+		}
+		if errors.Is(err, errServfailAnswer) {
+			lastServfail = resp
+			r.count(func(s *Stats) { s.ServfailRetries++ })
+		} else {
+			r.count(func(s *Stats) { s.AttemptErrors++ })
 		}
 		if errors.Is(err, ErrNoUpstream) {
 			break // nothing to fail over to
 		}
 	}
+	if lastServfail != nil && errors.Is(err, errServfailAnswer) {
+		// Every server stayed browned out: surface the SERVFAIL answer
+		// itself rather than failing the lookup outright.
+		return lastServfail, sent, nil
+	}
+	r.count(func(s *Stats) { s.FailedExchanges++ })
 	return nil, sent, err
+}
+
+// backoff sleeps before retry attempt k (k ≥ 1): base·2^(k-1) with
+// ±50% jitter, capped at MaxBackoff. A zero base disables the wait.
+func (r *Resolver) backoff(attempt int) {
+	base := r.cfg.RetryBackoff
+	if base <= 0 {
+		return
+	}
+	d := base << (attempt - 1)
+	if d > r.cfg.MaxBackoff || d <= 0 {
+		d = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	jitter := 0.5 + r.rng.Float64()
+	r.mu.Unlock()
+	r.cfg.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// attemptTimeout computes the escalated deadline for one attempt:
+// max(AttemptTimeout, RTO) doubled per retry. 0 means "transport
+// default" (escalation disabled).
+func (r *Resolver) attemptTimeout(fam Family, attempt int) time.Duration {
+	base := r.cfg.AttemptTimeout
+	if base <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	rto := r.rtt[fam].rto()
+	r.mu.Unlock()
+	if rto > base {
+		base = rto
+	}
+	const maxTimeout = 8 * time.Second
+	d := base << attempt
+	if d > maxTimeout || d <= 0 {
+		d = maxTimeout
+	}
+	return d
+}
+
+// send performs one wire exchange, escalating the deadline when the
+// transport supports it.
+func (r *Resolver) send(t Transport, q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error) {
+	if dt, ok := t.(DeadlineTransport); ok && timeout > 0 {
+		return dt.ExchangeDeadline(q, tcp, timeout)
+	}
+	return t.Exchange(q, tcp)
 }
 
 // exchangeOnce sends one query, handling family choice, RTT accounting,
 // truncation (TCP retry) and stats. It may send up to two wire queries.
-func (r *Resolver) exchangeOnce(name string, typ dnswire.Type) (*dnswire.Message, int, error) {
+func (r *Resolver) exchangeOnce(name string, typ dnswire.Type, attempt int) (*dnswire.Message, int, error) {
 	fam, err := r.chooseFamily()
 	if err != nil {
 		return nil, 0, err
@@ -286,8 +425,9 @@ func (r *Resolver) exchangeOnce(name string, typ dnswire.Type) (*dnswire.Message
 		}
 	}
 
+	timeout := r.attemptTimeout(fam, attempt)
 	sent := 0
-	resp, rtt, err := t.Exchange(q, false)
+	resp, rtt, err := r.send(t, q, false, timeout)
 	sent++
 	r.note(fam, false, typ, rtt, err == nil)
 	if err != nil {
@@ -299,14 +439,27 @@ func (r *Resolver) exchangeOnce(name string, typ dnswire.Type) (*dnswire.Message
 		r.stats.Truncated++
 		r.stats.TCPRetries++
 		r.mu.Unlock()
-		resp, rtt, err = t.Exchange(q, true)
+		resp, rtt, err = r.send(t, q, true, timeout)
 		sent++
 		r.note(fam, true, typ, rtt, err == nil)
 		if err != nil {
 			return nil, sent, fmt.Errorf("%w: tcp %s %s: %v", ErrExchange, name, typ, err)
 		}
 	}
+	if r.cfg.RetryServfail && resp.Header.RCode == dnswire.RCodeServFail {
+		// The answer arrived but the server is failing; penalize the
+		// family like a loss so retries prefer the other path.
+		r.penalize(fam)
+		return resp, sent, fmt.Errorf("%w: %s %s via %s", errServfailAnswer, name, typ, fam)
+	}
 	return resp, sent, nil
+}
+
+// count applies a stats mutation under the lock.
+func (r *Resolver) count(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
 }
 
 // cookieOption builds the COOKIE option payload: the resolver's client
@@ -350,22 +503,52 @@ func (r *Resolver) note(f Family, tcp bool, typ dnswire.Type, rtt time.Duration,
 	r.stats.ByTCP[tcp]++
 	r.stats.ByType[typ]++
 	if ok && rtt > 0 {
-		if prev := r.rttEWMA[f]; prev == 0 {
-			r.rttEWMA[f] = rtt
+		e := r.rtt[f]
+		if e.srtt == 0 {
+			e.srtt, e.rttvar = rtt, rtt/2
 		} else {
-			r.rttEWMA[f] = (prev*7 + rtt) / 8
+			dev := rtt - e.srtt
+			if dev < 0 {
+				dev = -dev
+			}
+			e.rttvar = (3*e.rttvar + dev) / 4
+			e.srtt = (7*e.srtt + rtt) / 8
 		}
+		r.rtt[f] = e
 		return
 	}
 	if !ok {
-		// A failed exchange penalizes the family's estimate so retries
-		// fail over to the other upstream.
-		penalty := 2 * time.Second
-		if prev := r.rttEWMA[f]; prev*2 > penalty {
-			penalty = prev * 2
-		}
-		r.rttEWMA[f] = penalty
+		r.penalizeLocked(f)
 	}
+}
+
+// penalize degrades a family's estimate so retries fail over.
+func (r *Resolver) penalize(f Family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.penalizeLocked(f)
+}
+
+func (r *Resolver) penalizeLocked(f Family) {
+	// A failed exchange penalizes the family's estimate so retries
+	// fail over to the other upstream, and inflates the variance so the
+	// escalated RTO stays conservative while the path is suspect.
+	e := r.rtt[f]
+	penalty := 2 * time.Second
+	if e.srtt*2 > penalty {
+		penalty = e.srtt * 2
+	}
+	// Cap the degraded estimate so consecutive failures cannot double it
+	// without bound: past the cap it no longer orders preferences or
+	// changes the (8s-capped) escalated RTO, it only poisons the estimate.
+	if maxPenalty := 10 * time.Second; penalty > maxPenalty {
+		penalty = maxPenalty
+	}
+	e.srtt = penalty
+	if e.rttvar < penalty/4 {
+		e.rttvar = penalty / 4
+	}
+	r.rtt[f] = e
 }
 
 // cacheGet returns a live cache entry.

@@ -74,3 +74,16 @@ func TestRetryExhaustionReturnsError(t *testing.T) {
 		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", dead.calls)
 	}
 }
+
+func TestPenaltyBounded(t *testing.T) {
+	r := New("nl.", Config{})
+	for i := 0; i < 100; i++ {
+		r.penalize(FamilyV4)
+	}
+	if got := r.RTT(FamilyV4); got != 10*time.Second {
+		t.Fatalf("srtt after 100 consecutive failures = %v, want the 10s cap", got)
+	}
+	if rto := r.RTO(FamilyV4); rto > 60*time.Second {
+		t.Fatalf("rto grew unbounded: %v", rto)
+	}
+}

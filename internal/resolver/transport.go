@@ -1,9 +1,11 @@
 package resolver
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"dnscentral/internal/authserver"
@@ -60,17 +62,37 @@ func (t *EngineTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Messa
 // UDP and TCP sockets. The reported duration is the socket-level exchange
 // time (for TCP: connect + query, matching how the paper estimates RTTs
 // from TCP handshakes).
+//
+// The UDP receive path is hardened against imperfect networks: stray
+// datagrams — wrong source address, mismatched message ID, short or
+// unparseable payloads (late duplicates, reordered leftovers, spoofing
+// attempts) — are discarded and the read continues until the deadline,
+// instead of failing the whole exchange on the first oddity.
 type NetTransport struct {
 	// Server is the authoritative server address (UDP and TCP same port).
 	Server netip.AddrPort
 	// Timeout bounds each exchange (default 5s).
 	Timeout time.Duration
+
+	strays atomic.Uint64
 }
+
+// StrayDatagrams counts UDP datagrams discarded by the hardened read
+// loop (wrong source, mismatched ID, unparseable payload).
+func (t *NetTransport) StrayDatagrams() uint64 { return t.strays.Load() }
 
 // Exchange implements Transport.
 func (t *NetTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message, time.Duration, error) {
-	timeout := t.Timeout
-	if timeout == 0 {
+	return t.ExchangeDeadline(q, tcp, 0)
+}
+
+// ExchangeDeadline implements DeadlineTransport; a timeout of 0 falls
+// back to the transport-level Timeout (default 5s).
+func (t *NetTransport) ExchangeDeadline(q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error) {
+	if timeout <= 0 {
+		timeout = t.Timeout
+	}
+	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
 	wire, err := q.Pack()
@@ -78,12 +100,11 @@ func (t *NetTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message,
 		return nil, 0, err
 	}
 	start := time.Now()
-	var raw []byte
-	if tcp {
-		raw, err = t.exchangeTCP(wire, timeout)
-	} else {
-		raw, err = t.exchangeUDP(wire, timeout)
+	if !tcp {
+		resp, err := t.exchangeUDP(wire, q.Header.ID, timeout)
+		return resp, time.Since(start), err
 	}
+	raw, err := t.exchangeTCP(wire, timeout)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, elapsed, err
@@ -98,22 +119,52 @@ func (t *NetTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message,
 	return resp, elapsed, nil
 }
 
-func (t *NetTransport) exchangeUDP(wire []byte, timeout time.Duration) ([]byte, error) {
-	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(t.Server))
+// exchangeUDP sends the query from an unconnected socket and reads
+// until a datagram from the server with the matching ID parses cleanly,
+// or the deadline passes. The unconnected socket is what makes source
+// verification real (a connected socket would have the kernel filter
+// silently, and could never observe — or count — spoofed traffic).
+func (t *NetTransport) exchangeUDP(wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	conn, err := net.ListenUDP("udp", nil)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
-	if _, err := conn.Write(wire); err != nil {
+	if _, err := conn.WriteToUDPAddrPort(wire, t.Server); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 65535)
-	n, err := conn.Read(buf)
-	if err != nil {
-		return nil, err
+	var discarded int
+	for {
+		n, src, err := conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return nil, fmt.Errorf("net transport: udp read (after discarding %d stray datagrams): %w", discarded, err)
+		}
+		if src.Addr().Unmap() != t.Server.Addr().Unmap() || src.Port() != t.Server.Port() {
+			discarded++
+			t.strays.Add(1)
+			continue // response must come from the queried server
+		}
+		if n < 12 || binary.BigEndian.Uint16(buf[:2]) != id {
+			discarded++
+			t.strays.Add(1)
+			continue // short datagram or mismatched transaction ID
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			// Corrupted in flight; a duplicate may still arrive intact.
+			discarded++
+			t.strays.Add(1)
+			continue
+		}
+		if !resp.Header.Response {
+			discarded++
+			t.strays.Add(1)
+			continue
+		}
+		return resp, nil
 	}
-	return buf[:n], nil
 }
 
 func (t *NetTransport) exchangeTCP(wire []byte, timeout time.Duration) ([]byte, error) {

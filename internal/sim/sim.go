@@ -20,6 +20,7 @@ import (
 
 	"dnscentral/internal/authserver"
 	"dnscentral/internal/dnswire"
+	"dnscentral/internal/faults"
 	"dnscentral/internal/layers"
 	"dnscentral/internal/resolver"
 	"dnscentral/internal/workload"
@@ -54,11 +55,13 @@ type Sim struct {
 	Engine *authserver.Engine
 	Clock  *Clock
 
-	mu       sync.Mutex
-	sink     workload.PacketSink
-	server4  netip.Addr
-	server6  netip.Addr
-	nextPort uint16
+	mu        sync.Mutex
+	sink      workload.PacketSink
+	server4   netip.Addr
+	server6   netip.Addr
+	nextPort  uint16
+	faults    *faults.Config
+	injectors []*faults.Injector
 }
 
 // Config for a simulation.
@@ -72,6 +75,12 @@ type Config struct {
 	Start time.Time
 	// RRL optionally enables response rate limiting on the engine.
 	RRL *authserver.RRLConfig
+	// Faults, when non-nil, impairs every resolver's network path with
+	// the configured loss/duplication/corruption/brownout plan (each
+	// resolver gets its own deterministic injector seeded from
+	// Faults.Seed, and its timeouts/backoffs advance the virtual
+	// clock). Per-resolver overrides live on ResolverSpec.Faults.
+	Faults *faults.Config
 }
 
 // New builds a simulation.
@@ -100,6 +109,7 @@ func New(cfg Config) (*Sim, error) {
 		server4:  cfg.Server4,
 		server6:  cfg.Server6,
 		nextPort: 1024,
+		faults:   cfg.Faults,
 	}, nil
 }
 
@@ -112,10 +122,15 @@ type ResolverSpec struct {
 	RTT4, RTT6 time.Duration
 	// Config is the resolver behavior (Q-min, validation, EDNS size...).
 	Config resolver.Config
+	// Faults overrides the simulation-wide impairment plan for this
+	// resolver's path (nil inherits the Sim config).
+	Faults *faults.Config
 }
 
 // AddResolver registers a resolver whose exchanges are tapped into the
-// capture.
+// capture. When an impairment plan is configured, the resolver's path
+// runs through a dedicated fault injector whose waits (lost-exchange
+// timeouts, reorder delays, retry backoff) advance the virtual clock.
 func (s *Sim) AddResolver(spec ResolverSpec) (*resolver.Resolver, error) {
 	if !spec.Addr4.IsValid() && !spec.Addr6.IsValid() {
 		return nil, fmt.Errorf("sim: resolver needs an address")
@@ -123,26 +138,62 @@ func (s *Sim) AddResolver(spec ResolverSpec) (*resolver.Resolver, error) {
 	if spec.Config.Now == nil {
 		spec.Config.Now = s.Clock.Now
 	}
+	if spec.Config.Sleep == nil {
+		spec.Config.Sleep = s.Clock.Advance
+	}
+	fcfg := spec.Faults
+	if fcfg == nil {
+		fcfg = s.faults
+	}
+	var inj *faults.Injector
+	if fcfg != nil && fcfg.Enabled() {
+		// One injector per resolver: both families share the brownout
+		// schedule and decision stream, and a sequentially driven
+		// resolver consumes it deterministically.
+		inj = faults.NewInjector(*fcfg)
+		s.mu.Lock()
+		s.injectors = append(s.injectors, inj)
+		s.mu.Unlock()
+	}
+	impair := func(t resolver.Transport) resolver.Transport {
+		if inj == nil {
+			return t
+		}
+		return faults.WrapTransport(t, inj, s.Clock.Advance)
+	}
 	r := resolver.New(s.Engine.Zone().Origin, spec.Config)
 	if spec.Addr4.IsValid() {
 		rtt := spec.RTT4
 		if rtt == 0 {
 			rtt = 10 * time.Millisecond
 		}
-		r.AddUpstream(resolver.FamilyV4, &tapTransport{
+		r.AddUpstream(resolver.FamilyV4, impair(&tapTransport{
 			sim: s, client: spec.Addr4, server: s.server4, rtt: rtt,
-		})
+		}))
 	}
 	if spec.Addr6.IsValid() {
 		rtt := spec.RTT6
 		if rtt == 0 {
 			rtt = 10 * time.Millisecond
 		}
-		r.AddUpstream(resolver.FamilyV6, &tapTransport{
+		r.AddUpstream(resolver.FamilyV6, impair(&tapTransport{
 			sim: s, client: spec.Addr6, server: s.server6, rtt: rtt,
-		})
+		}))
 	}
 	return r, nil
+}
+
+// FaultStats merges the injected-fault counters of every impaired
+// resolver path in the simulation.
+func (s *Sim) FaultStats() faults.Stats {
+	s.mu.Lock()
+	injectors := append([]*faults.Injector(nil), s.injectors...)
+	s.mu.Unlock()
+	var out faults.Stats
+	for _, inj := range injectors {
+		out.Merge(inj.Stats())
+	}
+	return out
 }
 
 // allocPort hands out ephemeral ports.
