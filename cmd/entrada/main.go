@@ -24,7 +24,11 @@ import (
 	"dnscentral/internal/entrada"
 	"dnscentral/internal/pcapio"
 	"dnscentral/internal/pipeline"
+	"dnscentral/internal/profiling"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var inputs []string
@@ -36,12 +40,17 @@ func main() {
 	zone := flag.String("zone", "", "zone origin the capture's server is authoritative for (enables the Q-min heuristic), e.g. nl")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-shard worker count (1 = sequential)")
 	progress := flag.Duration("progress", 0, "print ingestion progress at this interval, e.g. 2s (0 disables)")
+	prof = profiling.Register(flag.CommandLine)
 	flag.Parse()
 	if len(inputs) == 0 {
 		fmt.Fprintln(os.Stderr, "entrada: at least one -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	// The synthetic prefix allocation is ordinal-stable, so the analyzer
 	// can always use the maximal registry regardless of how many
@@ -112,11 +121,13 @@ func main() {
 		fatal(err)
 	}
 	if allBad {
+		prof.Stop()
 		os.Exit(1)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "entrada:", err)
+	prof.Stop()
 	os.Exit(1)
 }

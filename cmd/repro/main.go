@@ -15,7 +15,11 @@ import (
 	"time"
 
 	"dnscentral/internal/core"
+	"dnscentral/internal/profiling"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var (
@@ -25,7 +29,12 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "vantage/week cells and flow shards run under this worker budget (1 = sequential)")
 		out     = flag.String("out", "", "output path (default stdout)")
 	)
+	prof = profiling.Register(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	w := os.Stdout
 	if *out != "" {
@@ -51,5 +60,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repro:", err)
+	prof.Stop()
 	os.Exit(1)
 }

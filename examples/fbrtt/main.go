@@ -97,8 +97,8 @@ func main() {
 
 	type agg struct {
 		v4, v6 uint64
-		rtts4  []time.Duration
-		rtts6  []time.Duration
+		rtts4  stats.DurationReservoir
+		rtts6  stats.DurationReservoir
 	}
 	bySite := map[string]*agg{}
 	for k, fc := range ag.FocusQueries {
@@ -126,9 +126,9 @@ func main() {
 			continue
 		}
 		if k.Client.Is4() {
-			a.rtts4 = append(a.rtts4, samples...)
+			a.rtts4.Merge(samples)
 		} else {
-			a.rtts6 = append(a.rtts6, samples...)
+			a.rtts6.Merge(samples)
 		}
 	}
 
@@ -142,8 +142,8 @@ func main() {
 		total := a.v4 + a.v6
 		fmt.Printf("%6s %10d %10d %9.1f%% %12v %12v\n",
 			st.code, a.v4, a.v6, 100*float64(a.v6)/float64(total),
-			stats.MedianDurations(a.rtts4).Round(time.Millisecond),
-			stats.MedianDurations(a.rtts6).Round(time.Millisecond))
+			a.rtts4.Median().Round(time.Millisecond),
+			a.rtts6.Median().Round(time.Millisecond))
 	}
 	fmt.Println("\nSites whose IPv6 RTT is much larger prefer IPv4 and vice versa —")
 	fmt.Println("the correlation the paper confirms for Facebook's locations 8–10.")

@@ -100,12 +100,12 @@ func Figure2(res *VWResult) []Figure2Row {
 
 // Figure3Point is Google's query mix for one month.
 type Figure3Point struct {
-	Month       cloudmodel.Month
-	NSShare     float64
-	AShare      float64 // A + AAAA combined
-	DSShare     float64
-	QminActive  bool
-	Anomaly     bool
+	Month        cloudmodel.Month
+	NSShare      float64
+	AShare       float64 // A + AAAA combined
+	DSShare      float64
+	QminActive   bool
+	Anomaly      bool
 	TotalQueries uint64
 }
 
@@ -296,7 +296,7 @@ func Figure5(res *VWResult, server int) ([]SiteStats, error) {
 	sA6 := workload.ServerAddr(res.Vantage, server, true)
 
 	bySite := make(map[string]*SiteStats)
-	rttsBySite := make(map[string]map[bool][]time.Duration) // site → v6? → samples
+	rttsBySite := make(map[string]map[bool]*stats.DurationReservoir) // site → v6? → sketch
 
 	for k, fc := range res.Agg.FocusQueries {
 		if k.Server != sA4 && k.Server != sA6 {
@@ -332,11 +332,14 @@ func Figure5(res *VWResult, server int) ([]SiteStats, error) {
 		}
 		m := rttsBySite[site]
 		if m == nil {
-			m = make(map[bool][]time.Duration)
+			m = make(map[bool]*stats.DurationReservoir)
 			rttsBySite[site] = m
 		}
 		v6 := k.Client.Is6() && !k.Client.Is4In6()
-		m[v6] = append(m[v6], samples...)
+		if m[v6] == nil {
+			m[v6] = &stats.DurationReservoir{}
+		}
+		m[v6].Merge(samples)
 	}
 
 	var out []SiteStats
@@ -344,9 +347,9 @@ func Figure5(res *VWResult, server int) ([]SiteStats, error) {
 		total := st.V4Queries + st.V6Queries
 		st.V6Ratio = stats.Ratio(st.V6Queries, total)
 		if m, ok := rttsBySite[site]; ok {
-			st.MedianRTT4 = stats.MedianDurations(m[false])
-			st.MedianRTT6 = stats.MedianDurations(m[true])
-			st.HasRTT = len(m[false])+len(m[true]) > 0
+			st.MedianRTT4 = m[false].Median()
+			st.MedianRTT6 = m[true].Median()
+			st.HasRTT = m[false].Count()+m[true].Count() > 0
 		}
 		out = append(out, *st)
 	}

@@ -107,3 +107,20 @@ func parseOPT(class uint16, ttl uint32, rdata []byte) (*EDNS, error) {
 	}
 	return e, nil
 }
+
+// validateOPTRData mirrors parseOPT's option-TLV walk without collecting
+// the options; dnswire.View uses it on the lazy path. Keep in lockstep
+// with parseOPT — FuzzViewParity enforces it.
+func validateOPTRData(rdata []byte) error {
+	for len(rdata) > 0 {
+		if len(rdata) < 4 {
+			return ErrTruncatedRData
+		}
+		olen := int(binary.BigEndian.Uint16(rdata[2:]))
+		if len(rdata) < 4+olen {
+			return ErrTruncatedRData
+		}
+		rdata = rdata[4+olen:]
+	}
+	return nil
+}

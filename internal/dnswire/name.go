@@ -132,14 +132,30 @@ func appendName(b []byte, name string, comp *nameCompressor) ([]byte, error) {
 // It returns the canonical name and the offset just past the name in the
 // *original* (non-pointer-followed) byte stream.
 func readName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	// A canonical text name is at most 254 bytes ("a." × 127 labels), so the
+	// append below never escapes this stack buffer.
+	var arr [maxNameWire + 1]byte
+	b, end, err := appendNameBytes(arr[:0], msg, off)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), end, nil
+}
+
+// appendNameBytes is readName's allocation-free core: it appends the
+// canonical (lowercased, dot-terminated) text form of the name at off to
+// dst and returns the grown slice plus the offset just past the name in
+// the *original* (non-pointer-followed) byte stream. The root name
+// appends ".".
+func appendNameBytes(dst, msg []byte, off int) ([]byte, int, error) {
+	start := len(dst)
 	ptrBudget := 64 // generous loop guard: RFC names have ≤127 labels
 	end := -1       // first position after the name in the original stream
 	labels := 0
 	total := 1
 	for {
 		if off >= len(msg) {
-			return "", 0, ErrTruncatedName
+			return dst, 0, ErrTruncatedName
 		}
 		c := msg[off]
 		switch {
@@ -147,13 +163,13 @@ func readName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			if sb.Len() == 0 {
-				return ".", end, nil
+			if len(dst) == start {
+				return append(dst, '.'), end, nil
 			}
-			return sb.String(), end, nil
+			return dst, end, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
-				return "", 0, ErrTruncatedName
+				return dst, 0, ErrTruncatedName
 			}
 			ptr := int(c&0x3F)<<8 | int(msg[off+1])
 			if end < 0 {
@@ -161,38 +177,118 @@ func readName(msg []byte, off int) (string, int, error) {
 			}
 			if ptr >= off {
 				// Forward or self pointers are invalid and would loop.
-				return "", 0, ErrBadPointer
+				return dst, 0, ErrBadPointer
 			}
 			ptrBudget--
 			if ptrBudget <= 0 {
-				return "", 0, ErrPointerLoop
+				return dst, 0, ErrPointerLoop
 			}
 			off = ptr
 		case c&0xC0 != 0:
-			return "", 0, ErrReservedLabel
+			return dst, 0, ErrReservedLabel
 		default:
 			l := int(c)
 			if off+1+l > len(msg) {
-				return "", 0, ErrTruncatedName
+				return dst, 0, ErrTruncatedName
 			}
 			total += 1 + l
 			if total > maxNameWire {
-				return "", 0, ErrNameTooLong
+				return dst, 0, ErrNameTooLong
 			}
 			labels++
 			if labels > 127 {
-				return "", 0, ErrNameTooLong
+				return dst, 0, ErrNameTooLong
 			}
 			for _, ch := range msg[off+1 : off+1+l] {
 				if ch >= 'A' && ch <= 'Z' {
 					ch += 'a' - 'A'
 				}
-				sb.WriteByte(ch)
+				dst = append(dst, ch)
 			}
-			sb.WriteByte('.')
+			dst = append(dst, '.')
 			off += 1 + l
 		}
 	}
+}
+
+// skipName validates the name at off exactly like readName but without
+// materializing it, returning only the offset just past the name in the
+// original stream. The lazy View walker uses it to cross names for free.
+// Keep its checks in lockstep with appendNameBytes — FuzzViewParity pins
+// the equivalence.
+func skipName(msg []byte, off int) (int, error) {
+	ptrBudget := 64
+	end := -1
+	labels := 0
+	total := 1
+	for {
+		if off >= len(msg) {
+			return 0, ErrTruncatedName
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			return end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return 0, ErrTruncatedName
+			}
+			ptr := int(c&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				return 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return 0, ErrPointerLoop
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return 0, ErrReservedLabel
+		default:
+			l := int(c)
+			if off+1+l > len(msg) {
+				return 0, ErrTruncatedName
+			}
+			total += 1 + l
+			if total > maxNameWire {
+				return 0, ErrNameTooLong
+			}
+			labels++
+			if labels > 127 {
+				return 0, ErrNameTooLong
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// nameIsRoot reports whether the (already skipName-validated) name at off
+// is the root name, following compression pointers without allocating.
+func nameIsRoot(msg []byte, off int) bool {
+	for budget := 64; budget > 0; budget-- {
+		if off >= len(msg) {
+			return false
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			return true
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return false
+			}
+			off = int(c&0x3F)<<8 | int(msg[off+1])
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 // ValidateName checks that name can be encoded on the wire.

@@ -63,7 +63,7 @@ func TestIsSubdomain(t *testing.T) {
 		{"example.nl.", ".", true},
 		{"nl.", "nl.", true},
 		{"example.com.", "nl.", false},
-		{"notnl.", "nl.", false},       // suffix of string but not of labels
+		{"notnl.", "nl.", false}, // suffix of string but not of labels
 		{"xample.nl.", "example.nl.", false},
 		{"a.b.example.nl.", "example.nl.", true},
 	}
@@ -168,10 +168,10 @@ func TestReadNameRejectsPointerLoop(t *testing.T) {
 
 func TestReadNameTruncated(t *testing.T) {
 	cases := [][]byte{
-		{},             // nothing
-		{3, 'a', 'b'},  // label runs past end
-		{0xC0},         // half a pointer
-		{2, 'a', 'b'},  // missing terminator
+		{},            // nothing
+		{3, 'a', 'b'}, // label runs past end
+		{0xC0},        // half a pointer
+		{2, 'a', 'b'}, // missing terminator
 	}
 	for i, msg := range cases {
 		if _, _, err := readName(msg, 0); err == nil {

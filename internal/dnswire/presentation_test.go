@@ -103,12 +103,12 @@ func TestParseRRErrors(t *testing.T) {
 		"example.nl. A",
 		"example.nl. FROB 1 2 3",
 		"example.nl. A not-an-ip",
-		"example.nl. A 2001:db8::1",    // family mismatch
-		"example.nl. AAAA 192.0.2.1",   // family mismatch
-		"example.nl. MX ten mail.nl.",  // bad preference
-		"example.nl. DS 1 2 3 XYZ",     // bad hex
-		"example.nl. DS 1 2 3 ABC",     // odd hex
-		"example.nl. SOA ns. hm. 1 2 3", // short SOA
+		"example.nl. A 2001:db8::1",                // family mismatch
+		"example.nl. AAAA 192.0.2.1",               // family mismatch
+		"example.nl. MX ten mail.nl.",              // bad preference
+		"example.nl. DS 1 2 3 XYZ",                 // bad hex
+		"example.nl. DS 1 2 3 ABC",                 // odd hex
+		"example.nl. SOA ns. hm. 1 2 3",            // short SOA
 		strings.Repeat("x", 300) + ". A 192.0.2.1", // bad owner
 	}
 	for _, line := range bad {

@@ -559,6 +559,11 @@ func parseRData(typ Type, msg []byte, off, rdlen int) (RData, error) {
 		if err != nil {
 			return nil, err
 		}
+		if next > off+rdlen {
+			// The signer name may follow compression pointers beyond the
+			// rdata, but its in-place encoding must end inside it.
+			return nil, ErrTruncatedRData
+		}
 		return RRSIGData{
 			TypeCovered: Type(binary.BigEndian.Uint16(rd)),
 			Algorithm:   rd[2],
@@ -574,6 +579,9 @@ func parseRData(typ Type, msg []byte, off, rdlen int) (RData, error) {
 		next, rest, err := readName(msg, off)
 		if err != nil {
 			return nil, err
+		}
+		if rest > off+rdlen {
+			return nil, ErrTruncatedRData
 		}
 		types, err := parseTypeBitmap(msg[rest : off+rdlen])
 		if err != nil {
@@ -598,4 +606,159 @@ func parseRData(typ Type, msg []byte, off, rdlen int) (RData, error) {
 	default:
 		return RawData{RRType: typ, Data: append([]byte(nil), rd...)}, nil
 	}
+}
+
+// validateRData mirrors parseRData's accept/reject decisions without
+// materializing anything, so dnswire.View counts exactly the same
+// messages malformed as Unpack while staying allocation-free. Every
+// branch here must track its parseRData twin — FuzzViewParity enforces
+// the lockstep, so a change to one without the other fails fuzzing.
+func validateRData(typ Type, msg []byte, off, rdlen int) error {
+	if off+rdlen > len(msg) {
+		return ErrTruncatedRData
+	}
+	rd := msg[off : off+rdlen]
+	switch typ {
+	case TypeA:
+		if rdlen != 4 {
+			return ErrBadRData
+		}
+	case TypeAAAA:
+		if rdlen != 16 {
+			return ErrBadRData
+		}
+	case TypeNS, TypeCNAME, TypePTR:
+		_, err := skipName(msg, off)
+		return err
+	case TypeSOA:
+		next, err := skipName(msg, off)
+		if err != nil {
+			return err
+		}
+		if next, err = skipName(msg, next); err != nil {
+			return err
+		}
+		if next+20 > off+rdlen {
+			return ErrTruncatedRData
+		}
+	case TypeMX:
+		if rdlen < 3 {
+			return ErrTruncatedRData
+		}
+		_, err := skipName(msg, off+2)
+		return err
+	case TypeTXT:
+		for i := 0; i < len(rd); {
+			l := int(rd[i])
+			if i+1+l > len(rd) {
+				return ErrTruncatedRData
+			}
+			i += 1 + l
+		}
+	case TypeSRV:
+		if rdlen < 7 {
+			return ErrTruncatedRData
+		}
+		_, err := skipName(msg, off+6)
+		return err
+	case TypeDS, TypeDNSKEY:
+		if rdlen < 4 {
+			return ErrTruncatedRData
+		}
+	case TypeRRSIG:
+		if rdlen < 18 {
+			return ErrTruncatedRData
+		}
+		next, err := skipName(msg, off+18)
+		if err != nil {
+			return err
+		}
+		if next > off+rdlen {
+			return ErrTruncatedRData
+		}
+	case TypeNSEC:
+		rest, err := skipName(msg, off)
+		if err != nil {
+			return err
+		}
+		if rest > off+rdlen {
+			return ErrTruncatedRData
+		}
+		return validateTypeBitmap(msg[rest : off+rdlen])
+	case TypeSVCB, TypeHTTPS:
+		if rdlen < 3 {
+			return ErrTruncatedRData
+		}
+		next, err := skipName(msg, off+2)
+		if err != nil {
+			return err
+		}
+		end := off + rdlen
+		lastKey := -1
+		for next < end {
+			if next+4 > end {
+				return ErrTruncatedRData
+			}
+			key := int(binary.BigEndian.Uint16(msg[next:]))
+			vlen := int(binary.BigEndian.Uint16(msg[next+2:]))
+			next += 4
+			if next+vlen > end {
+				return ErrTruncatedRData
+			}
+			if key <= lastKey {
+				return ErrBadRData
+			}
+			lastKey = key
+			next += vlen
+		}
+	case TypeNSEC3:
+		if len(rd) < 5 {
+			return ErrTruncatedRData
+		}
+		saltLen := int(rd[4])
+		if len(rd) < 5+saltLen+1 {
+			return ErrTruncatedRData
+		}
+		o := 5 + saltLen
+		hashLen := int(rd[o])
+		o++
+		if len(rd) < o+hashLen {
+			return ErrTruncatedRData
+		}
+		return validateTypeBitmap(rd[o+hashLen:])
+	case TypeNSEC3PARAM:
+		if len(rd) < 5 {
+			return ErrTruncatedRData
+		}
+		if len(rd) < 5+int(rd[4]) {
+			return ErrTruncatedRData
+		}
+	case TypeCAA:
+		if rdlen < 2 {
+			return ErrTruncatedRData
+		}
+		if 2+int(rd[1]) > len(rd) {
+			return ErrTruncatedRData
+		}
+	default:
+		// Unknown types (RFC 3597) are accepted verbatim, like parseRData.
+	}
+	return nil
+}
+
+// validateTypeBitmap mirrors parseTypeBitmap without building the type
+// slice.
+func validateTypeBitmap(b []byte) error {
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return ErrTruncatedRData
+		}
+		n := int(b[1])
+		b = b[2:]
+		if n < 1 || n > 32 || len(b) < n {
+			return ErrBadRData
+		}
+		b = b[n:]
+	}
+	return nil
 }

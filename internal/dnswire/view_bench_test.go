@@ -1,0 +1,68 @@
+package dnswire
+
+import "testing"
+
+// BenchmarkViewDecode compares the lazy View walk against the full Unpack
+// parse on the two message shapes the entrada hot path sees: a typical
+// EDNS query and an authoritative response. The view sub-benchmarks must
+// stay at 0 allocs/op — CI runs this file in short mode so a regression
+// shows up as a diff in the -benchtime=1x smoke run, and BENCH_PR3.json
+// records the measured ratios.
+func BenchmarkViewDecode(b *testing.B) {
+	query, err := NewQuery(4321, "www.some-domain.example.nl.", TypeA).WithEdns(1232, true).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := sampleResponse().WithEdns(4096, false).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []struct {
+		name string
+		data []byte
+	}{
+		{"query", query},
+		{"response", resp},
+	}
+	for _, in := range inputs {
+		b.Run("view/"+in.name, func(b *testing.B) {
+			var v View
+			scratch := make([]byte, 0, 256)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(in.data)))
+			for i := 0; i < b.N; i++ {
+				if err := v.Reset(in.data); err != nil {
+					b.Fatal(err)
+				}
+				if err := v.Validate(); err != nil {
+					b.Fatal(err)
+				}
+				name, _, _, err := v.Question(scratch[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				scratch = name
+				if _, _, err := v.EDNS(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := v.FullRCode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("unpack/"+in.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(in.data)))
+			for i := 0; i < b.N; i++ {
+				m, err := Unpack(in.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := m.Question()
+				_ = q.Type
+				_ = m.Edns
+				_ = m.Header.RCode
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package entrada
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+)
+
+// BenchmarkAnalyzerUDPPacket measures the full per-packet cost of the
+// analyzer's UDP path — Ethernet/IP/UDP parse, DNS decode, query/response
+// join, aggregation — one packet per op, alternating queries and their
+// responses so the pending table stays in steady state. The "eager"
+// sub-benchmark forces the pre-existing full-Unpack decoder and is the
+// baseline the ISSUE's ≥2× throughput / ≤2 allocs-per-packet acceptance
+// criteria compare against (numbers recorded in BENCH_PR3.json).
+func BenchmarkAnalyzerUDPPacket(b *testing.B) {
+	reg := astrie.NewRegistry(2)
+	server := netip.MustParseAddrPort("192.0.2.1:53")
+
+	type pair struct{ q, r []byte }
+	pairs := make([]pair, 256)
+	var total int
+	for i := range pairs {
+		client := netip.AddrPortFrom(
+			netip.AddrFrom4([4]byte{198, 51, byte(i >> 4), byte(100 + i&0xF)}),
+			uint16(40000+i))
+		name := fmt.Sprintf("host-%03d.example.nl.", i)
+		msg := dnswire.NewQuery(uint16(i+1), name, dnswire.TypeA).WithEdns(1232, true)
+		qp, err := msg.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp, err := msg.Reply().Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		qf, err := layers.BuildUDP(client, server, qp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf, err := layers.BuildUDP(server, client, rp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs[i] = pair{q: qf, r: rf}
+		total += len(qf) + len(rf)
+	}
+	ts := time.Unix(1_600_000_000, 0)
+
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"lazy", nil},
+		{"eager", []Option{WithEagerDecoding()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			an := NewAnalyzer(reg, mode.opts...)
+			// Warm every map to steady state before measuring.
+			for _, p := range pairs {
+				an.HandlePacket(ts, p.q)
+				an.HandlePacket(ts, p.r)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(total / (2 * len(pairs))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := &pairs[(i/2)%len(pairs)]
+				if i%2 == 0 {
+					an.HandlePacket(ts, p.q)
+				} else {
+					an.HandlePacket(ts, p.r)
+				}
+			}
+			b.StopTimer()
+			if an.MalformedPackets != 0 {
+				b.Fatalf("benchmark fed %d malformed packets", an.MalformedPackets)
+			}
+		})
+	}
+}

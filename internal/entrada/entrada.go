@@ -100,9 +100,12 @@ type Aggregates struct {
 	// FocusQueries counts per-(client,server,family) queries for clients
 	// of the focus provider (Figure 5a).
 	FocusQueries map[rttKey]*FamilyCount
-	// RTTs holds TCP-handshake RTT samples per (client, server) for
-	// focus-provider clients (Figure 5b).
-	RTTs map[rttKey][]time.Duration
+	// RTTs sketches TCP-handshake RTT samples per (client, server) for
+	// focus-provider clients (Figure 5b). A fixed-size deterministic
+	// reservoir rather than a raw sample slice, so per-key memory is
+	// bounded no matter how long the capture runs; medians stay within
+	// ~0.5% and shard merges stay order-insensitive.
+	RTTs map[rttKey]*stats.DurationReservoir
 	// Hourly counts queries per capture hour (Unix time / 3600) — the
 	// diurnal series the paper's week-long snapshots average over.
 	Hourly map[int64]uint64
@@ -143,6 +146,8 @@ func (ag *Aggregates) Provider(p astrie.Provider) *ProviderAgg {
 }
 
 // pendingQuery remembers query attributes until its response arrives.
+// Stored by value in the pending map so parking a query costs no heap
+// allocation on the hot path.
 type pendingQuery struct {
 	provider  astrie.Provider
 	qtype     dnswire.Type
@@ -152,6 +157,127 @@ type pendingQuery struct {
 	public    bool
 	minimized bool
 	client    netip.Addr
+}
+
+// msgMeta is everything the analyzer consumes from one DNS message. Both
+// decode paths — the zero-allocation lazy View walk and the full Unpack
+// parse — reduce a packet to this struct before any accounting happens,
+// so the two paths cannot classify a message differently anywhere
+// downstream (the parity tests check equality end to end).
+type msgMeta struct {
+	id        uint16
+	response  bool
+	truncated bool
+	rcode     dnswire.RCode // extended RCODE bits folded in, like Unpack
+	qtype     dnswire.Type  // first question's type, 0 if no question
+	udpSize   int           // advertised EDNS(0) size, 0 = no OPT
+	minimized bool          // §4.2.1 QNAME-minimization heuristic verdict
+}
+
+// decode reduces one raw DNS payload to msgMeta, reporting ok=false for
+// anything dnswire.Unpack would reject.
+func (a *Analyzer) decode(payload []byte) (msgMeta, bool) {
+	if a.eager {
+		return a.decodeEager(payload)
+	}
+	return a.decodeLazy(payload)
+}
+
+// decodeLazy is the hot path: a View walk that validates the message and
+// reads the consumed fields without materializing sections. The qname is
+// appended into the analyzer's scratch buffer and only promoted to a
+// string — through the shard-local intern table — for the rare NS-query
+// shapes the minimization heuristic inspects.
+func (a *Analyzer) decodeLazy(payload []byte) (msgMeta, bool) {
+	v := &a.view
+	if err := v.Reset(payload); err != nil {
+		return msgMeta{}, false
+	}
+	if err := v.Validate(); err != nil {
+		return msgMeta{}, false
+	}
+	rcode, _ := v.FullRCode() // walk already clean, cannot fail
+	m := msgMeta{
+		id:        v.ID(),
+		response:  v.Response(),
+		truncated: v.Truncated(),
+		rcode:     rcode,
+	}
+	qtype, _, err := v.QuestionType()
+	if err == nil {
+		m.qtype = qtype
+		if a.origin != "" && qtype == dnswire.TypeNS {
+			// Only this rare shape needs the qname materialized; it lands
+			// in the reusable scratch buffer and is promoted to a string
+			// through the shard-local intern table.
+			name, _, _, qerr := v.Question(a.scratch[:0])
+			if qerr == nil {
+				a.scratch = name // keep the grown capacity for the next packet
+				m.minimized = a.looksMinimized(dnswire.Question{
+					Name: a.names.intern(name), Type: qtype,
+				})
+			}
+		}
+	} else if err != dnswire.ErrNoQuestion {
+		return msgMeta{}, false
+	}
+	if info, ok, _ := v.EDNS(); ok {
+		m.udpSize = int(info.UDPSize)
+	}
+	return m, true
+}
+
+// decodeEager is the reference path through the full parser, selectable
+// with WithEagerDecoding; the parity tests run both paths over the same
+// capture and require byte-identical aggregates.
+func (a *Analyzer) decodeEager(payload []byte) (msgMeta, bool) {
+	msg, err := dnswire.Unpack(payload)
+	if err != nil {
+		return msgMeta{}, false
+	}
+	m := msgMeta{
+		id:        msg.Header.ID,
+		response:  msg.Header.Response,
+		truncated: msg.Header.Truncated,
+		rcode:     msg.Header.RCode,
+	}
+	q := msg.Question()
+	m.qtype = q.Type
+	if a.origin != "" && q.Type == dnswire.TypeNS {
+		m.minimized = a.looksMinimized(q)
+	}
+	if msg.Edns != nil {
+		m.udpSize = int(msg.Edns.UDPSize)
+	}
+	return m, true
+}
+
+// internTable caches qname strings keyed by their byte form so the lazy
+// path can look a scratch buffer up without allocating (the compiler
+// elides the string conversion in map reads). Analyzers are shard-local,
+// so no locks; the entry cap bounds memory against adversarial captures
+// full of unique NS names — on overflow the string is still returned,
+// just not cached.
+type internTable struct {
+	m map[string]string
+}
+
+// maxInternedNames bounds the table; 64k distinct minimization-candidate
+// names is far beyond any zone's delegation churn within one capture.
+const maxInternedNames = 1 << 16
+
+func (t *internTable) intern(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if t.m == nil {
+		t.m = make(map[string]string, 64)
+	}
+	if len(t.m) < maxInternedNames {
+		t.m[s] = s
+	}
+	return s
 }
 
 // looksMinimized applies the §4.2.1 name-shape heuristic.
@@ -177,6 +303,62 @@ type tcpStream struct {
 	// drops, when set, counts future segments discarded because pending
 	// was full (Aggregates.DroppedSegments).
 	drops *uint64
+	// pool, when set, recycles the copies made for parked segments; a nil
+	// pool (the zero value, as unit tests construct) falls back to plain
+	// allocation.
+	pool *segmentPool
+}
+
+// segmentPool is an analyzer-local free list for the byte copies TCP
+// reassembly must make of out-of-order segments. Each Analyzer owns one
+// and is single-goroutine, so unlike sync.Pool there is no locking and
+// no GC-driven eviction. Oversized or surplus buffers are simply not
+// retained.
+type segmentPool struct {
+	free [][]byte
+}
+
+const (
+	// maxPooledBuffers caps the free list; with maxPendingSegments=64
+	// per-direction parking, 128 retained buffers cover two full streams.
+	maxPooledBuffers = 128
+	// maxPooledBufCap keeps pathological jumbo buffers from pinning
+	// memory in the pool.
+	maxPooledBufCap = 64 << 10
+)
+
+// get returns an empty buffer with whatever capacity was recycled, or nil
+// (letting append allocate) when the pool is empty or unset.
+func (p *segmentPool) get() []byte {
+	if p == nil || len(p.free) == 0 {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+// put recycles b's backing array. Zero-capacity, oversized, and surplus
+// buffers are dropped.
+func (p *segmentPool) put(b []byte) {
+	if p == nil || cap(b) == 0 || cap(b) > maxPooledBufCap || len(p.free) >= maxPooledBuffers {
+		return
+	}
+	p.free = append(p.free, b[:0])
+}
+
+// release returns the stream's buffers to the pool when its connection is
+// torn down.
+func (s *tcpStream) release() {
+	if s.pool == nil {
+		return
+	}
+	s.pool.put(s.buf)
+	s.buf = nil
+	for seq, b := range s.pending {
+		s.pool.put(b)
+		delete(s.pending, seq)
+	}
 }
 
 // maxPendingSegments bounds each stream's out-of-order buffer; segments
@@ -195,6 +377,11 @@ func (s *tcpStream) push(seq uint32, payload []byte) bool {
 		s.synced = true
 	}
 	progressed := false
+	// recycle holds a parked buffer whose bytes the switch below just
+	// consumed into s.buf; parked segments can never re-enter the parking
+	// branch (their sequence is at or before expected by construction), so
+	// returning them to the pool after the switch is safe.
+	var recycle []byte
 	for {
 		switch {
 		case seq == s.expected:
@@ -210,15 +397,22 @@ func (s *tcpStream) push(seq uint32, payload []byte) bool {
 				progressed = true
 			}
 		default:
-			// Future segment: park it (bounded).
+			// Future segment: park a pooled copy (bounded).
 			if s.pending == nil {
 				s.pending = make(map[uint32][]byte)
 			}
-			if _, parked := s.pending[seq]; parked || len(s.pending) < maxPendingSegments {
-				s.pending[seq] = append([]byte(nil), payload...)
+			if old, parked := s.pending[seq]; parked {
+				s.pool.put(old)
+				s.pending[seq] = append(s.pool.get(), payload...)
+			} else if len(s.pending) < maxPendingSegments {
+				s.pending[seq] = append(s.pool.get(), payload...)
 			} else if s.drops != nil {
 				*s.drops++
 			}
+		}
+		if recycle != nil {
+			s.pool.put(recycle)
+			recycle = nil
 		}
 		// Try to drain parked segments that are now due.
 		next, ok := s.pending[s.expected]
@@ -236,9 +430,11 @@ func (s *tcpStream) push(seq uint32, payload []byte) bool {
 			if !found {
 				return progressed
 			}
+			recycle = next
 			continue
 		}
 		seq, payload = s.expected, next
+		recycle = next
 		delete(s.pending, s.expected)
 	}
 }
@@ -270,7 +466,18 @@ type Analyzer struct {
 	focus  astrie.Provider
 	origin string // zone origin for the Q-min heuristic ("" disables)
 
-	pending map[pendingKey]*pendingQuery
+	// Lazy-decode machinery: the reusable message view, the scratch
+	// buffer qnames are appended into, the qname intern table, and the
+	// eager escape hatch (WithEagerDecoding) for parity testing.
+	view    dnswire.View
+	scratch []byte
+	names   internTable
+	eager   bool
+	// segPool recycles TCP reassembly copies across this analyzer's
+	// connections.
+	segPool segmentPool
+
+	pending map[pendingKey]pendingQuery
 	conns   map[connKey]*tcpConn
 	curTS   time.Time
 
@@ -316,6 +523,15 @@ func WithZoneOrigin(origin string) Option {
 	return func(a *Analyzer) { a.origin = dnswire.CanonicalName(origin) }
 }
 
+// WithEagerDecoding makes the analyzer decode every message with the full
+// dnswire.Unpack parser instead of the default zero-allocation lazy
+// dnswire.View walk. Both paths produce byte-identical Aggregates — the
+// parity tests enforce it — so this exists only as the reference side of
+// those tests and as a debugging aid when lazy decoding is suspected.
+func WithEagerDecoding() Option {
+	return func(a *Analyzer) { a.eager = true }
+}
+
 // NewAnalyzer builds an analyzer classifying addresses with reg.
 func NewAnalyzer(reg *astrie.Registry, opts ...Option) *Analyzer {
 	a := &Analyzer{
@@ -326,12 +542,12 @@ func NewAnalyzer(reg *astrie.Registry, opts ...Option) *Analyzer {
 			ASes:         make(map[uint32]struct{}),
 			AllResolvers: make(map[netip.Addr]struct{}),
 			FocusQueries: make(map[rttKey]*FamilyCount),
-			RTTs:         make(map[rttKey][]time.Duration),
+			RTTs:         make(map[rttKey]*stats.DurationReservoir),
 			Hourly:       make(map[int64]uint64),
 			RCodes:       make(map[dnswire.RCode]uint64),
 		},
 		focus:   astrie.ProviderFacebook,
-		pending: make(map[pendingKey]*pendingQuery),
+		pending: make(map[pendingKey]pendingQuery),
 		conns:   make(map[connKey]*tcpConn),
 	}
 	for _, o := range opts {
@@ -369,21 +585,21 @@ func (a *Analyzer) HandlePacket(ts time.Time, frame []byte) {
 // handleUDP processes one UDP datagram (a whole DNS message).
 func (a *Analyzer) handleUDP(flow layers.Flow, payload []byte) {
 	if flow.DstPort == 53 {
-		msg, err := dnswire.Unpack(payload)
-		if err != nil || msg.Header.Response {
+		m, ok := a.decode(payload)
+		if !ok || m.response {
 			a.MalformedPackets++
 			return
 		}
-		a.noteQuery(flow, msg, false)
+		a.noteQuery(flow, m, false)
 		return
 	}
 	if flow.SrcPort == 53 {
-		msg, err := dnswire.Unpack(payload)
-		if err != nil || !msg.Header.Response {
+		m, ok := a.decode(payload)
+		if !ok || !m.response {
 			a.MalformedPackets++
 			return
 		}
-		a.noteResponse(flow, msg, false)
+		a.noteResponse(flow, m, false)
 	}
 }
 
@@ -410,6 +626,8 @@ func (a *Analyzer) handleTCP(ts time.Time, flow layers.Flow, tcp *layers.TCP, pa
 		conn = &tcpConn{}
 		conn.c2s.drops = &a.agg.DroppedSegments
 		conn.s2c.drops = &a.agg.DroppedSegments
+		conn.c2s.pool = &a.segPool
+		conn.s2c.pool = &a.segPool
 		a.conns[key] = conn
 	}
 
@@ -427,7 +645,12 @@ func (a *Analyzer) handleTCP(ts time.Time, flow layers.Flow, tcp *layers.TCP, pa
 		client := key.client.Addr()
 		if a.reg.ProviderOf(client) == a.focus {
 			k := rttKey{Client: client, Server: key.server.Addr()}
-			a.agg.RTTs[k] = append(a.agg.RTTs[k], rtt)
+			r := a.agg.RTTs[k]
+			if r == nil {
+				r = &stats.DurationReservoir{}
+				a.agg.RTTs[k] = r
+			}
+			r.Observe(rtt)
 		}
 	}
 	if len(payload) > 0 {
@@ -443,6 +666,8 @@ func (a *Analyzer) handleTCP(ts time.Time, flow layers.Flow, tcp *layers.TCP, pa
 	}
 	if tcp.FIN() || tcp.RST() {
 		if tcp.FIN() && !toServer {
+			conn.c2s.release()
+			conn.s2c.release()
 			delete(a.conns, key)
 		}
 	}
@@ -455,13 +680,13 @@ func (a *Analyzer) drainFrames(buf []byte, flow layers.Flow, response bool) []by
 		if len(buf) < 2+n {
 			break
 		}
-		msg, err := dnswire.Unpack(buf[2 : 2+n])
-		if err != nil {
+		m, ok := a.decode(buf[2 : 2+n])
+		if !ok {
 			a.MalformedPackets++
-		} else if response && msg.Header.Response {
-			a.noteResponse(flow, msg, true)
-		} else if !response && !msg.Header.Response {
-			a.noteQuery(flow, msg, true)
+		} else if response && m.response {
+			a.noteResponse(flow, m, true)
+		} else if !response && !m.response {
+			a.noteQuery(flow, m, true)
 		} else {
 			a.MalformedPackets++
 		}
@@ -471,27 +696,24 @@ func (a *Analyzer) drainFrames(buf []byte, flow layers.Flow, response bool) []by
 }
 
 // noteQuery records a query and parks it awaiting its response.
-func (a *Analyzer) noteQuery(flow layers.Flow, msg *dnswire.Message, tcp bool) {
+func (a *Analyzer) noteQuery(flow layers.Flow, m msgMeta, tcp bool) {
 	client := flow.Src
 	provider := a.reg.ProviderOf(client)
-	q := msg.Question()
 
-	pq := &pendingQuery{
+	pq := pendingQuery{
 		provider:  provider,
-		qtype:     q.Type,
+		qtype:     m.qtype,
 		v6:        flow.IsIPv6(),
 		tcp:       tcp,
+		edns:      m.udpSize,
 		public:    a.reg.IsPublicDNSAddr(client),
 		client:    client,
-		minimized: a.looksMinimized(q),
-	}
-	if msg.Edns != nil {
-		pq.edns = int(msg.Edns.UDPSize)
+		minimized: m.minimized,
 	}
 	key := pendingKey{
 		client: netip.AddrPortFrom(flow.Src, flow.SrcPort),
 		server: netip.AddrPortFrom(flow.Dst, flow.DstPort),
-		id:     msg.Header.ID,
+		id:     m.id,
 		tcp:    tcp,
 	}
 	if old, dup := a.pending[key]; dup {
@@ -533,11 +755,11 @@ func (a *Analyzer) noteQuery(flow layers.Flow, msg *dnswire.Message, tcp bool) {
 }
 
 // noteResponse joins a response to its query and finalizes counters.
-func (a *Analyzer) noteResponse(flow layers.Flow, msg *dnswire.Message, tcp bool) {
+func (a *Analyzer) noteResponse(flow layers.Flow, m msgMeta, tcp bool) {
 	key := pendingKey{
 		client: netip.AddrPortFrom(flow.Dst, flow.DstPort),
 		server: netip.AddrPortFrom(flow.Src, flow.SrcPort),
-		id:     msg.Header.ID,
+		id:     m.id,
 		tcp:    tcp,
 	}
 	pq, ok := a.pending[key]
@@ -546,11 +768,11 @@ func (a *Analyzer) noteResponse(flow layers.Flow, msg *dnswire.Message, tcp bool
 		return
 	}
 	delete(a.pending, key)
-	a.finalize(pq, msg)
+	a.finalize(pq, &m)
 }
 
 // finalize folds one (query, response?) pair into the aggregates.
-func (a *Analyzer) finalize(pq *pendingQuery, resp *dnswire.Message) {
+func (a *Analyzer) finalize(pq pendingQuery, resp *msgMeta) {
 	ag := a.agg
 	ag.Total++
 	pa := ag.Provider(pq.provider)
@@ -581,18 +803,18 @@ func (a *Analyzer) finalize(pq *pendingQuery, resp *dnswire.Message) {
 		ag.Valid++
 		return
 	}
-	if resp.Header.RCode == dnswire.RCodeNoError {
+	if resp.rcode == dnswire.RCodeNoError {
 		ag.Valid++
 	} else {
 		pa.Junk++
 	}
-	ag.RCodes[resp.Header.RCode]++
+	ag.RCodes[resp.rcode]++
 	if pq.tcp {
 		ag.TCPResponses++
 	} else {
 		ag.UDPResponses++
 		pa.UDPResponses++
-		if resp.Header.Truncated {
+		if resp.truncated {
 			pa.TruncatedUDP++
 		}
 	}
@@ -614,11 +836,11 @@ func (a *Analyzer) Finish() *Aggregates {
 	return a.agg
 }
 
-// MedianRTTs computes per-(client,server) median RTTs from the samples.
+// MedianRTTs computes per-(client,server) median RTTs from the sketches.
 func (ag *Aggregates) MedianRTTs() map[rttKey]time.Duration {
 	out := make(map[rttKey]time.Duration, len(ag.RTTs))
-	for k, samples := range ag.RTTs {
-		out[k] = stats.MedianDurations(samples)
+	for k, r := range ag.RTTs {
+		out[k] = r.Median()
 	}
 	return out
 }

@@ -72,7 +72,7 @@ func TestFlowKeyDistinguishesFlowsAndProtocols(t *testing.T) {
 func TestFlowKeyRejectsGarbage(t *testing.T) {
 	for _, frame := range [][]byte{
 		nil,
-		make([]byte, 10),                    // short ethernet
+		make([]byte, 10),                     // short ethernet
 		append(make([]byte, 12), 0x12, 0x34), // unknown ethertype
 		func() []byte { // IPv4 ethertype but truncated IP header
 			f := make([]byte, 14+10)

@@ -46,8 +46,14 @@ func (ag *Aggregates) Merge(other *Aggregates) {
 		mine.V4 += fc.V4
 		mine.V6 += fc.V6
 	}
-	for k, samples := range other.RTTs {
-		ag.RTTs[k] = append(ag.RTTs[k], samples...)
+	for k, sketch := range other.RTTs {
+		mine, ok := ag.RTTs[k]
+		if !ok {
+			mine = sketch.Clone()
+			ag.RTTs[k] = mine
+			continue
+		}
+		mine.Merge(sketch)
 	}
 	for h, n := range other.Hourly {
 		ag.Hourly[h] += n

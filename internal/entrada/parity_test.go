@@ -1,0 +1,127 @@
+package entrada
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/workload"
+)
+
+// TestLazyEagerParity is the contract behind the zero-allocation fast
+// path: analyzing the same capture through the default lazy dnswire.View
+// decoder and through the option-forced full-Unpack decoder must produce
+// byte-identical Aggregates — same String() summary, same canonical
+// report JSON, same malformed/unmatched side counters. Runs under -race
+// in CI with the rest of this package.
+func TestLazyEagerParity(t *testing.T) {
+	for _, tc := range []struct {
+		vantage cloudmodel.Vantage
+		week    cloudmodel.Week
+		seed    int64
+	}{
+		{cloudmodel.VantageNL, cloudmodel.W2020, 21},
+		{cloudmodel.VantageNZ, cloudmodel.W2018, 4},
+	} {
+		g, err := workload.NewGenerator(workload.Config{
+			Vantage: tc.vantage, Week: tc.week,
+			TotalQueries: 6000, Seed: tc.seed, ResolverScale: 0.002,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w := pcapio.NewWriter(&buf)
+		if _, err := g.Run(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		blob := buf.Bytes()
+		reg := g.Registry()
+		origin := g.Zone().Origin
+
+		run := func(opts ...Option) (*Analyzer, *Aggregates) {
+			an := NewAnalyzer(reg, append([]Option{WithZoneOrigin(origin)}, opts...)...)
+			r, err := pcapio.NewReader(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := an.AnalyzeReader(r); err != nil {
+				t.Fatal(err)
+			}
+			return an, an.Finish()
+		}
+		lazyAn, lazy := run()
+		eagerAn, eager := run(WithEagerDecoding())
+
+		if got, want := lazy.String(), eager.String(); got != want {
+			t.Errorf("seed %d: Aggregates.String diverges:\nlazy:  %s\neager: %s", tc.seed, got, want)
+		}
+		if got, want := reportJSON(t, lazy, reg), reportJSON(t, eager, reg); !bytes.Equal(got, want) {
+			t.Errorf("seed %d: report JSON diverges between lazy and eager paths", tc.seed)
+		}
+		if lazyAn.MalformedPackets != eagerAn.MalformedPackets ||
+			lazyAn.UnmatchedResp != eagerAn.UnmatchedResp {
+			t.Errorf("seed %d: side counters diverge: malformed %d/%d unmatched %d/%d",
+				tc.seed, lazyAn.MalformedPackets, eagerAn.MalformedPackets,
+				lazyAn.UnmatchedResp, eagerAn.UnmatchedResp)
+		}
+	}
+}
+
+// TestLazyEagerParityMalformed feeds both paths frames that exercise the
+// reject half of the contract: garbage payloads, short headers, trailing
+// bytes, and direction mismatches must be counted malformed identically.
+func TestLazyEagerParityMalformed(t *testing.T) {
+	client := netip.MustParseAddrPort("198.51.100.9:40000")
+	server := netip.MustParseAddrPort("192.0.2.1:53")
+
+	query, err := dnswire.NewQuery(7, "ok.example.nl.", dnswire.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.NewQuery(7, "ok.example.nl.", dnswire.TypeA).Reply().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		query,
+		resp,                                     // a response sent *to* port 53: direction mismatch
+		{},                                       // empty
+		{1, 2, 3},                                // short header
+		append(append([]byte{}, query...), 0xFF), // trailing byte
+		bytes.Repeat([]byte{0xFF}, 40),           // count-field garbage
+	}
+
+	reg := astrie.NewRegistry(2)
+	run := func(opts ...Option) *Analyzer {
+		an := NewAnalyzer(reg, opts...)
+		ts := time.Unix(1_600_000_000, 0)
+		for _, p := range payloads {
+			frame, err := layers.BuildUDP(client, server, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an.HandlePacket(ts, frame)
+		}
+		an.Finish()
+		return an
+	}
+	lazy := run()
+	eager := run(WithEagerDecoding())
+	if lazy.MalformedPackets != eager.MalformedPackets {
+		t.Fatalf("malformed counts diverge: lazy %d, eager %d",
+			lazy.MalformedPackets, eager.MalformedPackets)
+	}
+	if lazy.MalformedPackets == 0 {
+		t.Fatal("expected some malformed packets to be counted")
+	}
+}

@@ -71,12 +71,12 @@ func TestMinimizedHeuristicDirect(t *testing.T) {
 		typ  dnswire.Type
 		want bool
 	}{
-		{"d5.nz.", dnswire.TypeNS, true},          // second-level probe
-		{"d5000.co.nz.", dnswire.TypeNS, true},    // third-level probe
-		{"www.d5.co.nz.", dnswire.TypeNS, false},  // too deep
-		{"d5.nz.", dnswire.TypeA, false},          // wrong type
-		{"nz.", dnswire.TypeNS, false},            // apex
-		{"example.com.", dnswire.TypeNS, false},   // out of zone
+		{"d5.nz.", dnswire.TypeNS, true},         // second-level probe
+		{"d5000.co.nz.", dnswire.TypeNS, true},   // third-level probe
+		{"www.d5.co.nz.", dnswire.TypeNS, false}, // too deep
+		{"d5.nz.", dnswire.TypeA, false},         // wrong type
+		{"nz.", dnswire.TypeNS, false},           // apex
+		{"example.com.", dnswire.TypeNS, false},  // out of zone
 	}
 	for _, c := range cases {
 		got := an.looksMinimized(dnswire.Question{Name: c.name, Type: c.typ, Class: dnswire.ClassIN})

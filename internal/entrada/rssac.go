@@ -29,9 +29,9 @@ type RSSAC002 struct {
 
 	// Unique sources (RSSAC002 "unique-sources"): distinct IPv4
 	// addresses, distinct IPv6 addresses, and distinct IPv6 /64s.
-	UniqueIPv4     uint64 `json:"num-sources-ipv4"`
-	UniqueIPv6     uint64 `json:"num-sources-ipv6"`
-	UniqueIPv6Agg  uint64 `json:"num-sources-ipv6-aggregate"`
+	UniqueIPv4    uint64 `json:"num-sources-ipv4"`
+	UniqueIPv6    uint64 `json:"num-sources-ipv6"`
+	UniqueIPv6Agg uint64 `json:"num-sources-ipv6-aggregate"`
 }
 
 // RSSAC002Report derives the advisory's measurements from the aggregates.

@@ -92,6 +92,39 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestLazyEagerDecodingParity runs the same capture through the sharded
+// engine twice — once on the default lazy dnswire.View path, once with
+// WithEagerDecoding forcing the full-Unpack path — and requires
+// byte-identical reports. This is the pipeline-level guarantee that the
+// zero-allocation fast path is an optimization, not a behavior change,
+// even with flow sharding and shard merges in play. Run under -race in CI.
+func TestLazyEagerDecodingParity(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNL, 6000, 29)
+	anOpts := []entrada.Option{entrada.WithZoneOrigin(origin)}
+
+	lazyAgg, lazyStats, err := Run(context.Background(), openAll(t, blob), Options{Workers: 4, Registry: reg, AnalyzerOpts: anOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerAgg, eagerStats, err := Run(context.Background(), openAll(t, blob), Options{
+		Workers: 4, Registry: reg,
+		AnalyzerOpts: append(anOpts, entrada.WithEagerDecoding()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := reportBytes(t, lazyAgg, reg), reportBytes(t, eagerAgg, reg); !bytes.Equal(got, want) {
+		t.Fatal("lazy-decode report differs from eager-decode report")
+	}
+	if lazyStats.Malformed != eagerStats.Malformed {
+		t.Errorf("malformed: lazy %d != eager %d", lazyStats.Malformed, eagerStats.Malformed)
+	}
+	if lazyStats.PacketsRead != eagerStats.PacketsRead {
+		t.Errorf("packets read: lazy %d != eager %d", lazyStats.PacketsRead, eagerStats.PacketsRead)
+	}
+}
+
 // TestMultiFileMatchesSequential checks cross-file parallelism: three
 // captures ingested concurrently under a shared worker budget must merge
 // to the same report as the sequential per-file loop.

@@ -1,0 +1,76 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into a command. Both entrada and repro exit through os.Exit on error
+// paths, which skips deferred calls, so Stop is idempotent and safe to
+// invoke from every exit path as well as a defer.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profile flag values for one command.
+type Flags struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+	stopped bool
+}
+
+// Register adds -cpuprofile and -memprofile to fs. Call before fs is
+// parsed.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Every exit
+// path must reach Stop afterwards or the profile file ends up empty.
+func (f *Flags) Start() error {
+	if *f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(*f.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and, when -memprofile was given, writes
+// a post-GC heap profile. Calling it more than once is a no-op, so it
+// can be both deferred and called explicitly before os.Exit.
+func (f *Flags) Stop() {
+	if f == nil || f.stopped {
+		return
+	}
+	f.stopped = true
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		f.cpuFile.Close()
+	}
+	if *f.mem == "" {
+		return
+	}
+	file, err := os.Create(*f.mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer file.Close()
+	runtime.GC() // flush dead objects so the profile shows live heap
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
+}
