@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dnscentral/internal/astrie"
 	"dnscentral/internal/cloudmodel"
@@ -28,6 +29,8 @@ func main() {
 		out     = flag.String("out", "", "output capture path (required)")
 		format  = flag.String("format", "pcap", "output format: pcap or pcapng")
 		anomaly = flag.Bool("anomaly", false, "inject the Feb-2020 .nz cyclic-dependency event")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"generation goroutines (output is byte-identical for any value)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -43,6 +46,7 @@ func main() {
 		ResolverScale: *scale,
 		Seed:          *seed,
 		Anomaly:       *anomaly,
+		Workers:       *workers,
 	}
 	gen, err := workload.NewGenerator(cfg)
 	if err != nil {
@@ -52,7 +56,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	var sink interface {
 		workload.PacketSink
 		Flush() error
@@ -70,6 +73,11 @@ func main() {
 		fatal(err)
 	}
 	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	// Close errors are the last chance to see a short write (full disk,
+	// quota): swallowing them would report a corrupt capture as success.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 

@@ -594,8 +594,14 @@ func GlueAddrs(host string) (v4, v6 netip.Addr) {
 // use the full 64KiB; UDP responses are truncated to the client's EDNS
 // budget (512 when absent).
 func PackResponse(r *dnswire.Message, q *dnswire.Message, tcp bool) ([]byte, error) {
+	return AppendResponse(nil, r, q, tcp)
+}
+
+// AppendResponse is PackResponse appending into b — the allocation-free
+// path for hot loops that reuse a scratch buffer.
+func AppendResponse(b []byte, r *dnswire.Message, q *dnswire.Message, tcp bool) ([]byte, error) {
 	if tcp {
-		return r.Pack()
+		return r.AppendPack(b)
 	}
-	return r.PackTruncated(q.Edns.EffectiveUDPSize())
+	return r.AppendPackTruncated(b, q.Edns.EffectiveUDPSize())
 }

@@ -83,6 +83,9 @@ func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, err
 		TotalQueries:  cfg.TotalQueries,
 		ResolverScale: cfg.ResolverScale,
 		Seed:          cfg.Seed,
+		// Generation shards under the same budget as analysis; the trace
+		// bytes are identical for any worker count.
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -147,13 +147,15 @@ func (m *Message) Pack() ([]byte, error) {
 	return m.AppendPack(make([]byte, 0, 128))
 }
 
-// AppendPack serializes m, appending to b (which should be empty or the
-// caller must accept compression offsets relative to b's start).
+// AppendPack serializes m, appending to b. Compression pointer offsets are
+// relative to the message start (the initial len(b)), so a message may be
+// packed into the middle of a reused buffer.
 func (m *Message) AppendPack(b []byte) ([]byte, error) {
 	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
 		len(m.Authority) > 0xFFFF || len(m.Additional)+1 > 0xFFFF {
 		return nil, errors.New("dnswire: section too large")
 	}
+	base := len(b)
 	b = binary.BigEndian.AppendUint16(b, m.Header.ID)
 	b = binary.BigEndian.AppendUint16(b, packFlags(m.Header))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Questions)))
@@ -165,7 +167,8 @@ func (m *Message) AppendPack(b []byte) ([]byte, error) {
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(arcount))
 
-	comp := newNameCompressor()
+	comp := newNameCompressorAt(base)
+	defer comp.release()
 	var err error
 	for _, q := range m.Questions {
 		if b, err = appendName(b, q.Name, comp); err != nil {
@@ -202,16 +205,32 @@ func (m *Message) AppendPack(b []byte) ([]byte, error) {
 // answers) and setting TC when anything was dropped (RFC 2181 §9 spirit).
 // The question section is never dropped.
 func (m *Message) PackTruncated(limit int) ([]byte, error) {
+	return m.AppendPackTruncated(make([]byte, 0, 128), limit)
+}
+
+// AppendPackTruncated is PackTruncated appending to b: the common
+// fits-within-limit case performs no allocation beyond growing b.
+func (m *Message) AppendPackTruncated(b []byte, limit int) ([]byte, error) {
 	if limit < HeaderLen {
 		return nil, fmt.Errorf("dnswire: truncation limit %d below header size", limit)
 	}
-	full, err := m.Pack()
+	start := len(b)
+	out, err := m.AppendPack(b)
 	if err != nil {
 		return nil, err
 	}
-	if len(full) <= limit {
-		return full, nil
+	if len(out)-start <= limit {
+		return out, nil
 	}
+	trimmed, err := m.packTruncatedSlow(limit)
+	if err != nil {
+		return nil, err
+	}
+	return append(out[:start], trimmed...), nil
+}
+
+// packTruncatedSlow drops records until the message fits within limit.
+func (m *Message) packTruncatedSlow(limit int) ([]byte, error) {
 	trimmed := *m
 	trimmed.Answers = append([]RR(nil), m.Answers...)
 	trimmed.Authority = append([]RR(nil), m.Authority...)

@@ -3,6 +3,7 @@ package dnswire
 import (
 	"errors"
 	"strings"
+	"sync"
 )
 
 // Errors returned by the name codec.
@@ -83,47 +84,67 @@ func IsSubdomain(child, parent string) bool {
 // nameCompressor remembers wire offsets of name suffixes already emitted so
 // later occurrences can be encoded as 14-bit compression pointers
 // (RFC 1035 §4.1.4). Pointers can only reference the first 0x3FFF octets.
+// Offsets are recorded relative to base, the buffer position where the
+// message header starts, so a message may be packed into the middle of a
+// larger buffer (e.g. a reused arena) and still emit valid pointers.
 type nameCompressor struct {
 	offsets map[string]int
+	base    int
 }
 
-func newNameCompressor() *nameCompressor {
-	return &nameCompressor{offsets: make(map[string]int, 16)}
+func newNameCompressor() *nameCompressor { return newNameCompressorAt(0) }
+
+// compressorPool recycles compressors (and their map buckets) across Pack
+// calls: steady-state packing reuses a cleared map instead of allocating a
+// fresh one per message.
+var compressorPool = sync.Pool{
+	New: func() any { return &nameCompressor{offsets: make(map[string]int, 16)} },
 }
+
+func newNameCompressorAt(base int) *nameCompressor {
+	c := compressorPool.Get().(*nameCompressor)
+	clear(c.offsets)
+	c.base = base
+	return c
+}
+
+func (c *nameCompressor) release() { compressorPool.Put(c) }
 
 // appendName appends the wire encoding of name to b, registering and reusing
-// compression offsets when comp is non-nil.
+// compression offsets when comp is non-nil. The canonical form is walked
+// label by label in place — no split allocation — and each suffix key is a
+// substring of name. On error b may hold a partially written name; callers
+// abort the whole message in that case.
 func appendName(b []byte, name string, comp *nameCompressor) ([]byte, error) {
 	name = CanonicalName(name)
 	if name == "." {
 		return append(b, 0), nil
 	}
-	labels := SplitLabels(name)
-	wireLen := 1 // root byte
-	for _, l := range labels {
-		if len(l) == 0 {
-			return b, ErrEmptyLabel
-		}
-		if len(l) > maxLabelWire {
-			return b, ErrLabelTooLong
-		}
-		wireLen += 1 + len(l)
-	}
-	if wireLen > maxNameWire {
+	// A canonical name's wire form is one byte longer than its text form
+	// (each trailing dot becomes a length byte, plus the root byte).
+	if len(name)+1 > maxNameWire {
 		return b, ErrNameTooLong
 	}
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	for pos := 0; pos < len(name); {
+		l := strings.IndexByte(name[pos:], '.') // canonical ⇒ always ≥ 0
+		if l == 0 {
+			return b, ErrEmptyLabel
+		}
+		if l > maxLabelWire {
+			return b, ErrLabelTooLong
+		}
+		suffix := name[pos:]
 		if comp != nil {
 			if off, ok := comp.offsets[suffix]; ok {
 				return append(b, byte(0xC0|off>>8), byte(off)), nil
 			}
-			if len(b) <= 0x3FFF {
-				comp.offsets[suffix] = len(b)
+			if off := len(b) - comp.base; off <= 0x3FFF {
+				comp.offsets[suffix] = off
 			}
 		}
-		b = append(b, byte(len(labels[i])))
-		b = append(b, labels[i]...)
+		b = append(b, byte(l))
+		b = append(b, name[pos:pos+l]...)
+		pos += l + 1
 	}
 	return append(b, 0), nil
 }

@@ -1,0 +1,80 @@
+package layers
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+var appendCases = []struct {
+	name     string
+	src, dst netip.AddrPort
+}{
+	{"v4", netip.MustParseAddrPort("192.0.2.10:33000"), netip.MustParseAddrPort("198.51.100.1:53")},
+	{"v6", netip.MustParseAddrPort("[2001:db8::10]:33000"), netip.MustParseAddrPort("[2001:500:1b::1]:53")},
+	{"v4in6", netip.AddrPortFrom(netip.AddrFrom16(netip.MustParseAddr("192.0.2.10").As16()), 33000),
+		netip.MustParseAddrPort("198.51.100.1:53")},
+}
+
+// TestAppendUDPMatchesBuild checks that appending into a reused, non-empty
+// arena yields the exact frame a fresh Build produces.
+func TestAppendUDPMatchesBuild(t *testing.T) {
+	payload := []byte("payload bytes for checksum coverage")
+	for _, tc := range appendCases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := BuildUDP(tc.src, tc.dst, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := append(make([]byte, 0, 1024), "existing arena contents"...)
+			prefix := len(arena)
+			arena, err = AppendUDP(arena, tc.src, tc.dst, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(arena[prefix:], want) {
+				t.Fatal("AppendUDP into non-empty arena differs from BuildUDP")
+			}
+		})
+	}
+}
+
+func TestAppendTCPMatchesBuild(t *testing.T) {
+	payload := []byte{0x00, 0x04, 0xde, 0xad, 0xbe, 0xef}
+	meta := TCPMeta{Seq: 0x01020304, Ack: 0x0a0b0c0d, Flags: TCPFlagPSH | TCPFlagACK}
+	for _, tc := range appendCases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := BuildTCP(tc.src, tc.dst, meta, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := append(make([]byte, 0, 1024), "existing arena contents"...)
+			prefix := len(arena)
+			arena, err = AppendTCP(arena, tc.src, tc.dst, meta, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(arena[prefix:], want) {
+				t.Fatal("AppendTCP into non-empty arena differs from BuildTCP")
+			}
+		})
+	}
+}
+
+// TestAppendUDPNoAlloc checks the hot-loop property the workload emitter
+// relies on: appending into a pre-grown arena does not allocate.
+func TestAppendUDPNoAlloc(t *testing.T) {
+	payload := []byte("steady state payload")
+	arena := make([]byte, 0, 4096)
+	src, dst := appendCases[0].src, appendCases[0].dst
+	avg := testing.AllocsPerRun(100, func() {
+		var err error
+		arena, err = AppendUDP(arena[:0], src, dst, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendUDP allocates %.1f times per frame, want 0", avg)
+	}
+}

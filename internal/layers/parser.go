@@ -115,10 +115,19 @@ var (
 // BuildUDP builds a complete Ethernet/IPvX/UDP frame carrying payload
 // from src to dst. The IP version is chosen from the address family.
 func BuildUDP(src, dst netip.AddrPort, payload []byte) ([]byte, error) {
-	return buildFrame(src, dst, IPProtoUDP, func(b []byte) ([]byte, error) {
-		u := UDP{SrcPort: src.Port(), DstPort: dst.Port()}
-		return u.AppendSegment(b, src.Addr(), dst.Addr(), payload)
-	})
+	return AppendUDP(make([]byte, 0, EthernetHeaderLen+IPv6HeaderLen+UDPHeaderLen+len(payload)), src, dst, payload)
+}
+
+// AppendUDP appends a complete Ethernet/IPvX/UDP frame to b, producing the
+// same bytes as BuildUDP with no intermediate allocation — the zero-copy
+// variant for hot loops appending into a reused arena.
+func AppendUDP(b []byte, src, dst netip.AddrPort, payload []byte) ([]byte, error) {
+	b, srcA, dstA, err := appendFramePrefix(b, src, dst, IPProtoUDP, UDPHeaderLen+len(payload))
+	if err != nil {
+		return nil, err
+	}
+	u := UDP{SrcPort: src.Port(), DstPort: dst.Port()}
+	return u.AppendSegment(b, srcA, dstA, payload)
 }
 
 // TCPMeta carries the TCP header fields a builder caller controls.
@@ -130,47 +139,48 @@ type TCPMeta struct {
 
 // BuildTCP builds a complete Ethernet/IPvX/TCP frame.
 func BuildTCP(src, dst netip.AddrPort, meta TCPMeta, payload []byte) ([]byte, error) {
-	return buildFrame(src, dst, IPProtoTCP, func(b []byte) ([]byte, error) {
-		t := TCP{
-			SrcPort: src.Port(), DstPort: dst.Port(),
-			Seq: meta.Seq, Ack: meta.Ack, Flags: meta.Flags, Window: meta.Window,
-		}
-		if t.Window == 0 {
-			t.Window = 65535
-		}
-		return t.AppendSegment(b, src.Addr(), dst.Addr(), payload)
-	})
+	return AppendTCP(make([]byte, 0, EthernetHeaderLen+IPv6HeaderLen+TCPHeaderLen+len(payload)), src, dst, meta, payload)
 }
 
-// buildFrame assembles Ethernet + IP around an L4 segment appended by l4.
-func buildFrame(src, dst netip.AddrPort, proto uint8, l4 func([]byte) ([]byte, error)) ([]byte, error) {
-	srcA, dstA := src.Addr().Unmap(), dst.Addr().Unmap()
-	v6 := srcA.Is6()
-	if v6 != (dstA.Is6()) {
-		return nil, fmt.Errorf("layers: address family mismatch %s -> %s", srcA, dstA)
-	}
-
-	seg, err := l4(nil)
+// AppendTCP appends a complete Ethernet/IPvX/TCP frame to b; see AppendUDP.
+func AppendTCP(b []byte, src, dst netip.AddrPort, meta TCPMeta, payload []byte) ([]byte, error) {
+	b, srcA, dstA, err := appendFramePrefix(b, src, dst, IPProtoTCP, TCPHeaderLen+len(payload))
 	if err != nil {
 		return nil, err
 	}
+	t := TCP{
+		SrcPort: src.Port(), DstPort: dst.Port(),
+		Seq: meta.Seq, Ack: meta.Ack, Flags: meta.Flags, Window: meta.Window,
+	}
+	if t.Window == 0 {
+		t.Window = 65535
+	}
+	return t.AppendSegment(b, srcA, dstA, payload)
+}
 
+// appendFramePrefix appends the Ethernet and IP headers for an L4 segment
+// of l4len bytes and returns the unmapped addresses for the L4 checksum.
+func appendFramePrefix(b []byte, src, dst netip.AddrPort, proto uint8, l4len int) ([]byte, netip.Addr, netip.Addr, error) {
+	srcA, dstA := src.Addr().Unmap(), dst.Addr().Unmap()
+	v6 := srcA.Is6()
+	if v6 != (dstA.Is6()) {
+		return nil, srcA, dstA, fmt.Errorf("layers: address family mismatch %s -> %s", srcA, dstA)
+	}
 	eth := Ethernet{Dst: builderDstMAC, Src: builderSrcMAC}
-	var frame []byte
+	var err error
 	if v6 {
 		eth.EtherType = EtherTypeIPv6
-		frame = eth.AppendHeader(make([]byte, 0, EthernetHeaderLen+IPv6HeaderLen+len(seg)))
+		b = eth.AppendHeader(b)
 		ip := IPv6{NextHeader: proto, HopLimit: 58, Src: srcA, Dst: dstA}
-		if frame, err = ip.AppendHeader(frame, len(seg)); err != nil {
-			return nil, err
-		}
+		b, err = ip.AppendHeader(b, l4len)
 	} else {
 		eth.EtherType = EtherTypeIPv4
-		frame = eth.AppendHeader(make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+len(seg)))
+		b = eth.AppendHeader(b)
 		ip := IPv4{TTL: 58, Protocol: proto, Src: srcA, Dst: dstA}
-		if frame, err = ip.AppendHeader(frame, len(seg)); err != nil {
-			return nil, err
-		}
+		b, err = ip.AppendHeader(b, l4len)
 	}
-	return append(frame, seg...), nil
+	if err != nil {
+		return nil, srcA, dstA, err
+	}
+	return b, srcA, dstA, nil
 }

@@ -126,6 +126,41 @@ func (w *Writer) WritePacket(ts time.Time, data []byte) error {
 	return err
 }
 
+// AppendRecord appends one packet record — header and payload coalesced —
+// to dst, encoded exactly as WritePacket would emit it (same resolution
+// and snaplen truncation). Use with WriteBatch to build large contiguous
+// batches that reach the file in a single write.
+func (w *Writer) AppendRecord(dst []byte, ts time.Time, data []byte) []byte {
+	capLen := len(data)
+	if uint32(capLen) > w.snapLen {
+		capLen = int(w.snapLen)
+	}
+	var sub int64
+	if w.nanos {
+		sub = int64(ts.Nanosecond())
+	} else {
+		sub = int64(ts.Nanosecond() / 1000)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ts.Unix()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sub))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(capLen))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(data)))
+	return append(dst, data[:capLen]...)
+}
+
+// WriteBatch writes records pre-encoded by AppendRecord. The file header is
+// written first if needed; the batch itself reaches the underlying writer
+// in one Write when it exceeds the buffer size.
+func (w *Writer) WriteBatch(batch []byte) error {
+	if !w.headerOut {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	_, err := w.w.Write(batch)
+	return err
+}
+
 // Flush writes any buffered data (and the header, if no packet was written).
 func (w *Writer) Flush() error {
 	if !w.headerOut {

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dnscentral/internal/cloudmodel"
+)
+
+// nullSink counts packets and bytes without retaining them.
+type nullSink struct {
+	packets int64
+	bytes   int64
+}
+
+func (s *nullSink) WritePacket(_ time.Time, data []byte) error {
+	s.packets++
+	s.bytes += int64(len(data))
+	return nil
+}
+
+// benchGenerate measures steady-state trace generation throughput and
+// allocations per event. The generator is rebuilt every iteration (outside
+// the timed region) so each Run sees identical state.
+func benchGenerate(b *testing.B, workers int) {
+	cfg := Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 20_000, Seed: 1, ResolverScale: 0.002,
+	}
+	cfg.Workers = workers
+	b.ReportAllocs()
+	var events, packets, bytes, allocs uint64
+	var ms1, ms2 runtime.MemStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gen, err := NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := &nullSink{}
+		runtime.ReadMemStats(&ms1)
+		b.StartTimer()
+		gt, err := gen.Run(sink)
+		b.StopTimer()
+		runtime.ReadMemStats(&ms2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += uint64(cfg.TotalQueries)
+		packets += uint64(sink.packets)
+		bytes += uint64(sink.bytes)
+		allocs += ms2.Mallocs - ms1.Mallocs
+		_ = gt
+		b.StartTimer()
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(events)/sec, "events/sec")
+		b.ReportMetric(float64(packets)/sec, "pkts/sec")
+		b.ReportMetric(float64(bytes)/sec/1e6, "MB/sec")
+	}
+	b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchGenerate(b, 1) })
+	b.Run("workers=4", func(b *testing.B) { benchGenerate(b, 4) })
+}

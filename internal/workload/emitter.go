@@ -1,0 +1,671 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"slices"
+	"sync"
+	"time"
+
+	"dnscentral/internal/astrie"
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/layers"
+	"dnscentral/internal/stats"
+)
+
+// blockEvents is the number of query events one block covers. Blocks are
+// the unit of work handed from shards to the merger; the constant is
+// independent of the worker count so block contents are too.
+const blockEvents = 512
+
+// pktRef locates one generated frame in a block's arena and carries the
+// key of the global timestamp merge: (timestamp, event index, packet
+// sequence within the event).
+type pktRef struct {
+	ts    int64 // UnixNano
+	event int64
+	off   int32
+	n     int32
+	seq   int16
+}
+
+// less orders packets by timestamp, breaking ties by event index and then
+// by emission sequence so the merged order is total and deterministic.
+func (p pktRef) less(q pktRef) bool {
+	if p.ts != q.ts {
+		return p.ts < q.ts
+	}
+	if p.event != q.event {
+		return p.event < q.event
+	}
+	return p.seq < q.seq
+}
+
+// block is one shard's output for a contiguous event-index range: frames
+// appended back to back in an arena, indexed and sorted by pktRef.
+type block struct {
+	first int // first event index of the range
+	pkts  []pktRef
+	arena []byte
+}
+
+var blockPool = sync.Pool{New: func() any { return new(block) }}
+
+func newBlock(first int) *block {
+	b := blockPool.Get().(*block)
+	b.first = first
+	b.pkts = b.pkts[:0]
+	b.arena = b.arena[:0]
+	return b
+}
+
+func releaseBlock(b *block) { blockPool.Put(b) }
+
+// timeline captures the shared deterministic time mapping of one trace.
+type timeline struct {
+	start   time.Time
+	dur     time.Duration
+	step    time.Duration
+	pattern diurnal
+	n       int
+}
+
+func (g *Generator) timeline() timeline {
+	start := g.cfg.Start
+	if start.IsZero() {
+		start = WeekStart(g.cfg.Vantage, g.cfg.Week)
+	}
+	dur := Duration(g.cfg.Vantage)
+	n := g.cfg.TotalQueries
+	step := dur / time.Duration(n+1)
+	if step <= 0 {
+		step = 1
+	}
+	amplitude := g.cfg.DiurnalAmplitude
+	if amplitude == 0 {
+		amplitude = 0.4
+	}
+	return timeline{
+		start:   start,
+		dur:     dur,
+		step:    step,
+		pattern: newDiurnal(dur, amplitude),
+		n:       n,
+	}
+}
+
+// base returns the jitter-free timestamp floor of an event: every packet
+// the event emits is at or after this instant (jitter and exchange offsets
+// only add time), which is what lets the merger bound its lookahead.
+func (tl timeline) base(event int) time.Duration {
+	frac := tl.pattern.warp((float64(event) + 0.5) / float64(tl.n))
+	return time.Duration(frac * float64(tl.dur))
+}
+
+// respCacheMax bounds the per-emitter response cache; once full, new keys
+// pack through scratch buffers instead. The Zipf query mix means the hot
+// keys enter the cache almost immediately.
+const respCacheMax = 4096
+
+// respKey identifies everything the packed query and response bytes depend
+// on, except the message ID (patched per use): question, advertised EDNS
+// size (0 = no OPT), and the DO bit.
+type respKey struct {
+	qname string
+	qtype dnswire.Type
+	size  uint16
+	do    bool
+}
+
+// respEntry caches the packed wire forms of one exchange. Flavors fill in
+// lazily: rUDP is truncated to the advertised size, rTCP is the full
+// message with the two-byte ID patched before every use.
+type respEntry struct {
+	qwire []byte
+	rUDP  []byte
+	rTCP  []byte
+	tcUDP bool // TC bit of rUDP
+}
+
+// patchID overwrites the message ID of a packed DNS message in place.
+func patchID(wire []byte, id uint16) {
+	wire[0], wire[1] = byte(id>>8), byte(id)
+}
+
+// emitter generates whole blocks of events for one shard. All per-event
+// randomness comes from the event's own SplitMix64 stream, the engine and
+// scratch buffers are shard-local, and frames go into the current block's
+// arena — steady-state generation does not allocate per packet.
+type emitter struct {
+	g            *Generator
+	src          splitSource
+	rng          *rand.Rand
+	zipf         *stats.Zipf
+	engine       *authserver.Engine
+	gt           *GroundTruth
+	tl           timeline
+	anomalyEvery int
+
+	blk     *block
+	seq     int16
+	q       dnswire.Message
+	edns    dnswire.EDNS
+	cache   map[respKey]*respEntry
+	msgBuf  []byte // packed query scratch (uncached path)
+	rspBuf  []byte // packed response scratch (uncached path)
+	qBuf    []byte // length-prefixed TCP query payload
+	rBuf    []byte // length-prefixed TCP response payload
+	nameBuf []byte // junk-name scratch
+}
+
+func (g *Generator) newEmitter() *emitter {
+	em := &emitter{
+		g:      g,
+		gt:     newGroundTruth(),
+		tl:     g.timeline(),
+		engine: authserver.NewEngine(g.zone),
+		cache:  make(map[respKey]*respEntry),
+	}
+	if g.cfg.Anomaly {
+		// The misconfiguration roughly doubled Google's A/AAAA volume:
+		// interleave one anomaly query per regular event.
+		em.anomalyEvery = 2
+	}
+	em.rng = rand.New(&em.src)
+	em.zipf = stats.NewZipf(em.rng, 1.1, uint64(g.zone.Size()))
+	return em
+}
+
+// genBlock generates the block starting at event index first. The returned
+// block's bytes depend only on (Config, first): any shard produces the
+// identical block.
+func (em *emitter) genBlock(first int) (*block, error) {
+	blk := newBlock(first)
+	em.blk = blk
+	end := first + blockEvents
+	if end > em.tl.n {
+		end = em.tl.n
+	}
+	for i := first; i < end; i++ {
+		if err := em.emitEvent(i); err != nil {
+			em.blk = nil
+			releaseBlock(blk)
+			return nil, err
+		}
+	}
+	em.blk = nil
+	slices.SortFunc(blk.pkts, func(a, b pktRef) int {
+		if a.less(b) {
+			return -1
+		}
+		if b.less(a) {
+			return 1
+		}
+		return 0
+	})
+	return blk, nil
+}
+
+// emitEvent generates one query event (which may expand to several packets
+// for TCP or truncation retries).
+func (em *emitter) emitEvent(i int) error {
+	em.src.state = eventSeed(em.g.cfg.Seed, uint64(i))
+	em.seq = 0
+	ts := em.tl.start.Add(em.tl.base(i) + time.Duration(em.rng.Int63n(int64(em.tl.step))))
+	if em.anomalyEvery > 0 && i%em.anomalyEvery == 0 {
+		return em.emitAnomalyQuery(i, ts)
+	}
+	g := em.g
+	provider := g.provIdx[g.pickProv.Pick(em.rng)]
+	server := em.rng.Intn(g.cfg.NumServers)
+
+	var desc *resolverDesc
+	var v6 bool
+	var junkShare float64
+	if provider == astrie.ProviderOther {
+		desc = g.longTail.pick(em.rng)
+		v6 = desc.addr6.IsValid()
+		junkShare = g.vw.OtherJunkShare
+	} else {
+		pool := g.pools[provider]
+		desc, v6 = pool.pick(em.rng, server)
+		junkShare = pool.profile.JunkShare
+	}
+	if desc == nil {
+		return fmt.Errorf("workload: empty pool for %s", provider)
+	}
+
+	junk := em.rng.Float64() < junkShare
+	qname, qtype := em.pickQuery(desc, junk)
+
+	// Transport: deliberate TCP per profile; Facebook site 0 never TCP.
+	tcpShare := 0.0
+	if provider != astrie.ProviderOther {
+		tcpShare = g.pools[provider].profile.TCPShare
+	}
+	deliberateTCP := em.rng.Float64() < tcpShare
+	if desc.site >= 0 && !FacebookSiteModel[desc.site].TCP {
+		deliberateTCP = false
+	}
+	return em.emitExchange(i, ts, desc, provider, v6, server, qname, qtype, junk, deliberateTCP)
+}
+
+// emitAnomalyQuery injects the Feb-2020 .nz cyclic-dependency traffic:
+// Google resolvers repeatedly asking A/AAAA for two misconfigured domains.
+func (em *emitter) emitAnomalyQuery(i int, ts time.Time) error {
+	pool, ok := em.g.pools[astrie.ProviderGoogle]
+	if !ok {
+		return fmt.Errorf("workload: anomaly requires Google in the provider set")
+	}
+	server := em.rng.Intn(em.g.cfg.NumServers)
+	desc, v6 := pool.pick(em.rng, server)
+	broken := [2]string{"d77.nz.", "d78.nz."}
+	qname := broken[em.rng.Intn(2)]
+	qtype := dnswire.TypeA
+	if em.rng.Intn(2) == 0 {
+		qtype = dnswire.TypeAAAA
+	}
+	return em.emitExchange(i, ts, desc, astrie.ProviderGoogle, v6, server, qname, qtype, false, false)
+}
+
+// pickQuery chooses the query name and type for one event.
+func (em *emitter) pickQuery(desc *resolverDesc, junk bool) (string, dnswire.Type) {
+	if junk {
+		if desc.qmin {
+			// A minimizing resolver's first probe for a junk name is an
+			// NS query for the minimized name, which already NXDOMAINs.
+			return em.junkName(), dnswire.TypeNS
+		}
+		return em.junkName(), dnswire.TypeA
+	}
+	// Validation traffic first: DS / DNSKEY shares.
+	var profile cloudmodel.Profile
+	if desc.provider == astrie.ProviderOther {
+		profile = cloudmodel.Profile{DSShare: 0.02, DNSKEYShare: 0.001}
+	} else {
+		profile = em.g.pools[desc.provider].profile
+	}
+	if desc.validate {
+		x := em.rng.Float64()
+		if x < profile.DSShare {
+			return em.validDomain(), dnswire.TypeDS
+		}
+		if x < profile.DSShare+profile.DNSKEYShare {
+			return em.g.zone.Origin, dnswire.TypeDNSKEY
+		}
+	}
+	domain := em.validDomain()
+	if desc.qmin {
+		// Q-min resolvers expose only NS queries for the delegation.
+		return domain, dnswire.TypeNS
+	}
+	// Classic resolvers leak the full name and original qtype.
+	qname := domain
+	if em.rng.Float64() < 0.6 {
+		qname = "www." + domain
+	}
+	return qname, em.baseQtype()
+}
+
+// baseQtype draws from the pre-Qmin record mix (Figure 2's 2018 shape).
+func (em *emitter) baseQtype() dnswire.Type {
+	x := em.rng.Float64()
+	switch {
+	case x < 0.60:
+		return dnswire.TypeA
+	case x < 0.84:
+		return dnswire.TypeAAAA
+	case x < 0.89:
+		return dnswire.TypeMX
+	case x < 0.94:
+		return dnswire.TypeTXT
+	case x < 0.97:
+		return dnswire.TypeNS
+	case x < 0.985:
+		return dnswire.TypeSOA
+	default:
+		return dnswire.TypeCNAME
+	}
+}
+
+// validDomain draws a registered delegation by Zipf popularity.
+func (em *emitter) validDomain() string {
+	rank := int(em.zipf.Next())
+	name, err := em.g.zone.DomainName(rank)
+	if err != nil {
+		name = em.g.zone.Origin
+	}
+	return name
+}
+
+// junkName fabricates a non-existing name: random labels under the ccTLD,
+// or Chromium-style random TLD probes at the root (§3). The bytes build in
+// a reused scratch buffer; only the final string conversion allocates.
+func (em *emitter) junkName() string {
+	n := 7 + em.rng.Intn(9)
+	b := em.nameBuf[:0]
+	for i := 0; i < n; i++ {
+		b = append(b, byte('a'+em.rng.Intn(26)))
+	}
+	b = append(b, '.')
+	if !em.g.zone.IsRoot() {
+		b = append(b, em.g.zone.Origin...)
+	}
+	em.nameBuf = b
+	return string(b)
+}
+
+// ephemeralPort draws a client port above the well-known range.
+func (em *emitter) ephemeralPort() uint16 {
+	return uint16(1024 + em.rng.Intn(65536-1024))
+}
+
+// writeFrame indexes the newly appended frame [off, len(arena)) of event i.
+func (em *emitter) writeFrame(i int, ts time.Time, off int) {
+	em.blk.pkts = append(em.blk.pkts, pktRef{
+		ts:    ts.UnixNano(),
+		event: int64(i),
+		off:   int32(off),
+		n:     int32(len(em.blk.arena) - off),
+		seq:   em.seq,
+	})
+	em.seq++
+}
+
+// writeUDP appends one UDP frame to the block arena.
+func (em *emitter) writeUDP(i int, ts time.Time, src, dst netip.AddrPort, payload []byte) error {
+	off := len(em.blk.arena)
+	arena, err := layers.AppendUDP(em.blk.arena, src, dst, payload)
+	if err != nil {
+		return err
+	}
+	em.blk.arena = arena
+	em.writeFrame(i, ts, off)
+	return nil
+}
+
+// writeTCP appends one TCP frame to the block arena.
+func (em *emitter) writeTCP(i int, ts time.Time, src, dst netip.AddrPort, meta layers.TCPMeta, payload []byte) error {
+	off := len(em.blk.arena)
+	arena, err := layers.AppendTCP(em.blk.arena, src, dst, meta, payload)
+	if err != nil {
+		return err
+	}
+	em.blk.arena = arena
+	em.writeFrame(i, ts, off)
+	return nil
+}
+
+// wireTC reports the TC bit of a packed DNS message.
+func wireTC(wire []byte) bool {
+	return len(wire) > 2 && wire[2]&0x02 != 0
+}
+
+// emitExchange writes the packets of one resolver↔server exchange.
+func (em *emitter) emitExchange(
+	i int,
+	ts time.Time,
+	desc *resolverDesc,
+	provider astrie.Provider,
+	v6 bool,
+	server int,
+	qname string,
+	qtype dnswire.Type,
+	junk, deliberateTCP bool,
+) error {
+	g, gt := em.g, em.gt
+	clientAddr := desc.addr4
+	if v6 && desc.addr6.IsValid() {
+		clientAddr = desc.addr6
+	} else if !clientAddr.IsValid() {
+		clientAddr = desc.addr6
+	}
+	v6 = clientAddr.Is6()
+	serverAddr := ServerAddr(g.cfg.Vantage, server, v6)
+	src := netip.AddrPortFrom(clientAddr, em.ephemeralPort())
+	dst := netip.AddrPortFrom(serverAddr, 53)
+
+	id := uint16(em.rng.Uint32())
+	// The advertised EDNS size follows the provider's per-query mix
+	// (Figure 6 is a query-weighted CDF, not a resolver-weighted one).
+	size := em.pickEDNSFor(provider)
+	key := respKey{
+		qname: dnswire.CanonicalName(qname), qtype: qtype,
+		size: size, do: size > 0 && desc.validate,
+	}
+
+	// handle rebuilds the query in the reusable shard-local message and
+	// runs it through the engine (the engine's Reply copies what it needs,
+	// so reuse across events is safe). Only cache misses pay this cost.
+	handle := func() (*dnswire.Message, *dnswire.Message) {
+		em.q.Header = dnswire.Header{
+			ID:               id,
+			Opcode:           dnswire.OpcodeQuery,
+			RecursionDesired: true,
+		}
+		em.q.Questions = append(em.q.Questions[:0], dnswire.Question{
+			Name: key.qname, Type: qtype, Class: dnswire.ClassIN,
+		})
+		em.q.Answers, em.q.Authority, em.q.Additional = nil, nil, nil
+		em.q.Edns = nil
+		if size > 0 {
+			em.edns = dnswire.EDNS{UDPSize: size, DO: key.do}
+			em.q.Edns = &em.edns
+		}
+		return &em.q, em.engine.Handle(&em.q, clientAddr, deliberateTCP)
+	}
+
+	// Junk names are (almost surely) unique, so caching them would only
+	// evict hot entries. The response bytes depend on nothing outside key
+	// and the ID (no RRL, no cookies in generated queries), so a cached
+	// wire with a patched ID is byte-identical to a fresh pack.
+	var ent *respEntry
+	if !junk {
+		ent = em.cache[key]
+	}
+	ensure := func() *respEntry {
+		if ent == nil && !junk && len(em.cache) < respCacheMax {
+			ent = &respEntry{}
+			em.cache[key] = ent
+		}
+		return ent
+	}
+
+	count := func(tcp bool) {
+		gt.Queries++
+		if provider == astrie.ProviderOther {
+			gt.OtherQueries++
+			if junk {
+				gt.OtherJunk++
+			}
+		} else {
+			gt.ByProvider[provider]++
+			if junk {
+				gt.JunkQueries[provider]++
+			}
+			if v6 {
+				gt.V6Queries[provider]++
+			}
+			if tcp {
+				gt.TCPQueries[provider]++
+			}
+		}
+		gt.ByType[qtype]++
+		gt.ResolverSet[clientAddr] = struct{}{}
+	}
+
+	rtt := desc.rtt
+	if desc.site >= 0 {
+		s := FacebookSiteModel[desc.site]
+		base := s.RTT4
+		if v6 {
+			base = s.RTT6
+		}
+		rtt = time.Duration(float64(base) * serverRTTFactor(desc.site, server, v6))
+	}
+
+	if deliberateTCP {
+		count(true)
+		qw, rw, err := em.wiresTCP(ent, ensure, handle)
+		if err != nil {
+			return err
+		}
+		patchID(qw, id)
+		patchID(rw, id)
+		return em.emitTCP(i, ts, src, dst, qw, rw, rtt)
+	}
+
+	// UDP exchange.
+	count(false)
+	var qw, rw []byte
+	var err error
+	if ent != nil && ent.rUDP != nil {
+		qw, rw = ent.qwire, ent.rUDP
+	} else {
+		q, resp := handle()
+		if resp == nil {
+			return fmt.Errorf("workload: engine dropped query")
+		}
+		if e := ensure(); e != nil {
+			if e.qwire, err = q.AppendPack(nil); err != nil {
+				return err
+			}
+			if e.rUDP, err = authserver.AppendResponse(nil, resp, q, false); err != nil {
+				return err
+			}
+			e.tcUDP = wireTC(e.rUDP)
+			qw, rw = e.qwire, e.rUDP
+		} else {
+			if em.msgBuf, err = q.AppendPack(em.msgBuf[:0]); err != nil {
+				return err
+			}
+			if em.rspBuf, err = authserver.AppendResponse(em.rspBuf[:0], resp, q, false); err != nil {
+				return err
+			}
+			qw, rw = em.msgBuf, em.rspBuf
+		}
+	}
+	patchID(qw, id)
+	patchID(rw, id)
+	if err := em.writeUDP(i, ts, src, dst, qw); err != nil {
+		return err
+	}
+	if err := em.writeUDP(i, ts.Add(200*time.Microsecond), dst, src, rw); err != nil {
+		return err
+	}
+	// Truncation shows up in the packed wire bits (the message struct is
+	// never mutated): check TC there rather than re-parsing.
+	if wireTC(rw) {
+		if provider != astrie.ProviderOther {
+			gt.Truncated[provider]++
+		}
+		// Retry over TCP unless the site never speaks TCP (Facebook
+		// location 1 — its truncated answers go unretried, §4.3).
+		if desc.site >= 0 && !FacebookSiteModel[desc.site].TCP {
+			return nil
+		}
+		count(true)
+		retrySrc := netip.AddrPortFrom(clientAddr, em.ephemeralPort())
+		qwT, rwT, err := em.wiresTCP(ent, ensure, handle)
+		if err != nil {
+			return err
+		}
+		patchID(qwT, id)
+		patchID(rwT, id)
+		return em.emitTCP(i, ts.Add(rtt+time.Millisecond), retrySrc, dst, qwT, rwT, rtt)
+	}
+	return nil
+}
+
+// wiresTCP returns the packed query and full (TCP-flavor) response for the
+// current event, from the cache when both are present, packing — and
+// caching — them otherwise.
+func (em *emitter) wiresTCP(
+	ent *respEntry,
+	ensure func() *respEntry,
+	handle func() (*dnswire.Message, *dnswire.Message),
+) (qw, rw []byte, err error) {
+	if ent != nil && ent.qwire != nil && ent.rTCP != nil {
+		return ent.qwire, ent.rTCP, nil
+	}
+	q, resp := handle()
+	if resp == nil {
+		return nil, nil, fmt.Errorf("workload: engine dropped query")
+	}
+	if e := ensure(); e != nil {
+		if e.qwire == nil {
+			if e.qwire, err = q.AppendPack(nil); err != nil {
+				return nil, nil, err
+			}
+		}
+		if e.rTCP, err = authserver.AppendResponse(nil, resp, q, true); err != nil {
+			return nil, nil, err
+		}
+		return e.qwire, e.rTCP, nil
+	}
+	if em.msgBuf, err = q.AppendPack(em.msgBuf[:0]); err != nil {
+		return nil, nil, err
+	}
+	if em.rspBuf, err = authserver.AppendResponse(em.rspBuf[:0], resp, q, true); err != nil {
+		return nil, nil, err
+	}
+	return em.msgBuf, em.rspBuf, nil
+}
+
+// emitTCP writes a full TCP exchange: handshake (from which the analysis
+// estimates RTT, §4.3), framed query and response, and teardown. qw and rw
+// are the already-packed DNS messages; the RFC 1035 §4.2.2 two-byte length
+// prefix is built directly into the shard's reusable payload buffers.
+func (em *emitter) emitTCP(i int, ts time.Time, src, dst netip.AddrPort, qw, rw []byte, rtt time.Duration) error {
+	em.qBuf = appendLenPrefixed(em.qBuf[:0], qw)
+	em.rBuf = appendLenPrefixed(em.rBuf[:0], rw)
+	frameQ, frameR := em.qBuf, em.rBuf
+
+	iss, irs := em.rng.Uint32(), em.rng.Uint32()
+	proc := 200 * time.Microsecond
+
+	type pkt struct {
+		at   time.Time
+		from netip.AddrPort
+		to   netip.AddrPort
+		meta layers.TCPMeta
+		data []byte
+	}
+	seq := [...]pkt{
+		// SYN arrives at the capture point at ts.
+		{ts, src, dst, layers.TCPMeta{Seq: iss, Flags: layers.TCPFlagSYN}, nil},
+		// Server replies immediately; the client's ACK lands one RTT later:
+		// t(ACK) − t(SYN-ACK) is the §4.3 RTT estimator.
+		{ts.Add(proc), dst, src, layers.TCPMeta{Seq: irs, Ack: iss + 1, Flags: layers.TCPFlagSYN | layers.TCPFlagACK}, nil},
+		{ts.Add(proc + rtt), src, dst, layers.TCPMeta{Seq: iss + 1, Ack: irs + 1, Flags: layers.TCPFlagACK}, nil},
+		{ts.Add(proc + rtt + 50*time.Microsecond), src, dst, layers.TCPMeta{Seq: iss + 1, Ack: irs + 1, Flags: layers.TCPFlagPSH | layers.TCPFlagACK}, frameQ},
+		{ts.Add(proc + rtt + 250*time.Microsecond), dst, src, layers.TCPMeta{Seq: irs + 1, Ack: iss + 1 + uint32(len(frameQ)), Flags: layers.TCPFlagPSH | layers.TCPFlagACK}, frameR},
+		{ts.Add(proc + 2*rtt + 300*time.Microsecond), src, dst, layers.TCPMeta{Seq: iss + 1 + uint32(len(frameQ)), Ack: irs + 1 + uint32(len(frameR)), Flags: layers.TCPFlagFIN | layers.TCPFlagACK}, nil},
+		{ts.Add(proc + 2*rtt + 500*time.Microsecond), dst, src, layers.TCPMeta{Seq: irs + 1 + uint32(len(frameR)), Ack: iss + 2 + uint32(len(frameQ)), Flags: layers.TCPFlagFIN | layers.TCPFlagACK}, nil},
+	}
+	for _, p := range seq {
+		if err := em.writeTCP(i, p.at, p.from, p.to, p.meta, p.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendLenPrefixed appends the two-byte big-endian length of msg and then
+// msg itself — the RFC 1035 §4.2.2 TCP framing — without the intermediate
+// allocation the old lenPrefix helper required.
+func appendLenPrefixed(dst, msg []byte) []byte {
+	dst = append(dst, byte(len(msg)>>8), byte(len(msg)))
+	return append(dst, msg...)
+}
+
+// pickEDNSFor draws an advertised EDNS size from the provider's mix.
+func (em *emitter) pickEDNSFor(p astrie.Provider) uint16 {
+	if p == astrie.ProviderOther {
+		return pickEDNSDist(longTailEDNSDist, em.rng)
+	}
+	return pickEDNSDist(em.g.pools[p].edns, em.rng)
+}

@@ -8,10 +8,8 @@ import (
 
 	"dnscentral/internal/anycast"
 	"dnscentral/internal/astrie"
-	"dnscentral/internal/authserver"
 	"dnscentral/internal/cloudmodel"
 	"dnscentral/internal/dnswire"
-	"dnscentral/internal/layers"
 	"dnscentral/internal/rdns"
 	"dnscentral/internal/stats"
 	"dnscentral/internal/zonedb"
@@ -55,6 +53,11 @@ type Config struct {
 	DiurnalAmplitude float64
 	// Start overrides the trace start time (defaults to the Table 2 week).
 	Start time.Time
+	// Workers is the generation parallelism: event-index ranges are
+	// sharded across this many goroutines and merged back in timestamp
+	// order, so the output is byte-identical for any worker count.
+	// 0 or 1 generate on a single shard.
+	Workers int
 }
 
 // WeekStart returns the capture start of each vantage/week (Table 2 and
@@ -121,25 +124,20 @@ type GroundTruth struct {
 	OtherJunk    uint64
 }
 
-// Generator produces one trace.
+// Generator produces one trace. Its state after NewGenerator is read-only:
+// every mutable piece of generation state (PRNG, engine, scratch buffers)
+// lives in per-shard emitters, so one Generator can drive many shards.
 type Generator struct {
-	cfg    Config
-	vw     *cloudmodel.VantageWeek
-	reg    *astrie.Registry
-	zone   *zonedb.Zone
-	engine *authserver.Engine
-	ptrDB  *rdns.DB
+	cfg   Config
+	vw    *cloudmodel.VantageWeek
+	reg   *astrie.Registry
+	zone  *zonedb.Zone
+	ptrDB *rdns.DB
 
 	pools    map[astrie.Provider]*providerPool
 	longTail *longTailPool
 	pickProv *stats.WeightedChoice
 	provIdx  []astrie.Provider // index space of pickProv: providers + Other last
-
-	zipf *stats.Zipf
-	rng  *rand.Rand
-
-	nextID   uint16
-	nextPort uint16
 }
 
 // NewGenerator builds all state for one trace configuration.
@@ -172,14 +170,12 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	deployment := deploymentFor(cfg.Vantage, cfg.Week)
 	g := &Generator{
-		cfg:    cfg,
-		vw:     vw,
-		reg:    reg,
-		zone:   zone,
-		engine: authserver.NewEngine(zone),
-		ptrDB:  rdns.NewDB(),
-		pools:  make(map[astrie.Provider]*providerPool),
-		rng:    rng,
+		cfg:   cfg,
+		vw:    vw,
+		reg:   reg,
+		zone:  zone,
+		ptrDB: rdns.NewDB(),
+		pools: make(map[astrie.Provider]*providerPool),
 	}
 
 	filter := cfg.ProviderFilter
@@ -221,8 +217,6 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	g.zipf = stats.NewZipf(rng, 1.1, uint64(zone.Size()))
-	g.nextPort = 1024
 	return g, nil
 }
 
@@ -314,371 +308,33 @@ func newGroundTruth() *GroundTruth {
 	}
 }
 
-// Run generates the trace into sink and returns the ground truth.
-func (g *Generator) Run(sink PacketSink) (*GroundTruth, error) {
-	gt := newGroundTruth()
-	start := g.cfg.Start
-	if start.IsZero() {
-		start = WeekStart(g.cfg.Vantage, g.cfg.Week)
-	}
-	dur := Duration(g.cfg.Vantage)
-	n := g.cfg.TotalQueries
-	step := dur / time.Duration(n+1)
-	amplitude := g.cfg.DiurnalAmplitude
-	if amplitude == 0 {
-		amplitude = 0.4
-	}
-	pattern := newDiurnal(dur, amplitude)
 
-	anomalyEvery := 0
-	if g.cfg.Anomaly {
-		// The misconfiguration roughly doubled Google's A/AAAA volume:
-		// interleave one anomaly query per regular event.
-		anomalyEvery = 2
+// Merge folds the counts of another shard's ground truth into gt. All
+// fields are order-insensitive sums or set unions, so merging per-shard
+// truths yields the same totals regardless of sharding.
+func (gt *GroundTruth) Merge(o *GroundTruth) {
+	gt.Queries += o.Queries
+	gt.OtherQueries += o.OtherQueries
+	gt.OtherJunk += o.OtherJunk
+	for k, v := range o.ByProvider {
+		gt.ByProvider[k] += v
 	}
-
-	for i := 0; i < n; i++ {
-		frac := pattern.warp((float64(i) + 0.5) / float64(n))
-		ts := start.Add(time.Duration(frac*float64(dur)) + time.Duration(g.rng.Int63n(int64(step))))
-		if anomalyEvery > 0 && i%anomalyEvery == 0 {
-			if err := g.emitAnomalyQuery(sink, ts, gt); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if err := g.emitEvent(sink, ts, gt); err != nil {
-			return nil, err
-		}
+	for k, v := range o.JunkQueries {
+		gt.JunkQueries[k] += v
 	}
-	return gt, nil
-}
-
-// emitEvent generates one query event (which may expand to several packets
-// for TCP or truncation retries).
-func (g *Generator) emitEvent(sink PacketSink, ts time.Time, gt *GroundTruth) error {
-	provider := g.provIdx[g.pickProv.Pick(g.rng)]
-	server := g.rng.Intn(g.cfg.NumServers)
-
-	var desc *resolverDesc
-	var v6 bool
-	var junkShare float64
-	if provider == astrie.ProviderOther {
-		desc = g.longTail.pick(g.rng)
-		v6 = desc.addr6.IsValid()
-		junkShare = g.vw.OtherJunkShare
-	} else {
-		pool := g.pools[provider]
-		desc, v6 = pool.pick(g.rng, server)
-		junkShare = pool.profile.JunkShare
+	for k, v := range o.V6Queries {
+		gt.V6Queries[k] += v
 	}
-	if desc == nil {
-		return fmt.Errorf("workload: empty pool for %s", provider)
+	for k, v := range o.TCPQueries {
+		gt.TCPQueries[k] += v
 	}
-
-	junk := g.rng.Float64() < junkShare
-	qname, qtype := g.pickQuery(desc, junk)
-
-	// Transport: deliberate TCP per profile; Facebook site 0 never TCP.
-	tcpShare := 0.0
-	if provider != astrie.ProviderOther {
-		tcpShare = g.pools[provider].profile.TCPShare
+	for k, v := range o.Truncated {
+		gt.Truncated[k] += v
 	}
-	deliberateTCP := g.rng.Float64() < tcpShare
-	if desc.site >= 0 && !FacebookSiteModel[desc.site].TCP {
-		deliberateTCP = false
+	for k, v := range o.ByType {
+		gt.ByType[k] += v
 	}
-	return g.emitExchange(sink, ts, desc, provider, v6, server, qname, qtype, junk, deliberateTCP, gt)
-}
-
-// emitAnomalyQuery injects the Feb-2020 .nz cyclic-dependency traffic:
-// Google resolvers repeatedly asking A/AAAA for two misconfigured domains.
-func (g *Generator) emitAnomalyQuery(sink PacketSink, ts time.Time, gt *GroundTruth) error {
-	pool, ok := g.pools[astrie.ProviderGoogle]
-	if !ok {
-		return fmt.Errorf("workload: anomaly requires Google in the provider set")
+	for k := range o.ResolverSet {
+		gt.ResolverSet[k] = struct{}{}
 	}
-	server := g.rng.Intn(g.cfg.NumServers)
-	desc, v6 := pool.pick(g.rng, server)
-	broken := [2]string{"d77.nz.", "d78.nz."}
-	qname := broken[g.rng.Intn(2)]
-	qtype := dnswire.TypeA
-	if g.rng.Intn(2) == 0 {
-		qtype = dnswire.TypeAAAA
-	}
-	return g.emitExchange(sink, ts, desc, astrie.ProviderGoogle, v6, server, qname, qtype, false, false, gt)
-}
-
-// pickQuery chooses the query name and type for one event.
-func (g *Generator) pickQuery(desc *resolverDesc, junk bool) (string, dnswire.Type) {
-	if junk {
-		if desc.qmin {
-			// A minimizing resolver's first probe for a junk name is an
-			// NS query for the minimized name, which already NXDOMAINs.
-			return g.junkName(), dnswire.TypeNS
-		}
-		return g.junkName(), dnswire.TypeA
-	}
-	// Validation traffic first: DS / DNSKEY shares.
-	var profile cloudmodel.Profile
-	if desc.provider == astrie.ProviderOther {
-		profile = cloudmodel.Profile{DSShare: 0.02, DNSKEYShare: 0.001}
-	} else {
-		profile = g.pools[desc.provider].profile
-	}
-	if desc.validate {
-		x := g.rng.Float64()
-		if x < profile.DSShare {
-			return g.validDomain(), dnswire.TypeDS
-		}
-		if x < profile.DSShare+profile.DNSKEYShare {
-			return g.zone.Origin, dnswire.TypeDNSKEY
-		}
-	}
-	domain := g.validDomain()
-	if desc.qmin {
-		// Q-min resolvers expose only NS queries for the delegation.
-		return domain, dnswire.TypeNS
-	}
-	// Classic resolvers leak the full name and original qtype.
-	qname := domain
-	if g.rng.Float64() < 0.6 {
-		qname = "www." + domain
-	}
-	return qname, g.baseQtype()
-}
-
-// baseQtype draws from the pre-Qmin record mix (Figure 2's 2018 shape).
-func (g *Generator) baseQtype() dnswire.Type {
-	x := g.rng.Float64()
-	switch {
-	case x < 0.60:
-		return dnswire.TypeA
-	case x < 0.84:
-		return dnswire.TypeAAAA
-	case x < 0.89:
-		return dnswire.TypeMX
-	case x < 0.94:
-		return dnswire.TypeTXT
-	case x < 0.97:
-		return dnswire.TypeNS
-	case x < 0.985:
-		return dnswire.TypeSOA
-	default:
-		return dnswire.TypeCNAME
-	}
-}
-
-// validDomain draws a registered delegation by Zipf popularity.
-func (g *Generator) validDomain() string {
-	rank := int(g.zipf.Next())
-	name, err := g.zone.DomainName(rank)
-	if err != nil {
-		name = g.zone.Origin
-	}
-	return name
-}
-
-// junkName fabricates a non-existing name: random labels under the ccTLD,
-// or Chromium-style random TLD probes at the root (§3).
-func (g *Generator) junkName() string {
-	n := 7 + g.rng.Intn(9)
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = byte('a' + g.rng.Intn(26))
-	}
-	if g.zone.IsRoot() {
-		return string(b) + "."
-	}
-	return string(b) + "." + g.zone.Origin
-}
-
-// ephemeralPort hands out client ports, skipping the well-known range.
-func (g *Generator) ephemeralPort() uint16 {
-	g.nextPort++
-	if g.nextPort < 1024 {
-		g.nextPort = 1024
-	}
-	return g.nextPort
-}
-
-// emitExchange writes the packets of one resolver↔server exchange.
-func (g *Generator) emitExchange(
-	sink PacketSink,
-	ts time.Time,
-	desc *resolverDesc,
-	provider astrie.Provider,
-	v6 bool,
-	server int,
-	qname string,
-	qtype dnswire.Type,
-	junk, deliberateTCP bool,
-	gt *GroundTruth,
-) error {
-	clientAddr := desc.addr4
-	if v6 && desc.addr6.IsValid() {
-		clientAddr = desc.addr6
-	} else if !clientAddr.IsValid() {
-		clientAddr = desc.addr6
-	}
-	v6 = clientAddr.Is6()
-	serverAddr := ServerAddr(g.cfg.Vantage, server, v6)
-	src := netip.AddrPortFrom(clientAddr, g.ephemeralPort())
-	dst := netip.AddrPortFrom(serverAddr, 53)
-
-	g.nextID++
-	q := dnswire.NewQuery(g.nextID, qname, qtype)
-	// The advertised EDNS size follows the provider's per-query mix
-	// (Figure 6 is a query-weighted CDF, not a resolver-weighted one).
-	if size := g.pickEDNSFor(provider); size > 0 {
-		q.WithEdns(size, desc.validate)
-	}
-	resp := g.engine.Handle(q, clientAddr, deliberateTCP)
-	if resp == nil {
-		return fmt.Errorf("workload: engine dropped query")
-	}
-
-	count := func(tcp bool) {
-		gt.Queries++
-		if provider == astrie.ProviderOther {
-			gt.OtherQueries++
-			if junk {
-				gt.OtherJunk++
-			}
-		} else {
-			gt.ByProvider[provider]++
-			if junk {
-				gt.JunkQueries[provider]++
-			}
-			if v6 {
-				gt.V6Queries[provider]++
-			}
-			if tcp {
-				gt.TCPQueries[provider]++
-			}
-		}
-		gt.ByType[qtype]++
-		gt.ResolverSet[clientAddr] = struct{}{}
-	}
-
-	rtt := desc.rtt
-	if desc.site >= 0 {
-		s := FacebookSiteModel[desc.site]
-		base := s.RTT4
-		if v6 {
-			base = s.RTT6
-		}
-		rtt = time.Duration(float64(base) * serverRTTFactor(desc.site, server, v6))
-	}
-
-	if deliberateTCP {
-		count(true)
-		return g.emitTCP(sink, ts, src, dst, q, resp, rtt)
-	}
-
-	// UDP exchange.
-	count(false)
-	qwire, err := q.Pack()
-	if err != nil {
-		return err
-	}
-	if err := g.writeUDP(sink, ts, src, dst, qwire); err != nil {
-		return err
-	}
-	rwire, err := authserver.PackResponse(resp, q, false)
-	if err != nil {
-		return err
-	}
-	if err := g.writeUDP(sink, ts.Add(200*time.Microsecond), dst, src, rwire); err != nil {
-		return err
-	}
-	parsedTC := resp.Header.Truncated
-	if !parsedTC {
-		// PackResponse may have set TC during truncation; check the wire.
-		if m, err := dnswire.Unpack(rwire); err == nil {
-			parsedTC = m.Header.Truncated
-		}
-	}
-	if parsedTC {
-		if provider != astrie.ProviderOther {
-			gt.Truncated[provider]++
-		}
-		// Retry over TCP unless the site never speaks TCP (Facebook
-		// location 1 — its truncated answers go unretried, §4.3).
-		if desc.site >= 0 && !FacebookSiteModel[desc.site].TCP {
-			return nil
-		}
-		count(true)
-		retrySrc := netip.AddrPortFrom(clientAddr, g.ephemeralPort())
-		return g.emitTCP(sink, ts.Add(rtt+time.Millisecond), retrySrc, dst, q, resp, rtt)
-	}
-	return nil
-}
-
-// writeUDP emits one UDP frame.
-func (g *Generator) writeUDP(sink PacketSink, ts time.Time, src, dst netip.AddrPort, payload []byte) error {
-	frame, err := layers.BuildUDP(src, dst, payload)
-	if err != nil {
-		return err
-	}
-	return sink.WritePacket(ts, frame)
-}
-
-// emitTCP writes a full TCP exchange: handshake (from which the analysis
-// estimates RTT, §4.3), framed query and response, and teardown.
-func (g *Generator) emitTCP(sink PacketSink, ts time.Time, src, dst netip.AddrPort, q, resp *dnswire.Message, rtt time.Duration) error {
-	qwire, err := q.Pack()
-	if err != nil {
-		return err
-	}
-	rwire, err := authserver.PackResponse(resp, q, true)
-	if err != nil {
-		return err
-	}
-	iss, irs := g.rng.Uint32(), g.rng.Uint32()
-	proc := 200 * time.Microsecond
-
-	type pkt struct {
-		at   time.Time
-		from netip.AddrPort
-		to   netip.AddrPort
-		meta layers.TCPMeta
-		data []byte
-	}
-	frameQ := append(lenPrefix(len(qwire)), qwire...)
-	frameR := append(lenPrefix(len(rwire)), rwire...)
-	seq := []pkt{
-		// SYN arrives at the capture point at ts.
-		{ts, src, dst, layers.TCPMeta{Seq: iss, Flags: layers.TCPFlagSYN}, nil},
-		// Server replies immediately; the client's ACK lands one RTT later:
-		// t(ACK) − t(SYN-ACK) is the §4.3 RTT estimator.
-		{ts.Add(proc), dst, src, layers.TCPMeta{Seq: irs, Ack: iss + 1, Flags: layers.TCPFlagSYN | layers.TCPFlagACK}, nil},
-		{ts.Add(proc + rtt), src, dst, layers.TCPMeta{Seq: iss + 1, Ack: irs + 1, Flags: layers.TCPFlagACK}, nil},
-		{ts.Add(proc + rtt + 50*time.Microsecond), src, dst, layers.TCPMeta{Seq: iss + 1, Ack: irs + 1, Flags: layers.TCPFlagPSH | layers.TCPFlagACK}, frameQ},
-		{ts.Add(proc + rtt + 250*time.Microsecond), dst, src, layers.TCPMeta{Seq: irs + 1, Ack: iss + 1 + uint32(len(frameQ)), Flags: layers.TCPFlagPSH | layers.TCPFlagACK}, frameR},
-		{ts.Add(proc + 2*rtt + 300*time.Microsecond), src, dst, layers.TCPMeta{Seq: iss + 1 + uint32(len(frameQ)), Ack: irs + 1 + uint32(len(frameR)), Flags: layers.TCPFlagFIN | layers.TCPFlagACK}, nil},
-		{ts.Add(proc + 2*rtt + 500*time.Microsecond), dst, src, layers.TCPMeta{Seq: irs + 1 + uint32(len(frameR)), Ack: iss + 2 + uint32(len(frameQ)), Flags: layers.TCPFlagFIN | layers.TCPFlagACK}, nil},
-	}
-	for _, p := range seq {
-		frame, err := layers.BuildTCP(p.from, p.to, p.meta, p.data)
-		if err != nil {
-			return err
-		}
-		if err := sink.WritePacket(p.at, frame); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// pickEDNSFor draws an advertised EDNS size from the provider's mix.
-func (g *Generator) pickEDNSFor(p astrie.Provider) uint16 {
-	if p == astrie.ProviderOther {
-		return pickEDNS(longTailEDNSMix, g.rng)
-	}
-	return pickEDNS(g.pools[p].profile.EDNSSizes, g.rng)
-}
-
-// lenPrefix builds the RFC 1035 §4.2.2 two-byte length prefix.
-func lenPrefix(n int) []byte {
-	return []byte{byte(n >> 8), byte(n)}
 }

@@ -43,6 +43,9 @@ type providerPool struct {
 	subpools [2][2][]int
 	// fbSites groups dual-stack Facebook resolver units per site index.
 	fbSites [][]int
+	// edns is the profile's EDNS mix as a precomputed CDF, so per-event
+	// draws need no map-key sort or allocation.
+	edns []ednsEntry
 }
 
 func b2i(b bool) int {
@@ -79,6 +82,36 @@ func pickEDNS(sizes map[uint16]float64, rng *rand.Rand) uint16 {
 	return last
 }
 
+// ednsEntry is one step of a precomputed EDNS size CDF.
+type ednsEntry struct {
+	size uint16
+	cum  float64
+}
+
+// ednsDist precomputes the CDF pickEDNSDist walks; draws are identical to
+// pickEDNS over the same map.
+func ednsDist(sizes map[uint16]float64) []ednsEntry {
+	keys := sortedEDNSKeys(sizes)
+	out := make([]ednsEntry, len(keys))
+	cum := 0.0
+	for i, k := range keys {
+		cum += sizes[k]
+		out[i] = ednsEntry{size: k, cum: cum}
+	}
+	return out
+}
+
+// pickEDNSDist is the allocation-free equivalent of pickEDNS.
+func pickEDNSDist(dist []ednsEntry, rng *rand.Rand) uint16 {
+	x := rng.Float64()
+	for _, e := range dist {
+		if x < e.cum {
+			return e.size
+		}
+	}
+	return dist[len(dist)-1].size
+}
+
 func sortedEDNSKeys(sizes map[uint16]float64) []uint16 {
 	keys := make([]uint16, 0, len(sizes))
 	for k := range sizes {
@@ -104,7 +137,7 @@ func buildProviderPool(
 	ptrDB *rdns.DB,
 	deployment *anycast.Deployment,
 ) (*providerPool, error) {
-	pool := &providerPool{provider: p, profile: profile}
+	pool := &providerPool{provider: p, profile: profile, edns: ednsDist(profile.EDNSSizes)}
 	asns := astrie.ProviderASNs[p]
 	if len(asns) == 0 {
 		return nil, fmt.Errorf("workload: provider %s has no ASNs", p)
@@ -306,6 +339,9 @@ func catchRTT(d *anycast.Deployment, addr netip.Addr, rng *rand.Rand) time.Durat
 
 // longTailEDNSMix is the EDNS(0) size mix of the non-cloud Internet.
 var longTailEDNSMix = map[uint16]float64{0: 0.10, 512: 0.15, 1232: 0.25, 4096: 0.50}
+
+// longTailEDNSDist is the same mix as a precomputed CDF for the hot path.
+var longTailEDNSDist = ednsDist(longTailEDNSMix)
 
 // longTailPool models the rest of the Internet: single-address resolvers
 // spread over the long-tail ASes.

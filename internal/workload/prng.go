@@ -1,0 +1,34 @@
+package workload
+
+// splitSource is a SplitMix64 PRNG implementing math/rand.Source64. Each
+// shard owns one and reseeds it at the start of every event, so a single
+// math/rand.Rand wrapping it is reused allocation-free across events while
+// every event still draws from its own independent stream.
+type splitSource struct{ state uint64 }
+
+// Seed implements rand.Source.
+func (s *splitSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64 (the SplitMix64 step).
+func (s *splitSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Int63 implements rand.Source.
+func (s *splitSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// eventSeed derives the SplitMix64 state of one event's stream from the
+// trace seed and the event index. The double mixing round decorrelates
+// adjacent indices, so an event's randomness depends only on (seed, index)
+// — never on which shard generates it or in what order. This is the
+// determinism backbone of parallel generation.
+func eventSeed(seed int64, event uint64) uint64 {
+	z := uint64(seed)*0xA24BAED4963EE407 + (event+1)*0x9E3779B97F4A7C15
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}

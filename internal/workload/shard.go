@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// BatchSink is the optional fast path of PacketSink: the merger pre-encodes
+// records into a contiguous batch with AppendRecord and hands the batch
+// over in one WriteBatch call. pcapio.Writer satisfies it; sinks that do
+// not (e.g. pcapng writers, test sinks) fall back to per-packet
+// WritePacket with identical output.
+type BatchSink interface {
+	PacketSink
+	AppendRecord(dst []byte, ts time.Time, data []byte) []byte
+	WriteBatch(batch []byte) error
+}
+
+// mergeBatchSize is the flush threshold of the batched emit path.
+const mergeBatchSize = 256 << 10
+
+// floorNano returns a lower bound on the UnixNano timestamp of every
+// packet of every event at index ≥ first: the jitter-free base timestamp
+// of event first, minus a millisecond of slack for the Newton-iteration
+// float noise in the diurnal warp. The merger may safely emit anything
+// strictly below this bound before opening the block that starts at first.
+func (tl timeline) floorNano(first int) int64 {
+	return tl.start.Add(tl.base(first)).UnixNano() - int64(time.Millisecond)
+}
+
+// cursor walks one open block during the merge.
+type cursor struct {
+	blk *block
+	pos int
+}
+
+func (c cursor) head() pktRef { return c.blk.pkts[c.pos] }
+
+// merger interleaves the packets of consecutive blocks into global
+// timestamp order. Blocks arrive in index order; a k-way heap of open
+// blocks drains up to the floor of the next block, so TCP exchanges that
+// span block boundaries land in their true chronological position. The
+// result is identical however many shards produced the blocks.
+type merger struct {
+	sink  PacketSink
+	bs    BatchSink
+	batch []byte
+	heap  []cursor
+}
+
+func newMerger(sink PacketSink) *merger {
+	m := &merger{sink: sink}
+	if bs, ok := sink.(BatchSink); ok {
+		m.bs = bs
+		m.batch = make([]byte, 0, mergeBatchSize+4096)
+	}
+	return m
+}
+
+func (m *merger) less(i, j int) bool { return m.heap[i].head().less(m.heap[j].head()) }
+
+func (m *merger) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(i, parent) {
+			return
+		}
+		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
+		i = parent
+	}
+}
+
+func (m *merger) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(m.heap) && m.less(l, min) {
+			min = l
+		}
+		if r < len(m.heap) && m.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.heap[i], m.heap[min] = m.heap[min], m.heap[i]
+		i = min
+	}
+}
+
+// push opens a block for merging.
+func (m *merger) push(blk *block) {
+	if len(blk.pkts) == 0 {
+		releaseBlock(blk)
+		return
+	}
+	m.heap = append(m.heap, cursor{blk: blk})
+	m.siftUp(len(m.heap) - 1)
+}
+
+// emit writes one packet through the batched or plain path.
+func (m *merger) emit(p pktRef, arena []byte) error {
+	data := arena[p.off : p.off+p.n]
+	ts := time.Unix(0, p.ts).UTC()
+	if m.bs != nil {
+		m.batch = m.bs.AppendRecord(m.batch, ts, data)
+		if len(m.batch) >= mergeBatchSize {
+			err := m.bs.WriteBatch(m.batch)
+			m.batch = m.batch[:0]
+			return err
+		}
+		return nil
+	}
+	return m.sink.WritePacket(ts, data)
+}
+
+// drainBelow emits every queued packet with timestamp < floor.
+func (m *merger) drainBelow(floor int64) error {
+	for len(m.heap) > 0 {
+		c := &m.heap[0]
+		p := c.head()
+		if p.ts >= floor {
+			return nil
+		}
+		if err := m.emit(p, c.blk.arena); err != nil {
+			return err
+		}
+		c.pos++
+		if c.pos == len(c.blk.pkts) {
+			releaseBlock(c.blk)
+			last := len(m.heap) - 1
+			m.heap[0] = m.heap[last]
+			m.heap = m.heap[:last]
+		}
+		m.siftDown(0)
+	}
+	return nil
+}
+
+// finish drains everything still queued and flushes the batch.
+func (m *merger) finish() error {
+	if err := m.drainBelow(math.MaxInt64); err != nil {
+		return err
+	}
+	if m.bs != nil && len(m.batch) > 0 {
+		err := m.bs.WriteBatch(m.batch)
+		m.batch = m.batch[:0]
+		return err
+	}
+	return nil
+}
+
+// abort recycles whatever is still open after an error.
+func (m *merger) abort() {
+	for _, c := range m.heap {
+		releaseBlock(c.blk)
+	}
+	m.heap = nil
+}
+
+// numBlocks returns how many blocks cover n events.
+func numBlocks(n int) int { return (n + blockEvents - 1) / blockEvents }
+
+// Run generates the trace into sink and returns the ground truth. With
+// cfg.Workers > 1 the event-index space is sharded across goroutines;
+// the merged output — and the ground truth — is byte-for-byte identical
+// for any worker count under the same Config.
+func (g *Generator) Run(sink PacketSink) (*GroundTruth, error) {
+	workers := g.cfg.Workers
+	if nb := numBlocks(g.cfg.TotalQueries); workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		return g.runSingle(sink)
+	}
+	return g.runSharded(sink, workers)
+}
+
+// runSingle is the in-line path: one emitter, blocks generated and merged
+// on the calling goroutine.
+func (g *Generator) runSingle(sink PacketSink) (*GroundTruth, error) {
+	em := g.newEmitter()
+	m := newMerger(sink)
+	tl := em.tl
+	nb := numBlocks(g.cfg.TotalQueries)
+	for b := 0; b < nb; b++ {
+		blk, err := em.genBlock(b * blockEvents)
+		if err != nil {
+			m.abort()
+			return nil, err
+		}
+		m.push(blk)
+		if b+1 < nb {
+			if err := m.drainBelow(tl.floorNano((b + 1) * blockEvents)); err != nil {
+				m.abort()
+				return nil, err
+			}
+		}
+	}
+	if err := m.finish(); err != nil {
+		m.abort()
+		return nil, err
+	}
+	return em.gt, nil
+}
+
+// runSharded fans blocks out to workers goroutines. Worker w generates
+// blocks w, w+W, w+2W, … so block contents never depend on W; the merger
+// collects block b from channel b mod W, restoring global index order.
+func (g *Generator) runSharded(sink PacketSink, workers int) (*GroundTruth, error) {
+	nb := numBlocks(g.cfg.TotalQueries)
+	chans := make([]chan *block, workers)
+	for i := range chans {
+		chans[i] = make(chan *block, 2)
+	}
+	quit := make(chan struct{})
+	errs := make([]error, workers)
+	gts := make([]*GroundTruth, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer close(chans[w])
+			em := g.newEmitter()
+			gts[w] = em.gt
+			for b := w; b < nb; b += workers {
+				blk, err := em.genBlock(b * blockEvents)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				select {
+				case chans[w] <- blk:
+				case <-quit:
+					releaseBlock(blk)
+					return
+				}
+			}
+		}(w)
+	}
+
+	fail := func(m *merger) {
+		close(quit)
+		// Unblock producers stuck on a send, then recycle their blocks.
+		for _, ch := range chans {
+			for blk := range ch {
+				releaseBlock(blk)
+			}
+		}
+		wg.Wait()
+		m.abort()
+	}
+
+	m := newMerger(sink)
+	tl := g.timeline()
+	for b := 0; b < nb; b++ {
+		blk, ok := <-chans[b%workers]
+		if !ok {
+			fail(m)
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			return nil, fmt.Errorf("workload: shard %d stopped early", b%workers)
+		}
+		m.push(blk)
+		if b+1 < nb {
+			if err := m.drainBelow(tl.floorNano((b + 1) * blockEvents)); err != nil {
+				fail(m)
+				return nil, err
+			}
+		}
+	}
+	wg.Wait()
+	if err := m.finish(); err != nil {
+		m.abort()
+		return nil, err
+	}
+	gt := gts[0]
+	for _, other := range gts[1:] {
+		gt.Merge(other)
+	}
+	return gt, nil
+}
