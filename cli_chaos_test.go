@@ -9,8 +9,9 @@ import (
 )
 
 // startAuthserver launches the real authserver binary on a free port and
-// waits until it accepts connections.
-func startAuthserver(t *testing.T, bin string, extra ...string) string {
+// waits until it accepts connections. The returned builder accumulates
+// the server's combined output and is safe to read while it runs.
+func startAuthserver(t *testing.T, bin string, extra ...string) (string, *syncBuilder) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -21,7 +22,7 @@ func startAuthserver(t *testing.T, bin string, extra ...string) string {
 
 	args := append([]string{"-zone", "nl", "-domains", "1000", "-listen", addr}, extra...)
 	srv := exec.Command(bin, args...)
-	out := &strings.Builder{}
+	out := &syncBuilder{}
 	srv.Stdout, srv.Stderr = out, out
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
@@ -35,10 +36,10 @@ func startAuthserver(t *testing.T, bin string, extra ...string) string {
 		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
 		if err == nil {
 			conn.Close()
-			return addr
+			return addr, out
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("authserver did not come up: %s", out)
+			t.Fatalf("authserver did not come up: %s", out.String())
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -59,7 +60,7 @@ func robustnessSection(out string) string {
 // reports — the acceptance bar for the seeded fault layer at the CLI.
 func TestCLIChaosDeterministicReport(t *testing.T) {
 	bins := buildTools(t, "authserver", "resolversim")
-	addr := startAuthserver(t, bins["authserver"])
+	addr, _ := startAuthserver(t, bins["authserver"])
 
 	args := []string{
 		"-server", addr, "-zone", "nl", "-n", "120",
@@ -93,7 +94,7 @@ func TestCLIChaosDeterministicReport(t *testing.T) {
 // summary lines intact, zero failures.
 func TestCLIChaosOffBaseline(t *testing.T) {
 	bins := buildTools(t, "authserver", "resolversim")
-	addr := startAuthserver(t, bins["authserver"])
+	addr, _ := startAuthserver(t, bins["authserver"])
 
 	out := runTool(t, bins["resolversim"], "-server", addr, "-zone", "nl", "-n", "80")
 	if robustnessSection(out) != "" {
@@ -112,7 +113,7 @@ func TestCLIChaosOffBaseline(t *testing.T) {
 // truncated responses injected on the server's wire.
 func TestCLIChaosProxyImpairment(t *testing.T) {
 	bins := buildTools(t, "authserver", "resolversim")
-	addr := startAuthserver(t, bins["authserver"],
+	addr, _ := startAuthserver(t, bins["authserver"],
 		"-chaos-dup", "1", "-chaos-truncate", "0.2", "-chaos-seed", "3")
 
 	out := runTool(t, bins["resolversim"],

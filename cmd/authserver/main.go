@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,6 +19,7 @@ import (
 
 	"dnscentral/internal/authserver"
 	"dnscentral/internal/faults"
+	"dnscentral/internal/telemetry"
 	"dnscentral/internal/zonedb"
 )
 
@@ -42,6 +44,7 @@ func main() {
 		jitter  = flag.Duration("chaos-jitter", 0, "impairment proxy: uniform extra latency bound")
 		cseed   = flag.Int64("chaos-seed", 1, "impairment proxy: fault seed")
 	)
+	tm := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	var (
@@ -58,7 +61,11 @@ func main() {
 		fatal(err)
 	}
 
+	reg := tm.Registry()
 	var opts []authserver.Option
+	if reg != nil {
+		opts = append(opts, authserver.WithTelemetry(reg))
+	}
 	if *rrl > 0 {
 		opts = append(opts, authserver.WithRRL(authserver.RRLConfig{
 			RatePerSec: *rrl, Burst: *rrl * 2, SlipEvery: 1,
@@ -68,7 +75,7 @@ func main() {
 		Loss: *loss, Duplicate: *dup, Corrupt: *corrupt, Truncate: *trunc,
 		TCPFail: *tcpfail, Latency: *latency, Jitter: *jitter, Seed: *cseed,
 	}
-	scfg := authserver.ServerConfig{TCPIdleTimeout: *idle, MaxTCPConns: *maxTCP}
+	scfg := authserver.ServerConfig{TCPIdleTimeout: *idle, MaxTCPConns: *maxTCP, Telemetry: reg}
 
 	// With impairment configured, the public address is the chaos proxy
 	// and the real server hides behind it on an ephemeral loopback port.
@@ -80,6 +87,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopTm, err := tm.Start(func(w io.Writer) {
+		st := srv.Engine().Stats()
+		fmt.Fprintf(w, "authserver: %d queries (%d referrals, %d NXDOMAIN, %d RRL drops)",
+			st.Queries, st.Referrals, st.NXDomain, st.RRLDrops)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTm()
 	if *verbose {
 		srv.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "authserver: "+format+"\n", args...)

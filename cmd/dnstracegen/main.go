@@ -10,12 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"dnscentral/internal/astrie"
 	"dnscentral/internal/cloudmodel"
 	"dnscentral/internal/pcapio"
+	"dnscentral/internal/telemetry"
 	"dnscentral/internal/workload"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"generation goroutines (output is byte-identical for any value)")
 	)
+	tm := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "dnstracegen: -out is required")
@@ -39,6 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := tm.Registry()
 	cfg := workload.Config{
 		Vantage:       cloudmodel.Vantage(*vantage),
 		Week:          cloudmodel.Week(*week),
@@ -47,11 +51,21 @@ func main() {
 		Seed:          *seed,
 		Anomaly:       *anomaly,
 		Workers:       *workers,
+		Telemetry:     reg,
 	}
 	gen, err := workload.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	stopTm, err := tm.Start(func(w io.Writer) {
+		fmt.Fprintf(w, "dnstracegen: %d/%d events, %d packets",
+			reg.Counter("workload_events_total").Value(), *queries,
+			reg.Counter("workload_packets_total").Value())
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTm()
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

@@ -9,13 +9,15 @@
 // Pass -in multiple times to analyze shards of a split capture; the
 // per-shard aggregates are merged before reporting. Ingestion is
 // flow-sharded across -workers cores (default: all of them); -workers 1
-// preserves the exact sequential behavior.
+// preserves the exact sequential behavior. -metrics-addr serves live
+// ingestion counters over HTTP while the run is in flight.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -25,10 +27,49 @@ import (
 	"dnscentral/internal/pcapio"
 	"dnscentral/internal/pipeline"
 	"dnscentral/internal/profiling"
+	"dnscentral/internal/telemetry"
 )
 
 // prof is package-level so fatal can flush profiles before os.Exit.
 var prof *profiling.Flags
+
+// lazyPcap defers opening its file until the pipeline first reads from
+// it and closes it the moment ingestion finishes (EOF or error). Open
+// descriptors are therefore bounded by ingestion concurrency, not by
+// the number of -in flags — a thousand shards no longer trip ulimit -n.
+type lazyPcap struct {
+	path string
+	f    *os.File
+	r    pcapio.PacketReader
+	done bool
+}
+
+func (l *lazyPcap) ReadPacket() (pcapio.Packet, error) {
+	if l.done {
+		return pcapio.Packet{}, io.EOF
+	}
+	if l.r == nil {
+		f, err := os.Open(l.path)
+		if err != nil {
+			l.done = true
+			return pcapio.Packet{}, err
+		}
+		r, err := pcapio.Open(f)
+		if err != nil {
+			f.Close()
+			l.done = true
+			return pcapio.Packet{}, fmt.Errorf("%s: %w", l.path, err)
+		}
+		l.f, l.r = f, r
+	}
+	pkt, err := l.r.ReadPacket()
+	if err != nil {
+		l.done = true
+		l.f.Close()
+		l.f, l.r = nil, nil
+	}
+	return pkt, err
+}
 
 func main() {
 	var inputs []string
@@ -40,6 +81,7 @@ func main() {
 	zone := flag.String("zone", "", "zone origin the capture's server is authoritative for (enables the Q-min heuristic), e.g. nl")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-shard worker count (1 = sequential)")
 	progress := flag.Duration("progress", 0, "print ingestion progress at this interval, e.g. 2s (0 disables)")
+	tm := telemetry.RegisterFlags(flag.CommandLine)
 	prof = profiling.Register(flag.CommandLine)
 	flag.Parse()
 	if len(inputs) == 0 {
@@ -52,10 +94,22 @@ func main() {
 	}
 	defer prof.Stop()
 
+	reg := tm.Registry()
+	stopTm, err := tm.Start(func(w io.Writer) {
+		fmt.Fprintf(w, "entrada: %d packets (%d malformed, %d dropped segments)",
+			reg.Counter(pipeline.MetricPackets).Value(),
+			reg.Counter(pipeline.MetricMalformed).Value(),
+			reg.Counter(pipeline.MetricDropped).Value())
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTm()
+
 	// The synthetic prefix allocation is ordinal-stable, so the analyzer
 	// can always use the maximal registry regardless of how many
 	// long-tail ASes the generator used.
-	reg := astrie.NewRegistry(astrie.MaxASes - 20)
+	asReg := astrie.NewRegistry(astrie.MaxASes - 20)
 	var anOpts []entrada.Option
 	if *zone != "" {
 		anOpts = append(anOpts, entrada.WithZoneOrigin(*zone))
@@ -63,20 +117,14 @@ func main() {
 
 	readers := make([]pcapio.PacketReader, len(inputs))
 	for i, path := range inputs {
-		f, err := os.Open(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if readers[i], err = pcapio.Open(f); err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
-		}
+		readers[i] = &lazyPcap{path: path}
 	}
 
 	opts := pipeline.Options{
 		Workers:      *workers,
-		Registry:     reg,
+		Registry:     asReg,
 		AnalyzerOpts: anOpts,
+		Telemetry:    reg,
 	}
 	if *progress > 0 {
 		opts.ProgressInterval = *progress
@@ -107,23 +155,37 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s [%d packets, %d workers, %s, %.0f pkt/s]\n",
 		ag, st.PacketsRead, st.Workers, st.Elapsed.Round(time.Millisecond), st.PacketsPerSec)
 
-	rep := entrada.BuildReport(ag, reg)
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := rep.WriteJSON(w); err != nil {
+	rep := entrada.BuildReport(ag, asReg)
+	if err := writeReport(rep, *out); err != nil {
 		fatal(err)
 	}
+	stopTm()
 	if allBad {
 		prof.Stop()
 		os.Exit(1)
 	}
+}
+
+// writeReport writes the JSON report to path (stdout when empty). The
+// Close error is checked: on a full disk the kernel often accepts the
+// buffered writes and only fails the final flush, so ignoring it would
+// report success over a truncated file.
+func writeReport(rep *entrada.Report, path string) error {
+	if path == "" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s: close: %w", path, err)
+	}
+	return nil
 }
 
 func fatal(err error) {

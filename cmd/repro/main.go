@@ -10,12 +10,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"dnscentral/internal/core"
+	"dnscentral/internal/pipeline"
 	"dnscentral/internal/profiling"
+	"dnscentral/internal/telemetry"
 )
 
 // prof is package-level so fatal can flush profiles before os.Exit.
@@ -29,6 +32,7 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "vantage/week cells and flow shards run under this worker budget (1 = sequential)")
 		out     = flag.String("out", "", "output path (default stdout)")
 	)
+	tm := telemetry.RegisterFlags(flag.CommandLine)
 	prof = profiling.Register(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -36,26 +40,50 @@ func main() {
 	}
 	defer prof.Stop()
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	start := time.Now()
-	err := core.WriteExperimentsReport(w, core.RunConfig{
-		TotalQueries:  *queries,
-		ResolverScale: *scale,
-		Seed:          *seed,
-		Workers:       *workers,
+	reg := tm.Registry()
+	stopTm, err := tm.Start(func(w io.Writer) {
+		fmt.Fprintf(w, "repro: %d events generated, %d packets analyzed",
+			reg.Counter("workload_events_total").Value(),
+			reg.Counter(pipeline.MetricPackets).Value())
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer stopTm()
+
+	start := time.Now()
+	rc := core.RunConfig{
+		TotalQueries:  *queries,
+		ResolverScale: *scale,
+		Seed:          *seed,
+		Workers:       *workers,
+		Telemetry:     reg,
+	}
+	if err := writeReport(rc, *out); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "repro: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeReport writes the comparison report to path (stdout when empty),
+// surfacing the Close error — on a full disk only the final flush may
+// fail, and a truncated EXPERIMENTS.md must not exit 0.
+func writeReport(rc core.RunConfig, path string) error {
+	if path == "" {
+		return core.WriteExperimentsReport(os.Stdout, rc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteExperimentsReport(f, rc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s: close: %w", path, err)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -21,14 +21,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/faults"
 	"dnscentral/internal/resolver"
+	"dnscentral/internal/telemetry"
 )
 
 func main() {
@@ -59,6 +63,7 @@ func main() {
 		bMode     = flag.String("brownout-mode", "drop", "brownout behavior: drop|servfail")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault injection seed (same seed = same faults)")
 	)
+	tm := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	addr, err := netip.ParseAddrPort(*server)
@@ -81,6 +86,7 @@ func main() {
 		Brownout:  faults.Brownout{Every: *bEvery, Len: *bLen, Mode: mode},
 		Seed:      *chaosSeed,
 	}
+	reg := tm.Registry()
 	r := resolver.New(*zone, resolver.Config{
 		Qmin:           *qmin,
 		Validate:       *validate,
@@ -90,7 +96,18 @@ func main() {
 		RetryBackoff:   *backoff,
 		AttemptTimeout: *attemptT,
 		RetryServfail:  chaos.Enabled(),
+		Telemetry:      reg,
 	})
+	stopTm, err := tm.Start(func(w io.Writer) {
+		fmt.Fprintf(w, "resolversim: %d queries sent, %d retries, %d TCP fallbacks",
+			reg.Counter("resolver_queries_sent_total").Value(),
+			reg.Counter("resolver_retries_total").Value(),
+			reg.Counter("resolver_tcp_fallbacks_total").Value())
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTm()
 	fam := resolver.FamilyV4
 	if addr.Addr().Is6() {
 		fam = resolver.FamilyV6
@@ -106,8 +123,23 @@ func main() {
 	}
 	r.AddUpstream(fam, upstream)
 
+	// SIGINT/SIGTERM stop the resolution loop between names, so an
+	// interrupted run still prints its mix and robustness report for the
+	// resolutions it completed (mirroring cmd/authserver's shutdown).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	var failures int
+	completed := 0
+loop:
 	for i := 0; i < *n; i++ {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "resolversim: %v — stopping after %d of %d resolutions\n", s, i, *n)
+			break loop
+		default:
+		}
 		name := fmt.Sprintf("www.d%d.%s.", i, *zone)
 		if _, err := r.Resolve(name, dnswire.TypeA); err != nil {
 			failures++
@@ -115,11 +147,12 @@ func main() {
 				fmt.Fprintln(os.Stderr, "resolversim:", err)
 			}
 		}
+		completed++
 	}
 
 	st := r.Stats()
 	fmt.Printf("resolved %d names (%d failures): sent %d queries, %d cache hits\n",
-		*n, failures, st.Sent, st.CacheHits)
+		completed, failures, st.Sent, st.CacheHits)
 	fmt.Printf("transport: UDP %d, TCP %d (%d TC retries); RTT %v\n",
 		st.ByTCP[false], st.ByTCP[true], st.TCPRetries, r.RTT(fam))
 	var types []dnswire.Type
@@ -132,7 +165,7 @@ func main() {
 		fmt.Printf("  %-8s %6d (%5.1f%%)\n", t, st.ByType[t], 100*float64(st.ByType[t])/float64(st.Sent))
 	}
 	if inj != nil {
-		fmt.Print(faults.Robustness(st, uint64(*n), uint64(failures), inj.Stats()).Format())
+		fmt.Print(faults.Robustness(st, uint64(completed), uint64(failures), inj.Stats()).Format())
 	}
 }
 

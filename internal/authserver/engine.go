@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dnscentral/internal/dnswire"
+	"dnscentral/internal/telemetry"
 	"dnscentral/internal/zonedb"
 )
 
@@ -109,6 +110,36 @@ func WithCookieSecret(secret uint64) Option {
 // WithClock injects a time source (tests and simulation).
 func WithClock(now func() time.Time) Option {
 	return func(e *Engine) { e.now = now }
+}
+
+// WithTelemetry publishes the engine's cumulative counters — query
+// volume, the RCODE mix, RRL activity, cookie validation — on reg as
+// exposition-time CounterFuncs reading the existing Stats, so the answer
+// path itself carries zero extra work whether telemetry is on or off.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(e *Engine) {
+		if reg == nil {
+			return
+		}
+		field := func(name string, read func(Stats) uint64) {
+			reg.CounterFunc(name, func() uint64 { return read(e.Stats()) })
+		}
+		field("authserver_queries_total", func(s Stats) uint64 { return s.Queries })
+		field("authserver_referrals_total", func(s Stats) uint64 { return s.Referrals })
+		field("authserver_rrl_drops_total", func(s Stats) uint64 { return s.RRLDrops })
+		field("authserver_rrl_slips_total", func(s Stats) uint64 { return s.RRLSlips })
+		field("authserver_cookies_seen_total", func(s Stats) uint64 { return s.CookieSeen })
+		field("authserver_cookies_valid_total", func(s Stats) uint64 { return s.CookieValid })
+		field(`authserver_rcode_total{rcode="NOERROR"}`, func(s Stats) uint64 {
+			// Everything answered that is not an error or an RRL drop:
+			// referrals, apex/DS answers, and NODATA responses.
+			return s.Queries - s.NXDomain - s.Refused - s.FormErr - s.NotImp - s.RRLDrops
+		})
+		field(`authserver_rcode_total{rcode="NXDOMAIN"}`, func(s Stats) uint64 { return s.NXDomain })
+		field(`authserver_rcode_total{rcode="REFUSED"}`, func(s Stats) uint64 { return s.Refused })
+		field(`authserver_rcode_total{rcode="FORMERR"}`, func(s Stats) uint64 { return s.FormErr })
+		field(`authserver_rcode_total{rcode="NOTIMP"}`, func(s Stats) uint64 { return s.NotImp })
+	}
 }
 
 // NewEngine builds an engine for zone.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dnscentral/internal/dnswire"
+	"dnscentral/internal/telemetry"
 )
 
 // ServerConfig tunes the transport hardening knobs.
@@ -23,6 +24,11 @@ type ServerConfig struct {
 	// connections are accepted and immediately closed so clients see a
 	// fast reset instead of a hang (default 128, negative = unlimited).
 	MaxTCPConns int
+	// Telemetry, when set, publishes live transport metrics (datagram
+	// and connection counters, the active-connection gauge) on the
+	// registry; pair it with WithTelemetry on the Engine for the RCODE
+	// mix. Nil keeps the serve loops telemetry-free.
+	Telemetry *telemetry.Registry
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -52,6 +58,10 @@ type Server struct {
 
 	tcpRejected atomic.Uint64
 	panics      atomic.Uint64
+
+	// Telemetry mirrors (nil ⇒ no-ops).
+	tmDatagrams *telemetry.Counter
+	tmTCPConns  *telemetry.Counter
 
 	// Logf, when non-nil, receives per-error diagnostics.
 	Logf func(format string, args ...any)
@@ -86,6 +96,17 @@ func ListenConfig(addr string, engine *Engine, cfg ServerConfig) (*Server, error
 		tcp:    tcpLn.(*net.TCPListener),
 		closed: make(chan struct{}),
 		conns:  make(map[*net.TCPConn]struct{}),
+	}
+	if reg := s.cfg.Telemetry; reg != nil {
+		s.tmDatagrams = reg.Counter("authserver_datagrams_total")
+		s.tmTCPConns = reg.Counter("authserver_tcp_conns_total")
+		reg.CounterFunc("authserver_tcp_rejected_total", s.tcpRejected.Load)
+		reg.CounterFunc("authserver_panics_total", s.panics.Load)
+		reg.GaugeFunc("authserver_active_tcp_conns", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.conns))
+		})
 	}
 	s.wg.Add(2)
 	go s.serveUDP()
@@ -143,6 +164,7 @@ func (s *Server) serveUDP() {
 				continue
 			}
 		}
+		s.tmDatagrams.Inc()
 		s.handleUDPPacket(buf[:n], raddr)
 	}
 }
@@ -213,6 +235,7 @@ func (s *Server) trackConn(conn *net.TCPConn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.tmTCPConns.Inc()
 	return true
 }
 

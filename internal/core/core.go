@@ -18,6 +18,7 @@ import (
 	"dnscentral/internal/entrada"
 	"dnscentral/internal/pipeline"
 	"dnscentral/internal/rdns"
+	"dnscentral/internal/telemetry"
 	"dnscentral/internal/workload"
 	"dnscentral/internal/zonedb"
 )
@@ -37,6 +38,10 @@ type RunConfig struct {
 	// identical either way (per-cell seeds are fixed up front and the
 	// pipeline's merge is order-insensitive).
 	Workers int
+	// Telemetry, when set, threads a live metrics registry into the
+	// workload generators and pipeline engines of every cell. Results
+	// are unaffected.
+	Telemetry *telemetry.Registry
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -85,7 +90,8 @@ func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, err
 		Seed:          cfg.Seed,
 		// Generation shards under the same budget as analysis; the trace
 		// bytes are identical for any worker count.
-		Workers: cfg.Workers,
+		Workers:   cfg.Workers,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -99,6 +105,7 @@ func Run(v cloudmodel.Vantage, w cloudmodel.Week, cfg RunConfig) (*VWResult, err
 			Workers:      cfg.Workers,
 			Registry:     gen.Registry(),
 			AnalyzerOpts: anOpts,
+			Telemetry:    cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, err

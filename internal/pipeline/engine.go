@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dnscentral/internal/entrada"
+	"dnscentral/internal/telemetry"
 )
 
 // Engine is a concurrent ingestion sink for one logical capture: packets
@@ -44,6 +45,14 @@ type shard struct {
 	an    *entrada.Analyzer
 	depth *atomic.Int64
 	done  chan struct{}
+
+	// Per-slot telemetry cells (nil ⇒ no-ops): each worker accumulates
+	// into its own cache-line-padded cell, updated once per batch.
+	tmPkts      *telemetry.Cell // this slot's {shard="N"} series
+	tmTotal     *telemetry.Cell // this slot's share of MetricPackets
+	tmMalformed *telemetry.Cell
+	tmUnmatched *telemetry.Cell
+	tmDropped   *telemetry.Cell
 }
 
 // NewEngine starts opts.Workers shard workers that analyze packets
@@ -54,7 +63,7 @@ func NewEngine(ctx context.Context, opts Options) (*Engine, error) {
 	if opts.Registry == nil {
 		return nil, errors.New("pipeline: Options.Registry is required")
 	}
-	return newEngine(ctx, opts.Workers, 0, newCounters(opts.Workers), opts), nil
+	return newEngine(ctx, opts.Workers, 0, newCounters(opts.Workers, opts.Telemetry), opts), nil
 }
 
 // newEngine wires shards workers whose queue-depth gauges live at
@@ -70,11 +79,19 @@ func newEngine(ctx context.Context, shards, slotOffset int, cnt *counters, opts 
 		batchBytes: opts.BatchBytes,
 	}
 	for i := 0; i < shards; i++ {
+		slot := slotOffset + i
 		sh := &shard{
 			ch:    make(chan *batch, opts.QueueDepth),
 			an:    entrada.NewAnalyzer(opts.Registry, opts.AnalyzerOpts...),
-			depth: &cnt.depths[slotOffset+i],
+			depth: &cnt.depths[slot],
 			done:  make(chan struct{}),
+		}
+		if reg := opts.Telemetry; reg != nil {
+			sh.tmPkts = reg.Counter(shardLabel(metricShardPackets, slot)).Shard(0)
+			sh.tmTotal = cnt.tmPackets.Shard(slot)
+			sh.tmMalformed = cnt.tmMalformed.Shard(slot)
+			sh.tmUnmatched = cnt.tmUnmatched.Shard(slot)
+			sh.tmDropped = cnt.tmDropped.Shard(slot)
 		}
 		e.shards = append(e.shards, sh)
 		go sh.run(cnt, e.pool)
@@ -92,18 +109,24 @@ func (sh *shard) run(cnt *counters, pool *sync.Pool) {
 			sh.an.HandlePacket(p.ts, b.buf[p.off:p.off+p.size])
 		}
 		sh.depth.Add(-1)
+		n := uint64(len(b.pkts))
+		sh.tmPkts.Add(n)
+		sh.tmTotal.Add(n)
 		// The worker owns its analyzer, so reading the error counters here
 		// is race-free; the shared totals advance by delta.
 		if m := sh.an.MalformedPackets; m != lastMalformed {
 			cnt.malformed.Add(m - lastMalformed)
+			sh.tmMalformed.Add(m - lastMalformed)
 			lastMalformed = m
 		}
 		if u := sh.an.UnmatchedResp; u != lastUnmatched {
 			cnt.unmatched.Add(u - lastUnmatched)
+			sh.tmUnmatched.Add(u - lastUnmatched)
 			lastUnmatched = u
 		}
 		if d := sh.an.DroppedSegments(); d != lastDropped {
 			cnt.dropped.Add(d - lastDropped)
+			sh.tmDropped.Add(d - lastDropped)
 			lastDropped = d
 		}
 		b.reset()

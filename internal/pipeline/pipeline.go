@@ -29,6 +29,7 @@ import (
 	"dnscentral/internal/astrie"
 	"dnscentral/internal/entrada"
 	"dnscentral/internal/pcapio"
+	"dnscentral/internal/telemetry"
 )
 
 // Options configures a Run (or a streaming Engine).
@@ -54,6 +55,11 @@ type Options struct {
 	// ProgressInterval (default 1s) while ingestion runs.
 	Progress         func(Stats)
 	ProgressInterval time.Duration
+	// Telemetry, when set, publishes live ingestion metrics (total and
+	// per-shard packet counters, malformed/unmatched/dropped counts,
+	// queue-depth gauges) on the registry. Nil — the default — keeps the
+	// hot path free of telemetry work.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -87,7 +93,7 @@ func Run(ctx context.Context, readers []pcapio.PacketReader, opts Options) (*ent
 	if len(readers) == 0 {
 		return nil, Stats{}, errors.New("pipeline: no inputs")
 	}
-	cnt := newCounters(opts.Workers)
+	cnt := newCounters(opts.Workers, opts.Telemetry)
 	perFile := make([]fileCounter, len(readers))
 
 	stopProgress := startProgress(cnt, opts, len(readers))
@@ -131,6 +137,7 @@ func runSequential(ctx context.Context, readers []pcapio.PacketReader, opts Opti
 			n := cnt.read.Add(1)
 			an.HandlePacket(pkt.Timestamp, pkt.Data)
 			cnt.dispatched.Add(1)
+			cnt.tmPackets.Add(1)
 			if n%1024 == 0 && ctx.Err() != nil {
 				return agg, ctx.Err()
 			}
@@ -140,6 +147,9 @@ func runSequential(ctx context.Context, readers []pcapio.PacketReader, opts Opti
 		cnt.malformed.Add(an.MalformedPackets)
 		cnt.unmatched.Add(an.UnmatchedResp)
 		cnt.dropped.Add(shard.DroppedSegments)
+		cnt.tmMalformed.Add(an.MalformedPackets)
+		cnt.tmUnmatched.Add(an.UnmatchedResp)
+		cnt.tmDropped.Add(shard.DroppedSegments)
 		if agg == nil {
 			agg = shard
 		} else {

@@ -2,9 +2,35 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"dnscentral/internal/telemetry"
 )
+
+// Telemetry metric names the pipeline publishes when Options.Telemetry
+// is set (CLIs read them back for progress snapshots).
+const (
+	// MetricPackets counts frames handed to shard analyzers.
+	MetricPackets = "pipeline_packets_total"
+	// MetricMalformed counts undecodable frames.
+	MetricMalformed = "pipeline_malformed_total"
+	// MetricUnmatched counts responses with no pending query.
+	MetricUnmatched = "pipeline_unmatched_responses_total"
+	// MetricDropped counts TCP reassembly overflow drops.
+	MetricDropped = "pipeline_dropped_segments_total"
+	// MetricQueueDepth gauges the total queued batches across workers;
+	// per-slot series carry a {shard="N"} label.
+	MetricQueueDepth = "pipeline_queue_depth"
+	// metricShardPackets is the per-worker-slot packet counter family.
+	metricShardPackets = "pipeline_shard_packets_total"
+)
+
+// shardLabel renders `family{shard="i"}`.
+func shardLabel(family string, i int) string {
+	return family + `{shard="` + strconv.Itoa(i) + `"}`
+}
 
 // Stats is a snapshot of the ingestion engine's progress. Run returns the
 // final snapshot; the Progress option delivers intermediate ones while the
@@ -63,10 +89,37 @@ type counters struct {
 	unmatched  atomic.Uint64
 	dropped    atomic.Uint64
 	depths     []atomic.Int64 // one slot per worker
+
+	// Telemetry mirrors (nil ⇒ no-ops). Workers feed the counters at
+	// batch granularity through per-slot shard cells, so the live
+	// /metrics view costs nothing on the per-packet path.
+	tmPackets   *telemetry.Counter
+	tmMalformed *telemetry.Counter
+	tmUnmatched *telemetry.Counter
+	tmDropped   *telemetry.Counter
 }
 
-func newCounters(workers int) *counters {
-	return &counters{start: time.Now(), depths: make([]atomic.Int64, workers)}
+func newCounters(workers int, reg *telemetry.Registry) *counters {
+	c := &counters{start: time.Now(), depths: make([]atomic.Int64, workers)}
+	c.tmPackets = reg.Counter(MetricPackets)
+	c.tmMalformed = reg.Counter(MetricMalformed)
+	c.tmUnmatched = reg.Counter(MetricUnmatched)
+	c.tmDropped = reg.Counter(MetricDropped)
+	if reg != nil {
+		depths := c.depths
+		reg.GaugeFunc(MetricQueueDepth, func() int64 {
+			var sum int64
+			for i := range depths {
+				sum += depths[i].Load()
+			}
+			return sum
+		})
+		for i := range depths {
+			d := &depths[i]
+			reg.GaugeFunc(shardLabel(MetricQueueDepth, i), d.Load)
+		}
+	}
+	return c
 }
 
 func (c *counters) snapshot(workers, files int) Stats {

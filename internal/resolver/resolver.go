@@ -22,6 +22,7 @@ import (
 
 	"dnscentral/internal/authserver"
 	"dnscentral/internal/dnswire"
+	"dnscentral/internal/telemetry"
 )
 
 // Family selects the IP family of an upstream exchange.
@@ -103,6 +104,39 @@ type Config struct {
 	Now func() time.Time
 	// Seed makes the resolver's random decisions reproducible.
 	Seed int64
+	// Telemetry, when set, publishes live retry/fallback/RTT metrics on
+	// the registry (resolver_* series). Nil — the default — makes every
+	// instrumentation site a no-op.
+	Telemetry *telemetry.Registry
+}
+
+// resolverMetrics is the live telemetry mirror of Stats. All fields are
+// nil when Config.Telemetry is unset, so the increments below cost one
+// branch each.
+type resolverMetrics struct {
+	sent            *telemetry.Counter
+	cacheHits       *telemetry.Counter
+	retries         *telemetry.Counter
+	rtoEscalations  *telemetry.Counter
+	servfailRetries *telemetry.Counter
+	tcpFallbacks    *telemetry.Counter
+	attemptErrors   *telemetry.Counter
+	failedExchanges *telemetry.Counter
+	rtt             *telemetry.Histogram
+}
+
+func newResolverMetrics(reg *telemetry.Registry) resolverMetrics {
+	return resolverMetrics{
+		sent:            reg.Counter("resolver_queries_sent_total"),
+		cacheHits:       reg.Counter("resolver_cache_hits_total"),
+		retries:         reg.Counter("resolver_retries_total"),
+		rtoEscalations:  reg.Counter("resolver_rto_escalations_total"),
+		servfailRetries: reg.Counter("resolver_servfail_retries_total"),
+		tcpFallbacks:    reg.Counter("resolver_tcp_fallbacks_total"),
+		attemptErrors:   reg.Counter("resolver_attempt_errors_total"),
+		failedExchanges: reg.Counter("resolver_failed_exchanges_total"),
+		rtt:             reg.Histogram("resolver_rtt_seconds"),
+	}
 }
 
 // Stats counts queries actually sent to the authoritative server, broken
@@ -193,6 +227,7 @@ type Resolver struct {
 	rng          *rand.Rand
 	nextID       uint16
 	stats        Stats
+	tm           resolverMetrics
 }
 
 // New builds a resolver for the zone rooted at origin.
@@ -216,6 +251,7 @@ func New(origin string, cfg Config) *Resolver {
 		rtt:       make(map[Family]rttEstimate),
 		cache:     make(map[cacheKey]cacheEntry),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		tm:        newResolverMetrics(cfg.Telemetry),
 	}
 }
 
@@ -326,6 +362,7 @@ func (r *Resolver) exchange(name string, typ dnswire.Type) (*dnswire.Message, in
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			r.count(func(s *Stats) { s.Retries++ })
+			r.tm.retries.Inc()
 			r.backoff(attempt)
 		}
 		var resp *dnswire.Message
@@ -338,8 +375,10 @@ func (r *Resolver) exchange(name string, typ dnswire.Type) (*dnswire.Message, in
 		if errors.Is(err, errServfailAnswer) {
 			lastServfail = resp
 			r.count(func(s *Stats) { s.ServfailRetries++ })
+			r.tm.servfailRetries.Inc()
 		} else {
 			r.count(func(s *Stats) { s.AttemptErrors++ })
+			r.tm.attemptErrors.Inc()
 		}
 		if errors.Is(err, ErrNoUpstream) {
 			break // nothing to fail over to
@@ -351,6 +390,7 @@ func (r *Resolver) exchange(name string, typ dnswire.Type) (*dnswire.Message, in
 		return lastServfail, sent, nil
 	}
 	r.count(func(s *Stats) { s.FailedExchanges++ })
+	r.tm.failedExchanges.Inc()
 	return nil, sent, err
 }
 
@@ -384,6 +424,11 @@ func (r *Resolver) attemptTimeout(fam Family, attempt int) time.Duration {
 	r.mu.Unlock()
 	if rto > base {
 		base = rto
+	}
+	if attempt > 0 {
+		// Each retry doubles the working deadline — the RTO escalation
+		// the paper's junk-traffic inflation partly comes from.
+		r.tm.rtoEscalations.Inc()
 	}
 	const maxTimeout = 8 * time.Second
 	d := base << attempt
@@ -439,6 +484,7 @@ func (r *Resolver) exchangeOnce(name string, typ dnswire.Type, attempt int) (*dn
 		r.stats.Truncated++
 		r.stats.TCPRetries++
 		r.mu.Unlock()
+		r.tm.tcpFallbacks.Inc()
 		resp, rtt, err = r.send(t, q, true, timeout)
 		sent++
 		r.note(fam, true, typ, rtt, err == nil)
@@ -491,6 +537,10 @@ func (r *Resolver) learnCookie(resp *dnswire.Message) {
 
 // note updates stats and the RTT estimator.
 func (r *Resolver) note(f Family, tcp bool, typ dnswire.Type, rtt time.Duration, ok bool) {
+	r.tm.sent.Inc()
+	if ok && rtt > 0 {
+		r.tm.rtt.Observe(rtt)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Sent++
@@ -625,6 +675,7 @@ func (r *Resolver) Resolve(qname string, qtype dnswire.Type) (*Result, error) {
 
 	// Cache: any cached covering delegation means no query is sent.
 	if e, ok := r.coveringDelegation(qname); ok {
+		r.tm.cacheHits.Inc()
 		r.mu.Lock()
 		r.stats.CacheHits++
 		r.mu.Unlock()
@@ -635,6 +686,7 @@ func (r *Resolver) Resolve(qname string, qtype dnswire.Type) (*Result, error) {
 	}
 	// Cached negative answer?
 	if e, ok := r.cacheGet(qname, qtype); ok && e.rcode == dnswire.RCodeNXDomain {
+		r.tm.cacheHits.Inc()
 		r.mu.Lock()
 		r.stats.CacheHits++
 		r.mu.Unlock()
@@ -645,6 +697,7 @@ func (r *Resolver) Resolve(qname string, qtype dnswire.Type) (*Result, error) {
 	// RFC 8198: a cached validated NSEC range covering qname lets us
 	// synthesize NXDOMAIN without asking the authoritative server at all.
 	if r.cfg.AggressiveNSEC && r.coveredByNSEC(qname) {
+		r.tm.cacheHits.Inc()
 		r.mu.Lock()
 		r.stats.CacheHits++
 		r.stats.AggressiveHits++

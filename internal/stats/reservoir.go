@@ -58,6 +58,25 @@ func reservoirValue(i int32) time.Duration {
 	return time.Duration(lo * math.Sqrt(reservoirGamma))
 }
 
+// DurationBucket maps d to its log-bucket index — the same bucketing the
+// reservoir itself uses, exported so other fixed-memory duration sketches
+// (internal/telemetry histograms) share one bucket geometry and their
+// quantiles stay comparable with reservoir medians.
+func DurationBucket(d time.Duration) int32 { return reservoirBucket(d) }
+
+// DurationBucketValue returns the representative duration of bucket i.
+func DurationBucketValue(i int32) time.Duration { return reservoirValue(i) }
+
+// DurationBucketUpper returns the exclusive upper bound of bucket i,
+// usable as a Prometheus histogram `le` boundary.
+func DurationBucketUpper(i int32) time.Duration {
+	return time.Duration(float64(reservoirMin) * math.Pow(reservoirGamma, float64(i+1)))
+}
+
+// NumDurationBuckets is the size of the bucket index space: every
+// DurationBucket result is in [0, NumDurationBuckets).
+func NumDurationBuckets() int { return int(reservoirBucket(reservoirMax)) + 1 }
+
 // Observe adds one sample.
 func (r *DurationReservoir) Observe(d time.Duration) {
 	if r.counts == nil {

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledCounter pins the telemetry-off contract the hot paths
+// rely on: a nil counter costs one branch and zero allocations.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var reg *Registry
+	c := reg.Counter("off_total")
+	cell := c.Shard(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		cell.Inc()
+	}
+}
+
+// BenchmarkDisabledHistogram pins the same for Observe.
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var reg *Registry
+	h := reg.Histogram("off_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Millisecond)
+	}
+}
+
+// BenchmarkEnabledCounterShard measures the live per-worker cell path
+// (one uncontended atomic add).
+func BenchmarkEnabledCounterShard(b *testing.B) {
+	reg := New()
+	cell := reg.Counter("on_total").Shard(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cell.Inc()
+	}
+}
+
+// BenchmarkEnabledCounterParallel measures sharded cells under real
+// parallelism: each goroutine on its own padded cell.
+func BenchmarkEnabledCounterParallel(b *testing.B) {
+	reg := New()
+	c := reg.Counter("par_total")
+	var next atomic.Int32
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		cell := c.Shard(int(next.Add(1)))
+		for pb.Next() {
+			cell.Inc()
+		}
+	})
+}
+
+// BenchmarkEnabledHistogram measures a live Observe.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	reg := New()
+	h := reg.Histogram("on_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

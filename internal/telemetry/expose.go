@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"dnscentral/internal/stats"
+)
+
+// baseName strips a {label="value"} suffix: the Prometheus # TYPE line
+// names the metric family, not the individual series.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by name so the output is
+// deterministic and diffable. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters)+len(r.counterFns))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	for name, f := range r.counterFns {
+		counters[name] = f()
+	}
+	gauges := make(map[string]int64, len(r.gauges)+len(r.gaugeFns))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	for name, f := range r.gaugeFns {
+		gauges[name] = f()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	var lastType string // "family typ" of the preceding sample
+	emitType := func(name, typ string) error {
+		key := baseName(name) + " " + typ
+		if key == lastType {
+			return nil // one TYPE line per family, series stay adjacent
+		}
+		lastType = key
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", baseName(name), typ)
+		return err
+	}
+
+	for _, name := range sortedKeys(counters) {
+		if err := emitType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if err := emitType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		if err := emitType(name, "histogram"); err != nil {
+			return err
+		}
+		if err := writePrometheusHistogram(w, name, hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram emits the cumulative _bucket/_sum/_count
+// triplet. Only occupied buckets get a line (the log-bucket space is
+// ~1800 wide and almost entirely empty); boundaries are the shared
+// reservoir geometry's upper bounds in seconds.
+func writePrometheusHistogram(w io.Writer, name string, h *Histogram) error {
+	base := baseName(name)
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := stats.DurationBucketUpper(int32(i)).Seconds()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, formatFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", base, formatFloat(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count())
+	return err
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry as a flat expvar-style JSON object:
+// counters and gauges as numbers, histograms as {count, sum_seconds}
+// sub-objects. Keys are sorted (encoding/json sorts map keys). A nil
+// registry writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.counters {
+			out[name] = c.Value()
+		}
+		for name, f := range r.counterFns {
+			out[name] = f()
+		}
+		for name, g := range r.gauges {
+			out[name] = g.Value()
+		}
+		for name, f := range r.gaugeFns {
+			out[name] = f()
+		}
+		for name, h := range r.hists {
+			out[name] = map[string]any{
+				"count":       h.Count(),
+				"sum_seconds": h.Sum().Seconds(),
+			}
+		}
+		r.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  expvar-style JSON
+//	/debug/vars    alias of /metrics.json (expvar's conventional path)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	serveJSON := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	}
+	mux.HandleFunc("/metrics.json", serveJSON)
+	mux.HandleFunc("/debug/vars", serveJSON)
+	return mux
+}
+
+// MetricsServer is a live metrics HTTP endpoint; Close unbinds it.
+type MetricsServer struct {
+	ln     net.Listener
+	srv    *http.Server
+	closed atomic.Bool
+}
+
+// Serve binds the registry's Handler to addr (e.g. "127.0.0.1:9153";
+// port 0 picks an ephemeral port, reported by Addr) and serves it on a
+// background goroutine until Close.
+func Serve(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listen: %w", err)
+	}
+	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	go func() {
+		if err := ms.srv.Serve(ln); err != nil && err != http.ErrServerClosed && !ms.closed.Load() {
+			// The endpoint is best-effort observability: losing it must
+			// never take the measurement down with it.
+			fmt.Printf("telemetry: metrics server: %v\n", err)
+		}
+	}()
+	return ms, nil
+}
+
+// Addr returns the bound address.
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving. Idempotent; a nil server is a no-op.
+func (s *MetricsServer) Close() error {
+	if s == nil || s.closed.Swap(true) {
+		return nil
+	}
+	return s.srv.Close()
+}

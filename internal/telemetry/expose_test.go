@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServe exercises the live HTTP surface end to end on an ephemeral
+// port: Prometheus on /metrics, JSON on /metrics.json and /debug/vars.
+func TestServe(t *testing.T) {
+	reg := New()
+	reg.Counter("demo_total").Add(7)
+	ms, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ms.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "demo_total 7") || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics = %q (%s)", body, ctype)
+	}
+	reg.Counter("demo_total").Add(1)
+	body, _ = get("/metrics")
+	if !strings.Contains(body, "demo_total 8") {
+		t.Fatalf("/metrics is not live: %q", body)
+	}
+	for _, path := range []string{"/metrics.json", "/debug/vars"} {
+		body, ctype = get(path)
+		if !strings.Contains(body, `"demo_total": 8`) || !strings.Contains(ctype, "application/json") {
+			t.Fatalf("%s = %q (%s)", path, body, ctype)
+		}
+	}
+
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("endpoint still serving after Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Flags is the shared CLI surface of the telemetry layer: every
+// instrumented command registers the same two flags and hands the
+// resulting registry (nil when both are off, so instrumentation stays
+// free) to its subsystems.
+type Flags struct {
+	// MetricsAddr, when non-empty, serves /metrics (Prometheus text),
+	// /metrics.json and /debug/vars (expvar-style JSON) on this address.
+	MetricsAddr string
+	// ProgressInterval, when positive, prints a one-line telemetry
+	// snapshot to stderr at this interval, plus a final line at Stop.
+	ProgressInterval time.Duration
+
+	reg *Registry
+}
+
+// RegisterFlags installs -metrics-addr and -progress-interval on fs.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
+		"serve live metrics on this address: /metrics (Prometheus) and /metrics.json (empty = off)")
+	fs.DurationVar(&f.ProgressInterval, "progress-interval", 0,
+		"print a one-line telemetry snapshot to stderr at this interval, e.g. 2s (0 = off)")
+	return f
+}
+
+// Enabled reports whether any telemetry output was requested.
+func (f *Flags) Enabled() bool {
+	return f.MetricsAddr != "" || f.ProgressInterval > 0
+}
+
+// Registry returns the registry backing the flags: nil (the no-op
+// default) when telemetry is off, one shared live registry otherwise.
+func (f *Flags) Registry() *Registry {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.reg == nil {
+		f.reg = New()
+	}
+	return f.reg
+}
+
+// Start brings the requested outputs up: the HTTP endpoint (its bound
+// address is logged to stderr, so tests and operators find ephemeral
+// ports) and the progress ticker. snapshot writes one status line — no
+// trailing newline — and may be nil when the command has no line format.
+// The returned stop function is idempotent, closes the endpoint, and
+// emits one final snapshot line so short runs still show their totals.
+func (f *Flags) Start(snapshot func(w io.Writer)) (stop func(), err error) {
+	var ms *MetricsServer
+	if f.MetricsAddr != "" {
+		ms, err = Serve(f.MetricsAddr, f.Registry())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on %s\n", ms.Addr())
+	}
+	done := make(chan struct{})
+	var tickWG sync.WaitGroup
+	line := func() {
+		if snapshot == nil {
+			return
+		}
+		snapshot(os.Stderr)
+		fmt.Fprintln(os.Stderr)
+	}
+	if f.ProgressInterval > 0 && snapshot != nil {
+		tickWG.Add(1)
+		go func() {
+			defer tickWG.Done()
+			t := time.NewTicker(f.ProgressInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					line()
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			tickWG.Wait()
+			if f.ProgressInterval > 0 {
+				line()
+			}
+			_ = ms.Close()
+		})
+	}, nil
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines through
+// both the anonymous Add path and per-worker Shard cells; the summed
+// value must be exact. Run under -race in CI.
+func TestCounterConcurrent(t *testing.T) {
+	reg := New()
+	c := reg.Counter("test_total")
+	const workers, per = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cell := c.Shard(w)
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					cell.Inc()
+				} else {
+					c.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value() = %d, want %d", got, workers*per)
+	}
+	if again := reg.Counter("test_total"); again != c {
+		t.Fatalf("Counter() is not idempotent: %p != %p", again, c)
+	}
+}
+
+func TestGaugeAndHistogramConcurrent(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("depth")
+	h := reg.Histogram("rtt_seconds")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestNilRegistryNoop pins the no-op default: a nil registry hands out
+// nil metrics, every operation is safe, and — the contract instrumented
+// hot paths rely on — none of it allocates.
+func TestNilRegistryNoop(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x_seconds")
+	cell := c.Shard(3)
+	if c != nil || g != nil || h != nil || cell != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	reg.CounterFunc("f_total", func() uint64 { return 1 })
+	reg.GaugeFunc("f", func() int64 { return 1 })
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Inc()
+		cell.Add(7)
+		g.Set(4)
+		g.Add(-1)
+		h.Observe(time.Millisecond)
+		_ = c.Value()
+		_ = g.Value()
+		_ = h.Count()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates: %v allocs/op", allocs)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WritePrometheus: %q, %v", sb.String(), err)
+	}
+	sb.Reset()
+	if err := reg.WriteJSON(&sb); err != nil || strings.TrimSpace(sb.String()) != "{}" {
+		t.Fatalf("nil WriteJSON: %q, %v", sb.String(), err)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// sorted families, one TYPE line per family, labeled series adjacent,
+// histograms as cumulative occupied buckets + +Inf/_sum/_count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("pipeline_packets_total").Add(1234)
+	reg.Counter(`pipeline_shard_packets_total{shard="0"}`).Add(600)
+	reg.Counter(`pipeline_shard_packets_total{shard="1"}`).Add(634)
+	reg.CounterFunc("authserver_queries_total", func() uint64 { return 42 })
+	reg.Gauge("pipeline_queue_depth").Set(3)
+	reg.GaugeFunc("authserver_active_tcp_conns", func() int64 { return 2 })
+	h := reg.Histogram("resolver_rtt_seconds")
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE authserver_queries_total counter
+authserver_queries_total 42
+# TYPE pipeline_packets_total counter
+pipeline_packets_total 1234
+# TYPE pipeline_shard_packets_total counter
+pipeline_shard_packets_total{shard="0"} 600
+pipeline_shard_packets_total{shard="1"} 634
+# TYPE authserver_active_tcp_conns gauge
+authserver_active_tcp_conns 2
+# TYPE pipeline_queue_depth gauge
+pipeline_queue_depth 3
+# TYPE resolver_rtt_seconds histogram
+resolver_rtt_seconds_bucket{le="0.001007754"} 2
+resolver_rtt_seconds_bucket{le="1.005514144"} 3
+resolver_rtt_seconds_bucket{le="+Inf"} 3
+resolver_rtt_seconds_sum 1.002
+resolver_rtt_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := New()
+	reg.Counter("workload_events_total").Add(99)
+	reg.Gauge("depth").Set(-2)
+	reg.Histogram("rtt_seconds").Observe(2 * time.Second)
+
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"workload_events_total": 99`,
+		`"depth": -2`,
+		`"count": 1`,
+		`"sum_seconds": 2`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+}

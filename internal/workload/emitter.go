@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnscentral/internal/astrie"
@@ -52,9 +53,15 @@ type block struct {
 	arena []byte
 }
 
-var blockPool = sync.Pool{New: func() any { return new(block) }}
+// poolGets and poolMisses track the block pool's recycling hit rate for
+// telemetry: a miss is a Get the pool had to satisfy with a fresh block
+// (whose arena then grows from nil). Bumped once per 512-event block.
+var poolGets, poolMisses atomic.Uint64
+
+var blockPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(block) }}
 
 func newBlock(first int) *block {
+	poolGets.Add(1)
 	b := blockPool.Get().(*block)
 	b.first = first
 	b.pkts = b.pkts[:0]
@@ -197,6 +204,8 @@ func (em *emitter) genBlock(first int) (*block, error) {
 		}
 	}
 	em.blk = nil
+	em.g.tmEvents.Add(uint64(end - first))
+	em.g.tmPackets.Add(uint64(len(blk.pkts)))
 	slices.SortFunc(blk.pkts, func(a, b pktRef) int {
 		if a.less(b) {
 			return -1

@@ -12,6 +12,7 @@ import (
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/rdns"
 	"dnscentral/internal/stats"
+	"dnscentral/internal/telemetry"
 	"dnscentral/internal/zonedb"
 )
 
@@ -58,6 +59,10 @@ type Config struct {
 	// order, so the output is byte-identical for any worker count.
 	// 0 or 1 generate on a single shard.
 	Workers int
+	// Telemetry, when set, publishes live generation metrics (events and
+	// packets emitted, block-pool hit rate) on the registry. The trace
+	// bytes are unaffected: telemetry reads counters, never randomness.
+	Telemetry *telemetry.Registry
 }
 
 // WeekStart returns the capture start of each vantage/week (Table 2 and
@@ -138,6 +143,11 @@ type Generator struct {
 	longTail *longTailPool
 	pickProv *stats.WeightedChoice
 	provIdx  []astrie.Provider // index space of pickProv: providers + Other last
+
+	// Telemetry mirrors (nil ⇒ no-ops), fed once per generated block so
+	// the per-event emit path stays zero-cost.
+	tmEvents  *telemetry.Counter
+	tmPackets *telemetry.Counter
 }
 
 // NewGenerator builds all state for one trace configuration.
@@ -216,6 +226,15 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	g.pickProv, err = stats.NewWeightedChoice(weights)
 	if err != nil {
 		return nil, err
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		g.tmEvents = reg.Counter("workload_events_total")
+		g.tmPackets = reg.Counter("workload_packets_total")
+		// The block pool is package-wide; expose its cumulative gets and
+		// misses so the arena-recycling hit rate (1 - misses/gets) is
+		// readable live.
+		reg.CounterFunc("workload_block_pool_gets_total", poolGets.Load)
+		reg.CounterFunc("workload_block_pool_misses_total", poolMisses.Load)
 	}
 	return g, nil
 }
