@@ -19,6 +19,7 @@ import (
 
 	"dnscentral/internal/authserver"
 	"dnscentral/internal/faults"
+	"dnscentral/internal/profiling"
 	"dnscentral/internal/telemetry"
 	"dnscentral/internal/zonedb"
 )
@@ -45,7 +46,13 @@ func main() {
 		cseed   = flag.Int64("chaos-seed", 1, "impairment proxy: fault seed")
 	)
 	tm := telemetry.RegisterFlags(flag.CommandLine)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	var (
 		zone *zonedb.Zone
@@ -125,6 +132,7 @@ func main() {
 		_ = proxy.Close()
 	}
 	_ = srv.Close()
+	prof.Stop()
 }
 
 func fatal(err error) {

@@ -1,0 +1,154 @@
+// Command recursor runs the caching recursive-resolver tier over real
+// UDP and TCP sockets: stub queries in, a sharded TTL cache in the
+// middle, EWMA/P2C-selected authoritative upstreams behind it.
+//
+// On shutdown (SIGINT/SIGTERM) it prints the centralization-through-
+// the-cache report: per-provider shares of the upstream traffic it
+// emitted next to shares of the stub traffic it absorbed — the paper's
+// authoritative vantage versus the client vantage, with the cache tier
+// in between.
+//
+// Usage:
+//
+//	authserver -zone nl -listen 127.0.0.1:5300 &
+//	authserver -zone nl -listen 127.0.0.1:5301 &
+//	recursor -listen 127.0.0.1:5353 -zone nl \
+//	    -upstreams cloudA=127.0.0.1:5300,cloudB=127.0.0.1:5301
+//	dig @127.0.0.1 -p 5353 www.d42.nl A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dnscentral/internal/profiling"
+	"dnscentral/internal/recursor"
+	"dnscentral/internal/resolver"
+	"dnscentral/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:5353", "UDP+TCP listen address for stubs")
+		upstreams = flag.String("upstreams", "local=127.0.0.1:5300", "comma-separated name=addr upstream list; shared names aggregate as one provider")
+		zone      = flag.String("zone", "nl", "zone origin the upstreams are authoritative for")
+
+		entries    = flag.Int("cache-entries", 1<<16, "answer cache bound (entries)")
+		shards     = flag.Int("cache-shards", 16, "cache lock shards (rounded up to a power of two)")
+		minTTL     = flag.Duration("min-ttl", time.Second, "floor on cached answer lifetimes")
+		maxTTL     = flag.Duration("max-ttl", time.Hour, "cap on cached answer lifetimes")
+		aggressive = flag.Bool("aggressive", false, "RFC 8198 aggressive NSEC negative caching")
+
+		edns    = flag.Uint("edns", 1232, "EDNS(0) size advertised upstream (0 = no EDNS)")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-upstream exchange timeout")
+		hedge   = flag.Duration("hedge-delay", 0, "race a second upstream after this delay (0 = off)")
+		seed    = flag.Int64("seed", 1, "P2C tie-break seed")
+
+		workers = flag.Int("udp-workers", 0, "UDP serving goroutines (0 = GOMAXPROCS, capped at 8)")
+		idle    = flag.Duration("tcp-idle", 10*time.Second, "stub TCP idle timeout")
+		maxTCP  = flag.Int("max-tcp", 128, "max concurrent stub TCP connections (<0 = unlimited)")
+		verbose = flag.Bool("v", false, "log per-error diagnostics")
+	)
+	tm := telemetry.RegisterFlags(flag.CommandLine)
+	prof := profiling.Register(flag.CommandLine)
+	flag.Parse()
+
+	pool, err := parseUpstreams(*upstreams, *timeout, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
+
+	reg := tm.Registry()
+	origin := strings.TrimSuffix(*zone, ".") + "."
+	rec := recursor.New(recursor.Config{
+		Origin:          origin,
+		CacheEntries:    *entries,
+		CacheShards:     *shards,
+		EDNSSize:        uint16(*edns),
+		UpstreamTimeout: *timeout,
+		HedgeDelay:      *hedge,
+		MinTTL:          *minTTL,
+		MaxTTL:          *maxTTL,
+		AggressiveNSEC:  *aggressive,
+		Seed:            *seed,
+		Telemetry:       reg,
+	}, pool)
+
+	srv, err := recursor.Serve(*listen, rec, recursor.ServerConfig{
+		UDPWorkers:     *workers,
+		TCPIdleTimeout: *idle,
+		MaxTCPConns:    *maxTCP,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "recursor: "+format+"\n", args...)
+		}
+	}
+	stopTm, err := tm.Start(func(w io.Writer) {
+		rep := rec.Report()
+		fmt.Fprintf(w, "recursor: %d stub queries, %.1f%% hit rate, %d hedges",
+			rep.StubQueries, 100*rep.HitRate(), rep.Hedges)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTm()
+	fmt.Printf("recursor: serving %s stubs on %s (UDP+TCP), %d upstream(s), cache %d entries\n",
+		origin, srv.Addr(), pool.Len(), *entries)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println()
+	fmt.Print(rec.Report().Format())
+	_ = srv.Close()
+	prof.Stop()
+}
+
+// parseUpstreams turns "cloudA=127.0.0.1:5300,cloudB=..." into a pool.
+// The name is the provider label the centralization report groups by; a
+// bare "addr" uses the address itself as the label.
+func parseUpstreams(spec string, timeout time.Duration, seed int64) (*recursor.Pool, error) {
+	var ups []*recursor.Upstream
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr := part, part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			name, addr = part[:i], part[i+1:]
+		}
+		ap, err := netip.ParseAddrPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("upstream %q: %w", part, err)
+		}
+		ups = append(ups, &recursor.Upstream{
+			Name:      name,
+			Transport: &resolver.NetTransport{Server: ap, Timeout: timeout},
+		})
+	}
+	if len(ups) == 0 {
+		return nil, fmt.Errorf("no upstreams in %q", spec)
+	}
+	return recursor.NewPool(seed, ups...), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recursor:", err)
+	os.Exit(1)
+}

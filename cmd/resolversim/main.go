@@ -11,11 +11,17 @@
 // counters, so two runs with the same -chaos-seed and impairment config
 // emit identical report bytes.
 //
+// The -stub flag switches to stub-load mode: instead of acting as a
+// recursive resolver, it plays a population of simple stub clients
+// firing Zipf-ranked queries at -server (typically cmd/recursor) — the
+// workload that exercises a cache tier's hit rate.
+//
 // Usage:
 //
 //	authserver -zone nl -listen 127.0.0.1:5300 &
 //	resolversim -server 127.0.0.1:5300 -zone nl -qmin -validate -n 500
 //	resolversim -server 127.0.0.1:5300 -zone nl -n 500 -loss 0.2 -chaos-seed 7
+//	resolversim -server 127.0.0.1:5353 -zone nl -stub -n 20000 -stub-names 1000
 package main
 
 import (
@@ -31,8 +37,10 @@ import (
 
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/faults"
+	"dnscentral/internal/profiling"
 	"dnscentral/internal/resolver"
 	"dnscentral/internal/telemetry"
+	"dnscentral/internal/workload"
 )
 
 func main() {
@@ -62,13 +70,44 @@ func main() {
 		bLen      = flag.Int("brownout-len", 0, "brownout window length in exchanges")
 		bMode     = flag.String("brownout-mode", "drop", "brownout behavior: drop|servfail")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault injection seed (same seed = same faults)")
+
+		stub      = flag.Bool("stub", false, "stub-load mode: fire raw Zipf-ranked queries at -server (a recursor) instead of resolving")
+		stubNames = flag.Int("stub-names", 1000, "stub mode: popularity-ranked name universe size")
+		stubSkew  = flag.Float64("stub-skew", 1.0, "stub mode: Zipf skew exponent")
+		stubW     = flag.Int("stub-workers", 4, "stub mode: concurrent stub clients")
 	)
 	tm := telemetry.RegisterFlags(flag.CommandLine)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	addr, err := netip.ParseAddrPort(*server)
 	if err != nil {
 		fatal(err)
+	}
+	if *stub {
+		st, err := workload.StubLoad(workload.StubLoadConfig{
+			Target:   addr.String(),
+			Zone:     *zone,
+			Names:    *stubNames,
+			Queries:  *n,
+			Skew:     *stubSkew,
+			Workers:  *stubW,
+			EDNSSize: uint16(*edns),
+			Timeout:  *timeout,
+			Seed:     *seed,
+		})
+		if err != nil {
+			prof.Stop()
+			fatal(err)
+		}
+		fmt.Println(st.Format())
+		prof.Stop()
+		return
 	}
 	mode, err := faults.ParseBrownoutMode(*bMode)
 	if err != nil {

@@ -178,6 +178,20 @@ func (v *View) Question(buf []byte) ([]byte, Type, Class, error) {
 		nil
 }
 
+// QuestionEnd returns the offset just past the first question — the
+// header-plus-question prefix length. The recursor tier uses it to clip
+// a response at the question boundary when forcing TC=1 for clients
+// whose EDNS budget the cached answer exceeds.
+func (v *View) QuestionEnd() (int, error) {
+	if err := v.walk(); err != nil {
+		return 0, err
+	}
+	if v.qFixed == 0 {
+		return 0, ErrNoQuestion
+	}
+	return v.qFixed + 4, nil
+}
+
 // EDNS reports whether the additional section carries an OPT record and,
 // if so, its fixed fields. When several OPTs are present the last one
 // wins, matching Unpack's m.Edns behavior.

@@ -128,3 +128,47 @@ func TestRDataBoundsRegression(t *testing.T) {
 		}
 	}
 }
+
+// TestViewQuestionEnd pins the question-boundary offset the recursor's
+// truncation path clips at: header + qname wire form + qtype + qclass.
+func TestViewQuestionEnd(t *testing.T) {
+	q := NewQuery(1, "www.d5.nl.", TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	if err := v.Reset(wire); err != nil {
+		t.Fatal(err)
+	}
+	end, err := v.QuestionEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3www 2d5 2nl root = 11 name bytes, +4 fixed, +12 header.
+	if want := HeaderLen + 11 + 4; end != want {
+		t.Fatalf("QuestionEnd = %d, want %d", end, want)
+	}
+	// The prefix up to QuestionEnd must itself be a well-formed
+	// zero-record message once the counts say so.
+	if end > len(wire) {
+		t.Fatalf("QuestionEnd %d beyond message length %d", end, len(wire))
+	}
+
+	// With EDNS the OPT sits after the question: same boundary.
+	q.WithEdns(1232, true)
+	wire, err = q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Reset(wire); err != nil {
+		t.Fatal(err)
+	}
+	end2, err := v.QuestionEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end2 != end {
+		t.Fatalf("QuestionEnd with OPT = %d, want %d", end2, end)
+	}
+}

@@ -1,0 +1,89 @@
+package recursor
+
+import (
+	"testing"
+
+	"dnscentral/internal/dnswire"
+)
+
+// benchRecursor primes one hot entry and returns everything the hit
+// path needs.
+func benchRecursor(tb testing.TB) (*Recursor, []byte, []byte, *Scratch) {
+	tb.Helper()
+	f := newFixture(tb)
+	r := f.recursor(Config{})
+	q := query(tb, 0x1234, "www.d5.nl.", dnswire.TypeA, 1232, false)
+	sc := NewScratch()
+	if r.HandleWire(q, nil, false, sc) == nil {
+		tb.Fatal("prime query dropped")
+	}
+	out := make([]byte, 0, 1<<16)
+	return r, q, out, sc
+}
+
+// TestHitPathZeroAllocs pins the acceptance criterion: a cache hit runs
+// socket-buffer to socket-buffer without allocating.
+func TestHitPathZeroAllocs(t *testing.T) {
+	r, q, out, sc := benchRecursor(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		if r.HandleWire(q, out[:0], false, sc) == nil {
+			t.Fatal("hit dropped")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hit path allocates %v per query, want 0", allocs)
+	}
+}
+
+// BenchmarkRecursorHitPath measures the full wire-in/wire-out cache hit:
+// parse, key, lookup, copy, patch.
+func BenchmarkRecursorHitPath(b *testing.B) {
+	r, q, out, sc := benchRecursor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.HandleWire(q, out[:0], false, sc) == nil {
+			b.Fatal("hit dropped")
+		}
+	}
+}
+
+// BenchmarkRecursorHitPathParallel stresses the shard locks from many
+// serving goroutines, each with its own scratch (the server's shape).
+func BenchmarkRecursorHitPathParallel(b *testing.B) {
+	r, q, _, _ := benchRecursor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sc := NewScratch()
+		out := make([]byte, 0, 1<<16)
+		for pb.Next() {
+			if r.HandleWire(q, out[:0], false, sc) == nil {
+				b.Fatal("hit dropped")
+			}
+		}
+	})
+}
+
+// BenchmarkCacheKeyAndLookup isolates the key-build + shard lookup step.
+func BenchmarkCacheKeyAndLookup(b *testing.B) {
+	r, q, _, sc := benchRecursor(b)
+	var v dnswire.View
+	if err := v.Reset(q); err != nil {
+		b.Fatal(err)
+	}
+	name, qtype, _, err := v.Question(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := AppendKey(nil, name, qtype, false)
+	c := r.Cache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.key = AppendKey(sc.key[:0], name, qtype, false)
+		if c.Get(key) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

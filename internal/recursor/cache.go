@@ -1,0 +1,304 @@
+// Package recursor is the caching recursive-resolver tier: a front-line
+// server that answers stub queries from a sharded TTL cache and fills
+// misses from a pool of authoritative upstreams picked by EWMA-RTT
+// power-of-two-choices, with hedged racing for tail-latency control.
+//
+// The paper measures DNS centralization *at authoritative servers*; every
+// real query first crosses a recursive caching tier exactly like this
+// one, and caching plus resolver choice are the levers that amplify or
+// dampen the provider concentration the paper quantifies. The recursor
+// makes that directly measurable: it reports provider shares of the
+// upstream traffic it emits next to provider shares of the stub traffic
+// it absorbs, quantifying how much the cache tier masks — or
+// concentrates — what the authoritative vantage sees.
+package recursor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscentral/internal/dnswire"
+)
+
+// Entry is one cached answer. All fields are immutable after insertion,
+// so a pointer handed out under the shard lock stays safe to read after
+// the lock is released — even if the entry is concurrently evicted.
+type Entry struct {
+	// Wire is the response as the upstream answered it (OPT included
+	// when the upstream sent one), with the ID bytes zeroed; the serve
+	// path patches the stub's ID over them.
+	Wire []byte
+	// Plain is the OPT-stripped variant served to stubs that sent no
+	// EDNS themselves (echoing an OPT to a non-EDNS client violates
+	// RFC 6891). Aliases Wire when the upstream answered without OPT.
+	Plain []byte
+	// QEnd is the offset just past the question section — the clip
+	// point when a response must be truncated to a stub's UDP budget.
+	QEnd int
+	// RCode is the full (extended) response code.
+	RCode dnswire.RCode
+	// Upstream is the pool index of the server that filled the entry,
+	// attributing later cache hits to the provider that answered once.
+	Upstream int
+
+	expires time.Time
+	key     string
+	// Intrusive LRU links; most-recently-used entries sit at the head.
+	prev, next *Entry
+}
+
+// Cacheable reports whether the entry carries a future expiry; fills
+// that must not be cached (SERVFAIL answers) leave expires zero.
+func (e *Entry) Cacheable() bool { return !e.expires.IsZero() }
+
+// flight is one in-progress fill that concurrent misses for the same
+// key park on instead of issuing duplicate upstream queries.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// shard is one lock domain of the cache: a key→entry map, an intrusive
+// LRU list bounding it, and the in-flight fill registry.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*Entry
+	inflight map[string]*flight
+	head     *Entry // most recently used
+	tail     *Entry // eviction candidate
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits, Misses, Stale, Evictions uint64
+	// SingleflightShared counts misses answered by somebody else's
+	// in-flight fill instead of their own upstream query.
+	SingleflightShared uint64
+	Entries            int
+}
+
+// Cache is the sharded TTL answer cache: power-of-two shards selected by
+// an FNV-1a hash of the (qname, qtype, DO) key, per-shard locks, lazy
+// expiry on lookup, and a per-shard LRU bound so total memory stays
+// capped under adversarial (random-subdomain) workloads.
+type Cache struct {
+	shards      []shard
+	mask        uint32
+	maxPerShard int
+	now         func() time.Time
+
+	hits, misses, stale, evictions, sfShared atomic.Uint64
+}
+
+// NewCache builds a cache bounded at maxEntries spread over shards
+// (rounded up to a power of two; default 16 shards, 65536 entries).
+func NewCache(maxEntries, shards int, now func() time.Time) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	c := &Cache{
+		shards:      make([]shard, n),
+		mask:        uint32(n - 1),
+		maxPerShard: (maxEntries + n - 1) / n,
+		now:         now,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*Entry)
+		c.shards[i].inflight = make(map[string]*flight)
+	}
+	return c
+}
+
+// AppendKey builds the cache key for (qname, qtype, do) into dst: the
+// canonical qname bytes followed by the type and the DO bit. Reusing a
+// scratch buffer keeps the serve path allocation-free.
+func AppendKey(dst []byte, qname []byte, qtype dnswire.Type, do bool) []byte {
+	dst = append(dst, qname...)
+	d := byte(0)
+	if do {
+		d = 1
+	}
+	return append(dst, byte(qtype>>8), byte(qtype), d)
+}
+
+// shardFor hashes the key bytes (FNV-1a, folded) to a shard.
+func (c *Cache) shardFor(key []byte) *shard {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return &c.shards[uint32(h>>32^h)&c.mask]
+}
+
+// Get returns the live entry for key, nil on miss. Expired entries are
+// removed lazily and counted as stale; hits move to the LRU front. The
+// key is looked up without copying (map access through string(key)
+// compiles to a no-allocation lookup).
+func (c *Cache) Get(key []byte) *Entry {
+	now := c.now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e := s.lookup(c, key, now)
+	s.mu.Unlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// lookup is the locked lookup + lazy-expiry + LRU-touch step.
+func (s *shard) lookup(c *Cache, key []byte, now time.Time) *Entry {
+	e := s.entries[string(key)]
+	if e == nil {
+		return nil
+	}
+	if now.After(e.expires) {
+		s.remove(e)
+		c.stale.Add(1)
+		return nil
+	}
+	s.touch(e)
+	return e
+}
+
+// Do returns the entry for key, filling it at most once no matter how
+// many callers miss concurrently: the first runs fill, the rest park on
+// its flight and share the result. shared reports whether this caller
+// piggybacked. Entries whose Cacheable() is false are returned to every
+// parked caller but not inserted.
+func (c *Cache) Do(key []byte, fill func() (*Entry, error)) (e *Entry, shared bool, err error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	// Re-check under the lock: a racing fill may have landed since the
+	// caller's Get missed. (Not a counted hit — the caller's miss is
+	// already on the books; hits + misses stays equal to lookups.)
+	if e := s.lookup(c, key, c.now()); e != nil {
+		s.mu.Unlock()
+		return e, true, nil
+	}
+	if f, ok := s.inflight[string(key)]; ok {
+		s.mu.Unlock()
+		<-f.done
+		c.sfShared.Add(1)
+		return f.e, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	ks := string(key)
+	s.inflight[ks] = f
+	s.mu.Unlock()
+
+	e, err = fill()
+	f.e, f.err = e, err
+
+	s.mu.Lock()
+	delete(s.inflight, ks)
+	if err == nil && e != nil && e.Cacheable() {
+		e.key = ks
+		s.insert(c, e)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return e, false, err
+}
+
+// insert links a new entry at the LRU front, evicting the tail past the
+// per-shard bound. An existing entry under the same key (possible when a
+// fill races an eviction-refill cycle) is replaced.
+func (s *shard) insert(c *Cache, e *Entry) {
+	if old := s.entries[e.key]; old != nil {
+		s.remove(old)
+	}
+	s.entries[e.key] = e
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	if len(s.entries) > c.maxPerShard && s.tail != nil {
+		s.remove(s.tail)
+		c.evictions.Add(1)
+	}
+}
+
+// touch moves an entry to the LRU front.
+func (s *shard) touch(e *Entry) {
+	if s.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	// Relink at head.
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+}
+
+// remove unlinks an entry from the map and the LRU list.
+func (s *shard) remove(e *Entry) {
+	delete(s.entries, e.key)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.head == e {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Len returns the live entry count across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Stale:              c.stale.Load(),
+		Evictions:          c.evictions.Load(),
+		SingleflightShared: c.sfShared.Load(),
+		Entries:            c.Len(),
+	}
+}

@@ -1,0 +1,193 @@
+package recursor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnscentral/internal/dnswire"
+)
+
+// virtualClock steps time deterministically for TTL tests.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newClock() *virtualClock { return &virtualClock{now: time.Unix(1586000000, 0)} }
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testKey(name string) []byte {
+	return AppendKey(nil, []byte(name), dnswire.TypeA, false)
+}
+
+func mustFill(t *testing.T, c *Cache, key []byte, e *Entry) {
+	t.Helper()
+	if _, _, err := c.Do(key, func() (*Entry, error) { return e, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func entryExpiring(at time.Time) *Entry {
+	return &Entry{Wire: []byte{0, 0}, Plain: []byte{0, 0}, expires: at}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := newClock()
+	c := NewCache(64, 4, clk.Now)
+	key := testKey("www.d1.nl.")
+	mustFill(t, c, key, entryExpiring(clk.Now().Add(30*time.Second)))
+
+	if c.Get(key) == nil {
+		t.Fatal("fresh entry missed")
+	}
+	clk.Advance(29 * time.Second)
+	if c.Get(key) == nil {
+		t.Fatal("entry expired early")
+	}
+	clk.Advance(2 * time.Second)
+	if c.Get(key) != nil {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Stale != 1 {
+		t.Fatalf("stale = %d, want 1", st.Stale)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after lazy expiry, want 0", c.Len())
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	clk := newClock()
+	const max = 32
+	c := NewCache(max, 1, clk.Now) // one shard: the bound is exact
+	far := clk.Now().Add(time.Hour)
+	for i := 0; i < 3*max; i++ {
+		mustFill(t, c, testKey(fmt.Sprintf("www.d%d.nl.", i)), entryExpiring(far))
+	}
+	if n := c.Len(); n > max {
+		t.Fatalf("len = %d, want ≤ %d", n, max)
+	}
+	st := c.Stats()
+	if st.Evictions != 2*max {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 2*max)
+	}
+	// The most recently inserted keys must have survived.
+	for i := 2 * max; i < 3*max; i++ {
+		if c.Get(testKey(fmt.Sprintf("www.d%d.nl.", i))) == nil {
+			t.Fatalf("recently inserted d%d evicted", i)
+		}
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	clk := newClock()
+	c := NewCache(2, 1, clk.Now)
+	far := clk.Now().Add(time.Hour)
+	a, b, d := testKey("a.nl."), testKey("b.nl."), testKey("d.nl.")
+	mustFill(t, c, a, entryExpiring(far))
+	mustFill(t, c, b, entryExpiring(far))
+	if c.Get(a) == nil { // touch a: b becomes the eviction candidate
+		t.Fatal("a missing")
+	}
+	mustFill(t, c, d, entryExpiring(far))
+	if c.Get(a) == nil {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Get(b) != nil {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	clk := newClock()
+	c := NewCache(64, 4, clk.Now)
+	key := testKey("www.d1.nl.")
+
+	const n = 32
+	var fills atomic.Uint64
+	release := make(chan struct{})
+	ready := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready <- struct{}{}
+			e, _, err := c.Do(key, func() (*Entry, error) {
+				fills.Add(1)
+				<-release // hold the flight open until all callers queue
+				return entryExpiring(clk.Now().Add(time.Minute)), nil
+			})
+			if err != nil || e == nil {
+				t.Errorf("Do: e=%v err=%v", e, err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	// All n callers are at or past the Do entry; let the one fill finish.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fills = %d, want 1 (singleflight must collapse)", got)
+	}
+	st := c.Stats()
+	if st.SingleflightShared == 0 {
+		t.Fatal("no waiter recorded as singleflight-shared")
+	}
+	if st.SingleflightShared > n-1 {
+		t.Fatalf("shared = %d > %d", st.SingleflightShared, n-1)
+	}
+}
+
+func TestDoDoesNotCacheUncacheable(t *testing.T) {
+	clk := newClock()
+	c := NewCache(64, 4, clk.Now)
+	key := testKey("brownout.nl.")
+	e, _, err := c.Do(key, func() (*Entry, error) {
+		return &Entry{Wire: []byte{0, 0}}, nil // zero expiry: SERVFAIL-style
+	})
+	if err != nil || e == nil {
+		t.Fatalf("Do: %v %v", e, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("uncacheable entry was inserted")
+	}
+	if c.Get(key) != nil {
+		t.Fatal("uncacheable entry served from cache")
+	}
+}
+
+func TestDoPropagatesFillError(t *testing.T) {
+	clk := newClock()
+	c := NewCache(64, 4, clk.Now)
+	wantErr := fmt.Errorf("upstream dead")
+	_, _, err := c.Do(testKey("x.nl."), func() (*Entry, error) { return nil, wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed fill left an entry behind")
+	}
+}

@@ -1,0 +1,125 @@
+package recursor
+
+import (
+	"fmt"
+	"strings"
+
+	"dnscentral/internal/stats"
+)
+
+// ProviderShare is one provider's slice of both traffic planes.
+type ProviderShare struct {
+	Name string
+	// UpstreamQueries are wire exchanges this provider's authoritative
+	// servers actually received from the recursor (what the paper's
+	// vantage measures).
+	UpstreamQueries uint64
+	UpstreamShare   float64
+	// StubAnswers are stub queries whose answer this provider sourced,
+	// cache hits included (what end users actually experienced).
+	StubAnswers uint64
+	StubShare   float64
+}
+
+// Report quantifies centralization through the cache tier: the provider
+// share distribution of upstream traffic (the authoritative vantage the
+// paper measures) against the share distribution of stub answers (the
+// stub vantage the cache reshapes). A provider that answered a popular
+// name once can source a dominant stub share from cache while barely
+// appearing upstream — the masking effect the report's HHI pair makes
+// visible.
+type Report struct {
+	StubQueries    uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	AggressiveHits uint64
+	Stale          uint64
+	Evictions      uint64
+	Singleflight   uint64
+	Hedges         uint64
+	HedgeWins      uint64
+	Failovers      uint64
+	TCPFallbacks   uint64
+	Servfails      uint64
+
+	Providers            []ProviderShare
+	UpstreamHHI, StubHHI float64
+}
+
+// HitRate is cache hits over cache lookups (aggressive synthesis not
+// included: those queries never reached the answer cache).
+func (rep Report) HitRate() float64 {
+	total := rep.CacheHits + rep.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(rep.CacheHits) / float64(total)
+}
+
+// Report snapshots the counters into the centralization report,
+// aggregating upstreams that share a provider name.
+func (r *Recursor) Report() Report {
+	cs := r.cache.Stats()
+	rep := Report{
+		StubQueries:    r.stubQueries.Load(),
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		AggressiveHits: r.aggressiveHits.Load(),
+		Stale:          cs.Stale,
+		Evictions:      cs.Evictions,
+		Singleflight:   cs.SingleflightShared,
+		Hedges:         r.hedges.Load(),
+		HedgeWins:      r.hedgeWins.Load(),
+		Failovers:      r.failovers.Load(),
+		TCPFallbacks:   r.tcpFallbacks.Load(),
+		Servfails:      r.servfails.Load(),
+	}
+	upstream := make(map[string]uint64)
+	stub := make(map[string]uint64)
+	for i := 0; i < r.pool.Len(); i++ {
+		u := r.pool.Upstream(i)
+		upstream[u.Name] += u.queries.Load()
+		stub[u.Name] += u.answers.Load()
+	}
+	upShares := stats.Shares(upstream)
+	stubShares := stats.Shares(stub)
+	stubByName := make(map[string]stats.Share, len(stubShares))
+	for _, s := range stubShares {
+		stubByName[s.Name] = s
+	}
+	for _, s := range upShares {
+		st := stubByName[s.Name]
+		rep.Providers = append(rep.Providers, ProviderShare{
+			Name:            s.Name,
+			UpstreamQueries: s.Count,
+			UpstreamShare:   s.Fraction,
+			StubAnswers:     st.Count,
+			StubShare:       st.Fraction,
+		})
+	}
+	rep.UpstreamHHI = stats.HHI(upShares)
+	rep.StubHHI = stats.HHI(stubShares)
+	return rep
+}
+
+// Format renders the report for the CLI.
+func (rep Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cache-tier centralization report:\n")
+	fmt.Fprintf(&b, "  stub queries          %10d\n", rep.StubQueries)
+	fmt.Fprintf(&b, "  cache hit rate        %9.1f%% (%d hits, %d misses, %d stale, %d evicted)\n",
+		100*rep.HitRate(), rep.CacheHits, rep.CacheMisses, rep.Stale, rep.Evictions)
+	fmt.Fprintf(&b, "  aggressive NSEC hits  %10d\n", rep.AggressiveHits)
+	fmt.Fprintf(&b, "  singleflight shared   %10d\n", rep.Singleflight)
+	fmt.Fprintf(&b, "  hedged queries        %10d (%d hedge wins, %d failovers)\n",
+		rep.Hedges, rep.HedgeWins, rep.Failovers)
+	fmt.Fprintf(&b, "  TCP fallbacks         %10d\n", rep.TCPFallbacks)
+	fmt.Fprintf(&b, "  SERVFAIL answers      %10d\n", rep.Servfails)
+	fmt.Fprintf(&b, "  provider shares (upstream vantage vs stub vantage):\n")
+	for _, p := range rep.Providers {
+		fmt.Fprintf(&b, "    %-12s upstream %6d (%5.1f%%)   stub %8d (%5.1f%%)\n",
+			p.Name, p.UpstreamQueries, 100*p.UpstreamShare, p.StubAnswers, 100*p.StubShare)
+	}
+	fmt.Fprintf(&b, "  concentration (HHI): upstream %.3f vs stub %.3f\n", rep.UpstreamHHI, rep.StubHHI)
+	return b.String()
+}

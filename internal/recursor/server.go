@@ -1,0 +1,246 @@
+package recursor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscentral/internal/authserver"
+)
+
+// ServerConfig tunes the stub-facing transport.
+type ServerConfig struct {
+	// UDPWorkers is how many goroutines share the UDP socket, each with
+	// its own Scratch and buffers (default GOMAXPROCS, capped at 8).
+	UDPWorkers int
+	// TCPIdleTimeout is how long an idle stub TCP connection may sit
+	// between messages (default 10s).
+	TCPIdleTimeout time.Duration
+	// MaxTCPConns caps concurrent stub TCP connections (default 128,
+	// negative = unlimited).
+	MaxTCPConns int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.UDPWorkers <= 0 {
+		c.UDPWorkers = runtime.GOMAXPROCS(0)
+		if c.UDPWorkers > 8 {
+			c.UDPWorkers = 8
+		}
+	}
+	if c.TCPIdleTimeout <= 0 {
+		c.TCPIdleTimeout = 10 * time.Second
+	}
+	if c.MaxTCPConns == 0 {
+		c.MaxTCPConns = 128
+	}
+	return c
+}
+
+// Server binds a Recursor to real UDP and TCP sockets. Multiple UDP
+// reader goroutines share the socket (the kernel serializes reads), each
+// owning a Scratch and reusable I/O buffers so the hit path stays
+// allocation-free end to end.
+type Server struct {
+	rec *Recursor
+	cfg ServerConfig
+
+	udp *net.UDPConn
+	tcp *net.TCPListener
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	mu    sync.Mutex
+	conns map[*net.TCPConn]struct{}
+
+	tcpRejected atomic.Uint64
+	panics      atomic.Uint64
+
+	// Logf, when non-nil, receives per-error diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" — UDP and TCP bind the
+// same port). The returned server is already serving.
+func Serve(addr string, rec *Recursor, cfg ServerConfig) (*Server, error) {
+	tcpLn, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("recursor: tcp listen: %w", err)
+	}
+	udpConn, err := net.ListenUDP("udp", &net.UDPAddr{
+		IP:   tcpLn.Addr().(*net.TCPAddr).IP,
+		Port: tcpLn.Addr().(*net.TCPAddr).Port,
+	})
+	if err != nil {
+		tcpLn.Close()
+		return nil, fmt.Errorf("recursor: udp listen: %w", err)
+	}
+	s := &Server{
+		rec:    rec,
+		cfg:    cfg.withDefaults(),
+		udp:    udpConn,
+		tcp:    tcpLn.(*net.TCPListener),
+		closed: make(chan struct{}),
+		conns:  make(map[*net.TCPConn]struct{}),
+	}
+	s.wg.Add(s.cfg.UDPWorkers + 1)
+	for i := 0; i < s.cfg.UDPWorkers; i++ {
+		go s.serveUDP()
+	}
+	go s.serveTCP()
+	return s, nil
+}
+
+// Addr returns the bound address (same port for UDP and TCP).
+func (s *Server) Addr() netip.AddrPort {
+	return s.udp.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Recursor returns the underlying recursor.
+func (s *Server) Recursor() *Recursor { return s.rec }
+
+// Close stops serving: listeners closed, in-flight TCP connections
+// severed, every worker drained.
+func (s *Server) Close() error {
+	close(s.closed)
+	s.udp.Close()
+	s.tcp.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// serveUDP is one reader worker: it owns its receive buffer, response
+// buffer, and Scratch for the whole loop, so a cache hit costs zero
+// allocations from socket to socket.
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	in := make([]byte, 1<<16)
+	out := make([]byte, 0, 1<<16)
+	sc := NewScratch()
+	for {
+		n, raddr, err := s.udp.ReadFromUDPAddrPort(in)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("udp read: %v", err)
+				continue
+			}
+		}
+		s.handleUDPPacket(in[:n], out[:0], raddr, sc)
+	}
+}
+
+// handleUDPPacket serves one datagram; a panic poisons only that
+// datagram, not the worker.
+func (s *Server) handleUDPPacket(pkt, out []byte, raddr netip.AddrPort, sc *Scratch) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("udp handler panic from %s: %v", raddr, p)
+		}
+	}()
+	resp := s.rec.HandleWire(pkt, out, false, sc)
+	if resp == nil {
+		return
+	}
+	if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
+		s.logf("udp write to %s: %v", raddr, err)
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.AcceptTCP()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("tcp accept: %v", err)
+				continue
+			}
+		}
+		if !s.trackConn(conn) {
+			s.tcpRejected.Add(1)
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveTCPConn(conn)
+	}
+}
+
+func (s *Server) trackConn(conn *net.TCPConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	if s.cfg.MaxTCPConns > 0 && len(s.conns) >= s.cfg.MaxTCPConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn *net.TCPConn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) serveTCPConn(conn *net.TCPConn) {
+	defer s.wg.Done()
+	defer s.untrackConn(conn)
+	defer conn.Close()
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("tcp handler panic from %s: %v", conn.RemoteAddr(), p)
+		}
+	}()
+	raddr := conn.RemoteAddr().(*net.TCPAddr).AddrPort()
+	out := make([]byte, 0, 1<<16)
+	sc := NewScratch()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.TCPIdleTimeout))
+		msg, err := authserver.ReadTCPMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("tcp read from %s: %v", raddr, err)
+			}
+			return
+		}
+		resp := s.rec.HandleWire(msg, out[:0], true, sc)
+		if resp == nil {
+			return
+		}
+		if err := authserver.WriteTCPMessage(conn, resp); err != nil {
+			s.logf("tcp write to %s: %v", raddr, err)
+			return
+		}
+	}
+}

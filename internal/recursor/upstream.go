@@ -1,0 +1,142 @@
+package recursor
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscentral/internal/resolver"
+)
+
+// ewmaDecay is the smoothing horizon of the per-upstream RTT estimate:
+// each observation moves the average 1/10th of the way to the sample,
+// the same decay dnscrypt-proxy uses for its load-balancing EWMA.
+const ewmaDecay = 10.0
+
+// failPenalty is the RTT charged for a failed exchange, pushing a dead
+// or browned-out upstream to the back of every power-of-two choice
+// until fresh successes pull its estimate down again.
+const failPenalty = 2 * time.Second
+
+// Upstream is one authoritative server the recursor can forward to,
+// tagged with the provider name the centralization report groups by.
+type Upstream struct {
+	// Name labels the upstream in reports and metrics ("cloudA",
+	// "ns1.nl"). Several upstreams may share a provider name; the
+	// report aggregates them.
+	Name string
+	// Transport performs the exchanges (any resolver.Transport; the
+	// hardened NetTransport brings RTO, TC→TCP and fault-injection
+	// composition for free).
+	Transport resolver.Transport
+
+	// ewmaNS is the smoothed RTT in nanoseconds (atomic float bits via
+	// int64; 0 = unmeasured).
+	ewmaNS atomic.Int64
+
+	queries  atomic.Uint64 // wire exchanges sent to this upstream
+	failures atomic.Uint64 // exchanges that errored
+	answers  atomic.Uint64 // stub queries answered from this upstream's fills (hits included)
+}
+
+// EWMA returns the smoothed RTT estimate (0 until first measurement).
+func (u *Upstream) EWMA() time.Duration { return time.Duration(u.ewmaNS.Load()) }
+
+// Queries returns the wire exchanges sent to this upstream.
+func (u *Upstream) Queries() uint64 { return u.queries.Load() }
+
+// observe folds one measured RTT into the estimate.
+func (u *Upstream) observe(rtt time.Duration) {
+	for {
+		old := u.ewmaNS.Load()
+		var next int64
+		if old == 0 {
+			next = int64(rtt)
+		} else {
+			next = old + (int64(rtt)-old)/int64(ewmaDecay)
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if u.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// penalize charges a failure as a slow observation.
+func (u *Upstream) penalize() { u.observe(failPenalty) }
+
+// Pool selects upstreams by EWMA-RTT power-of-two-choices: draw two
+// distinct candidates uniformly, send to the one with the lower
+// smoothed RTT. P2C gives most traffic to fast upstreams while still
+// sampling slow ones enough to notice recovery — the balance plain
+// best-of-N converges away from.
+type Pool struct {
+	ups []*Upstream
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPool builds a pool over the given upstreams (at least one).
+func NewPool(seed int64, ups ...*Upstream) *Pool {
+	return &Pool{ups: ups, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of upstreams.
+func (p *Pool) Len() int { return len(p.ups) }
+
+// Upstream returns the upstream at pool index i.
+func (p *Pool) Upstream(i int) *Upstream { return p.ups[i] }
+
+// Pick chooses the next upstream by power-of-two-choices. Unmeasured
+// upstreams (EWMA 0) win every comparison so each gets probed early.
+func (p *Pool) Pick() (*Upstream, int) {
+	n := len(p.ups)
+	if n == 1 {
+		return p.ups[0], 0
+	}
+	p.mu.Lock()
+	i := p.rng.Intn(n)
+	j := p.rng.Intn(n - 1)
+	p.mu.Unlock()
+	if j >= i {
+		j++
+	}
+	if better(p.ups[j], p.ups[i]) {
+		return p.ups[j], j
+	}
+	return p.ups[i], i
+}
+
+// PickOther chooses the hedge target: the lowest-EWMA upstream other
+// than the primary (nil when the pool has no alternative). Hedging to
+// the best-known alternative, not a random one, is what makes the
+// second query likely to actually beat a straggling primary.
+func (p *Pool) PickOther(primary int) (*Upstream, int) {
+	best, bi := (*Upstream)(nil), -1
+	for i, u := range p.ups {
+		if i == primary {
+			continue
+		}
+		if best == nil || better(u, best) {
+			best, bi = u, i
+		}
+	}
+	return best, bi
+}
+
+// better reports whether a should be preferred over b: unmeasured
+// upstreams first (they need probing), then lower smoothed RTT.
+func better(a, b *Upstream) bool {
+	ea, eb := a.ewmaNS.Load(), b.ewmaNS.Load()
+	if ea == 0 {
+		return true
+	}
+	if eb == 0 {
+		return false
+	}
+	return ea < eb
+}

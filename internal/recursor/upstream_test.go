@@ -1,0 +1,99 @@
+package recursor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEWMAConverges(t *testing.T) {
+	u := &Upstream{Name: "a"}
+	if u.EWMA() != 0 {
+		t.Fatal("unmeasured upstream must report 0")
+	}
+	u.observe(100 * time.Millisecond)
+	if u.EWMA() != 100*time.Millisecond {
+		t.Fatalf("first sample should seed the estimate, got %v", u.EWMA())
+	}
+	for i := 0; i < 100; i++ {
+		u.observe(10 * time.Millisecond)
+	}
+	if got := u.EWMA(); got > 15*time.Millisecond {
+		t.Fatalf("EWMA failed to converge toward 10ms: %v", got)
+	}
+}
+
+func TestPenalizePushesEstimateUp(t *testing.T) {
+	u := &Upstream{Name: "a"}
+	u.observe(5 * time.Millisecond)
+	before := u.EWMA()
+	u.penalize()
+	if u.EWMA() <= before {
+		t.Fatalf("penalty did not raise the estimate: %v -> %v", before, u.EWMA())
+	}
+}
+
+func TestP2CPrefersFasterUpstream(t *testing.T) {
+	fast := &Upstream{Name: "fast"}
+	slow := &Upstream{Name: "slow"}
+	fast.observe(2 * time.Millisecond)
+	slow.observe(200 * time.Millisecond)
+	p := NewPool(42, fast, slow)
+	fastPicks := 0
+	for i := 0; i < 1000; i++ {
+		if u, _ := p.Pick(); u == fast {
+			fastPicks++
+		}
+	}
+	// With two upstreams P2C always compares both, so the faster one
+	// must win every draw.
+	if fastPicks != 1000 {
+		t.Fatalf("fast picked %d/1000, want 1000", fastPicks)
+	}
+}
+
+func TestP2CProbesUnmeasuredFirst(t *testing.T) {
+	measured := &Upstream{Name: "measured"}
+	measured.observe(time.Millisecond)
+	fresh := &Upstream{Name: "fresh"}
+	p := NewPool(7, measured, fresh)
+	if u, _ := p.Pick(); u != fresh {
+		t.Fatal("unmeasured upstream must win its first comparison")
+	}
+}
+
+func TestP2CSpreadsAcrossComparableUpstreams(t *testing.T) {
+	ups := []*Upstream{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}}
+	for _, u := range ups {
+		u.observe(10 * time.Millisecond)
+	}
+	p := NewPool(1, ups...)
+	picks := make(map[string]int)
+	for i := 0; i < 4000; i++ {
+		u, _ := p.Pick()
+		picks[u.Name]++
+		// Tiny jitter so estimates wander but stay comparable.
+		u.observe(10 * time.Millisecond)
+	}
+	for _, u := range ups {
+		if picks[u.Name] < 400 {
+			t.Fatalf("upstream %s starved: %d/4000 picks (%v)", u.Name, picks[u.Name], picks)
+		}
+	}
+}
+
+func TestPickOtherReturnsBestAlternative(t *testing.T) {
+	a := &Upstream{Name: "a"}
+	b := &Upstream{Name: "b"}
+	c := &Upstream{Name: "c"}
+	a.observe(1 * time.Millisecond)
+	b.observe(50 * time.Millisecond)
+	c.observe(5 * time.Millisecond)
+	p := NewPool(1, a, b, c)
+	if u, idx := p.PickOther(0); u != c || idx != 2 {
+		t.Fatalf("PickOther(0) = %v/%d, want c/2", u, idx)
+	}
+	single := NewPool(1, a)
+	if u, _ := single.PickOther(0); u != nil {
+		t.Fatal("single-upstream pool must have no hedge target")
+	}
+}

@@ -1,0 +1,79 @@
+package resolver
+
+import (
+	"sync"
+	"time"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+)
+
+// nsecRange is one cached RFC 8198 denial range.
+type nsecRange struct {
+	owner, next string
+	expires     time.Time
+}
+
+// NSECCache is the RFC 8198 aggressive-negative-cache shared by the
+// simulated resolver and the recursor tier: validated NSEC ranges from
+// NXDOMAIN responses synthesize denials for every other covered name
+// without a query reaching the authoritative server — the mechanism the
+// paper suggests behind the 2020 decline in cloud junk traffic (§4.2.3).
+// All methods are safe for concurrent use.
+type NSECCache struct {
+	origin string
+
+	mu     sync.Mutex
+	ranges []nsecRange
+}
+
+// NewNSECCache builds an empty cache for the zone rooted at origin.
+func NewNSECCache(origin string) *NSECCache {
+	return &NSECCache{origin: dnswire.CanonicalName(origin)}
+}
+
+// Remember stores the NSEC denial ranges of a validated negative
+// response for later synthesis, each expiring at the given time.
+func (c *NSECCache) Remember(resp *dnswire.Message, expires time.Time) {
+	for _, rr := range resp.Authority {
+		nsec, ok := rr.Data.(dnswire.NSECData)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		c.ranges = append(c.ranges, nsecRange{
+			owner:   dnswire.CanonicalName(rr.Name),
+			next:    dnswire.CanonicalName(nsec.NextName),
+			expires: expires,
+		})
+		c.mu.Unlock()
+	}
+}
+
+// Covers reports whether any live cached NSEC range denies qname,
+// compacting expired ranges as a side effect.
+func (c *NSECCache) Covers(qname string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := c.ranges[:0]
+	covered := false
+	for _, nr := range c.ranges {
+		if now.After(nr.expires) {
+			continue
+		}
+		live = append(live, nr)
+		if authserver.CoversName(c.origin, nr.owner, nr.next, qname) {
+			covered = true
+		}
+	}
+	c.ranges = live
+	return covered
+}
+
+// Len returns the number of cached ranges (expired ones included until
+// the next Covers call compacts them).
+func (c *NSECCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ranges)
+}

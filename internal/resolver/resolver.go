@@ -189,12 +189,6 @@ type cacheEntry struct {
 	delegation string
 }
 
-// nsecRange is one cached RFC 8198 denial range.
-type nsecRange struct {
-	owner, next string
-	expires     time.Time
-}
-
 // rttEstimate is a per-family Jacobson/Karels estimator: the smoothed
 // RTT drives upstream preference, and SRTT + 4·RTTVAR is the
 // retransmission timeout base for per-attempt deadline escalation.
@@ -221,7 +215,7 @@ type Resolver struct {
 	upstreams    map[Family]Transport
 	rtt          map[Family]rttEstimate
 	cache        map[cacheKey]cacheEntry
-	nsec         []nsecRange
+	nsec         *NSECCache
 	clientCookie []byte
 	serverCookie []byte
 	rng          *rand.Rand
@@ -250,6 +244,7 @@ func New(origin string, cfg Config) *Resolver {
 		upstreams: make(map[Family]Transport),
 		rtt:       make(map[Family]rttEstimate),
 		cache:     make(map[cacheKey]cacheEntry),
+		nsec:      NewNSECCache(origin),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		tm:        newResolverMetrics(cfg.Telemetry),
 	}
@@ -696,7 +691,7 @@ func (r *Resolver) Resolve(qname string, qtype dnswire.Type) (*Result, error) {
 	}
 	// RFC 8198: a cached validated NSEC range covering qname lets us
 	// synthesize NXDOMAIN without asking the authoritative server at all.
-	if r.cfg.AggressiveNSEC && r.coveredByNSEC(qname) {
+	if r.cfg.AggressiveNSEC && r.nsec.Covers(qname, r.cfg.Now()) {
 		r.tm.cacheHits.Inc()
 		r.mu.Lock()
 		r.stats.CacheHits++
@@ -814,52 +809,13 @@ func (r *Resolver) absorb(qname string, qtype dnswire.Type, resp *dnswire.Messag
 		res.RCode = dnswire.RCodeNXDomain
 		r.cachePut(qname, qtype, cacheEntry{expires: now.Add(ttl), rcode: dnswire.RCodeNXDomain})
 		if r.cfg.AggressiveNSEC && r.cfg.Validate {
-			r.rememberNSEC(resp, now.Add(ttl))
+			r.nsec.Remember(resp, now.Add(ttl))
 		}
 		return nil
 	default:
 		res.RCode = resp.Header.RCode
 		return nil
 	}
-}
-
-// rememberNSEC stores the NSEC denial ranges of a validated negative
-// response for RFC 8198 reuse.
-func (r *Resolver) rememberNSEC(resp *dnswire.Message, expires time.Time) {
-	for _, rr := range resp.Authority {
-		nsec, ok := rr.Data.(dnswire.NSECData)
-		if !ok {
-			continue
-		}
-		r.mu.Lock()
-		r.nsec = append(r.nsec, nsecRange{
-			owner:   dnswire.CanonicalName(rr.Name),
-			next:    dnswire.CanonicalName(nsec.NextName),
-			expires: expires,
-		})
-		r.mu.Unlock()
-	}
-}
-
-// coveredByNSEC reports whether any live cached NSEC range denies qname,
-// compacting expired ranges as a side effect.
-func (r *Resolver) coveredByNSEC(qname string) bool {
-	now := r.cfg.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	live := r.nsec[:0]
-	covered := false
-	for _, nr := range r.nsec {
-		if now.After(nr.expires) {
-			continue
-		}
-		live = append(live, nr)
-		if authserver.CoversName(r.origin, nr.owner, nr.next, qname) {
-			covered = true
-		}
-	}
-	r.nsec = live
-	return covered
 }
 
 // validate issues the DNSSEC queries of a validating resolver: DS for the

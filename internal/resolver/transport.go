@@ -1,6 +1,7 @@
 package resolver
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -11,6 +12,48 @@ import (
 	"dnscentral/internal/authserver"
 	"dnscentral/internal/dnswire"
 )
+
+// ContextTransport is a Transport whose exchanges can be cancelled
+// mid-flight. The recursor's hedged queries need this: when the first
+// upstream answers, the racing exchange against the second is torn down
+// immediately instead of running out its timeout. A timeout of 0 falls
+// back to the transport's own default.
+type ContextTransport interface {
+	Transport
+	ExchangeContext(ctx context.Context, q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error)
+}
+
+// ExchangeContext performs one exchange honoring both the timeout and
+// the context, using native cancellation when t implements
+// ContextTransport. Other transports run the exchange in a goroutine
+// and abandon its result on cancellation: the caller unblocks at once,
+// while the orphaned attempt self-terminates at its own deadline.
+func ExchangeContext(ctx context.Context, t Transport, q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error) {
+	if ct, ok := t.(ContextTransport); ok {
+		return ct.ExchangeContext(ctx, q, tcp, timeout)
+	}
+	type outcome struct {
+		resp *dnswire.Message
+		rtt  time.Duration
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		if dt, ok := t.(DeadlineTransport); ok && timeout > 0 {
+			o.resp, o.rtt, o.err = dt.ExchangeDeadline(q, tcp, timeout)
+		} else {
+			o.resp, o.rtt, o.err = t.Exchange(q, tcp)
+		}
+		ch <- o
+	}()
+	select {
+	case o := <-ch:
+		return o.resp, o.rtt, o.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
 
 // EngineTransport exchanges messages with an in-process authoritative
 // Engine, faithfully passing through the wire format (pack, truncate,
@@ -89,6 +132,14 @@ func (t *NetTransport) Exchange(q *dnswire.Message, tcp bool) (*dnswire.Message,
 // ExchangeDeadline implements DeadlineTransport; a timeout of 0 falls
 // back to the transport-level Timeout (default 5s).
 func (t *NetTransport) ExchangeDeadline(q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error) {
+	return t.ExchangeContext(context.Background(), q, tcp, timeout)
+}
+
+// ExchangeContext implements ContextTransport with real socket-level
+// cancellation: when ctx is cancelled mid-exchange the in-flight socket
+// deadline is yanked to the past, so blocked reads and dials return
+// immediately and the context error is surfaced.
+func (t *NetTransport) ExchangeContext(ctx context.Context, q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, time.Duration, error) {
 	if timeout <= 0 {
 		timeout = t.Timeout
 	}
@@ -101,13 +152,13 @@ func (t *NetTransport) ExchangeDeadline(q *dnswire.Message, tcp bool, timeout ti
 	}
 	start := time.Now()
 	if !tcp {
-		resp, err := t.exchangeUDP(wire, q.Header.ID, timeout)
-		return resp, time.Since(start), err
+		resp, err := t.exchangeUDP(ctx, wire, q.Header.ID, timeout)
+		return resp, time.Since(start), ctxErr(ctx, err)
 	}
-	raw, err := t.exchangeTCP(wire, timeout)
+	raw, err := t.exchangeTCP(ctx, wire, timeout)
 	elapsed := time.Since(start)
 	if err != nil {
-		return nil, elapsed, err
+		return nil, elapsed, ctxErr(ctx, err)
 	}
 	resp, err := dnswire.Unpack(raw)
 	if err != nil {
@@ -119,18 +170,29 @@ func (t *NetTransport) ExchangeDeadline(q *dnswire.Message, tcp bool, timeout ti
 	return resp, elapsed, nil
 }
 
+// ctxErr prefers the context's cancellation cause over the I/O error it
+// provoked (a poked deadline surfaces as a timeout otherwise).
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
 // exchangeUDP sends the query from an unconnected socket and reads
 // until a datagram from the server with the matching ID parses cleanly,
 // or the deadline passes. The unconnected socket is what makes source
 // verification real (a connected socket would have the kernel filter
 // silently, and could never observe — or count — spoofed traffic).
-func (t *NetTransport) exchangeUDP(wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+func (t *NetTransport) exchangeUDP(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
 	conn, err := net.ListenUDP("udp", nil)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	if _, err := conn.WriteToUDPAddrPort(wire, t.Server); err != nil {
 		return nil, err
 	}
@@ -167,14 +229,16 @@ func (t *NetTransport) exchangeUDP(wire []byte, id uint16, timeout time.Duration
 	}
 }
 
-func (t *NetTransport) exchangeTCP(wire []byte, timeout time.Duration) ([]byte, error) {
+func (t *NetTransport) exchangeTCP(ctx context.Context, wire []byte, timeout time.Duration) ([]byte, error) {
 	d := net.Dialer{Timeout: timeout}
-	conn, err := d.Dial("tcp", t.Server.String())
+	conn, err := d.DialContext(ctx, "tcp", t.Server.String())
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	if err := authserver.WriteTCPMessage(conn, wire); err != nil {
 		return nil, err
 	}

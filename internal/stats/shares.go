@@ -1,0 +1,60 @@
+package stats
+
+import "sort"
+
+// Share is one name's slice of a traffic distribution.
+type Share struct {
+	Name     string
+	Count    uint64
+	Fraction float64
+}
+
+// Shares converts per-name counts into a share distribution sorted by
+// descending count (ties broken by name for determinism). A zero total
+// yields zero fractions.
+func Shares(counts map[string]uint64) []Share {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]Share, 0, len(counts))
+	for name, c := range counts {
+		s := Share{Name: name, Count: c}
+		if total > 0 {
+			s.Fraction = float64(c) / float64(total)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// HHI computes the Herfindahl–Hirschman index of a share distribution —
+// the canonical concentration measure for the paper's centralization
+// question: 1/n for n equal providers, 1.0 for a monopoly, 0 for an
+// empty distribution.
+func HHI(shares []Share) float64 {
+	var h float64
+	for _, s := range shares {
+		h += s.Fraction * s.Fraction
+	}
+	return h
+}
+
+// TopShare returns the combined fraction of the k largest shares
+// (the paper's "top-k providers serve X% of traffic" statistic).
+func TopShare(shares []Share, k int) float64 {
+	var sum float64
+	for i, s := range shares {
+		if i >= k {
+			break
+		}
+		sum += s.Fraction
+	}
+	return sum
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSharesSortedAndNormalized(t *testing.T) {
+	s := Shares(map[string]uint64{"cloudA": 60, "cloudB": 30, "cloudC": 10})
+	if len(s) != 3 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0].Name != "cloudA" || s[1].Name != "cloudB" || s[2].Name != "cloudC" {
+		t.Fatalf("order = %v", s)
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x.Fraction
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if math.Abs(s[0].Fraction-0.6) > 1e-12 {
+		t.Fatalf("top fraction = %v", s[0].Fraction)
+	}
+}
+
+func TestSharesTieBreakByName(t *testing.T) {
+	s := Shares(map[string]uint64{"b": 5, "a": 5, "c": 5})
+	if s[0].Name != "a" || s[1].Name != "b" || s[2].Name != "c" {
+		t.Fatalf("tie order = %v", s)
+	}
+}
+
+func TestSharesEmptyAndZero(t *testing.T) {
+	if s := Shares(nil); len(s) != 0 {
+		t.Fatalf("nil map gave %v", s)
+	}
+	s := Shares(map[string]uint64{"a": 0, "b": 0})
+	for _, x := range s {
+		if x.Fraction != 0 {
+			t.Fatalf("zero total produced fraction %v", x.Fraction)
+		}
+	}
+}
+
+func TestHHI(t *testing.T) {
+	if h := HHI(nil); h != 0 {
+		t.Fatalf("empty HHI = %v", h)
+	}
+	mono := Shares(map[string]uint64{"only": 100})
+	if h := HHI(mono); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("monopoly HHI = %v, want 1", h)
+	}
+	equal4 := Shares(map[string]uint64{"a": 1, "b": 1, "c": 1, "d": 1})
+	if h := HHI(equal4); math.Abs(h-0.25) > 1e-12 {
+		t.Fatalf("4-equal HHI = %v, want 0.25", h)
+	}
+	skewed := Shares(map[string]uint64{"big": 90, "small": 10})
+	if h := HHI(skewed); h <= 0.5 || h >= 1 {
+		t.Fatalf("skewed HHI = %v, want in (0.5, 1)", h)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	s := Shares(map[string]uint64{"a": 50, "b": 30, "c": 20})
+	if got := TopShare(s, 2); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("top-2 = %v, want 0.8", got)
+	}
+	if got := TopShare(s, 10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("top-10 = %v, want 1", got)
+	}
+	if got := TopShare(nil, 3); got != 0 {
+		t.Fatalf("empty top = %v", got)
+	}
+}
