@@ -1,0 +1,175 @@
+package dnscentral_test
+
+import (
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dnscentral/internal/faults"
+)
+
+// cliChaosSeed mirrors the chaos-matrix convention: CI sweeps CHAOS_SEED
+// over several fixed values; locally the seed defaults to 1.
+func cliChaosSeed(t *testing.T) int64 {
+	t.Helper()
+	v := os.Getenv("CHAOS_SEED")
+	if v == "" {
+		return 1
+	}
+	seed, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SEED %q: %v", v, err)
+	}
+	return seed
+}
+
+// packName encodes a dotted FQDN into DNS wire labels.
+func packName(name string) []byte {
+	var out []byte
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0)
+}
+
+// udpAsk sends one plain A query and returns the response RCODE, or
+// ok=false if the server stayed silent past the deadline.
+func udpAsk(t *testing.T, server string, id uint16, name string) (int, bool) {
+	t.Helper()
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := []byte{byte(id >> 8), byte(id), 0, 0, 0, 1, 0, 0, 0, 0, 0, 0}
+	q = append(q, packName(name)...)
+	q = append(q, 0, 1, 0, 1) // TYPE=A CLASS=IN
+	if _, err := conn.Write(q); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	n, err := conn.Read(buf)
+	if err != nil || n < 12 {
+		return 0, false
+	}
+	return int(buf[3] & 0xF), true
+}
+
+// proxyOn binds an impairment proxy to a specific local address,
+// retrying briefly while a just-closed predecessor releases the port.
+func proxyOn(t *testing.T, addr string, upstream netip.AddrPort, cfg faults.Config) *faults.Proxy {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		p, err := faults.NewProxy(addr, upstream, cfg)
+		if err == nil {
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy on %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCLIBrownoutServeStale is the provider-outage acceptance run: a
+// recursor with one upstream reached through a faults proxy. The cache
+// is warmed through a clean proxy, which is then replaced — same
+// address — by a fully-browned one pointing into the void. Every
+// warm-cache query during the brownout must still be answered (stale,
+// RFC 8767) while the circuit breaker keeps retries to a probe
+// trickle; once the clean path returns, cold misses resolve again.
+func TestCLIBrownoutServeStale(t *testing.T) {
+	seed := cliChaosSeed(t)
+	bins := buildTools(t, "authserver", "recursor")
+	authAddr, _ := startAuthserver(t, bins["authserver"])
+	authAP, err := netip.ParseAddrPort(authAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The proxy's address is the recursor's configured upstream, so the
+	// brownout swap must reuse it exactly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyAddr := ln.Addr().String()
+	ln.Close()
+	clean := proxyOn(t, proxyAddr, authAP, faults.Config{Seed: seed})
+
+	raddr, rout, _ := startRecursor(t, bins["recursor"], "soleCloud="+proxyAddr,
+		"-metrics-addr", "127.0.0.1:0", "-timeout", "250ms",
+		"-max-ttl", "1s", "-max-stale", "1h", "-stale-ttl", "30s",
+		"-fail-ttl", "300ms", "-breaker-failures", "2", "-breaker-open", "400ms")
+	maddr := waitMetricsAddr(t, rout)
+
+	// Warm the cache through the clean path.
+	if rc, ok := udpAsk(t, raddr, 1, "www.d5.nl."); !ok || rc != 0 {
+		t.Fatalf("warm query rcode=%d ok=%v", rc, ok)
+	}
+
+	// Brownout: the clean proxy dies; its address is taken over by a
+	// proxy that browns out every exchange and forwards the rest into
+	// an unbound port. The sole upstream is now fully dark.
+	clean.Close()
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAP := netip.MustParseAddrPort(dead.Addr().String())
+	dead.Close()
+	brown := proxyOn(t, proxyAddr, deadAP, faults.Config{
+		Seed:     seed,
+		Brownout: faults.Brownout{Every: 1, Len: 1 << 20, Mode: faults.BrownoutDrop},
+	})
+	defer brown.Close()
+
+	time.Sleep(1200 * time.Millisecond) // let the 1s-capped TTL expire
+
+	// Every repeat ask must still get an answer from the stale entry.
+	const asks = 30
+	for i := 0; i < asks; i++ {
+		rc, ok := udpAsk(t, raddr, uint16(100+i), "www.d5.nl.")
+		if !ok {
+			t.Fatalf("brownout ask %d got no answer", i)
+		}
+		if rc != 0 {
+			t.Fatalf("brownout ask %d rcode=%d, want stale NOERROR", i, rc)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	body := httpGet(t, "http://"+maddr+"/metrics")
+	for _, want := range []string{
+		"recursor_stale_served_total",
+		"recursor_fail_cache_hits_total",
+		"recursor_breaker_opens_total",
+	} {
+		if !metricPositive(body, want) {
+			t.Fatalf("%s not live after the brownout:\n%s", want, body)
+		}
+	}
+
+	// Recovery: clean path back on the same address. Once the fail mark
+	// drains and the half-open probe succeeds, cold misses resolve.
+	brown.Close()
+	clean2 := proxyOn(t, proxyAddr, authAP, faults.Config{Seed: seed})
+	defer clean2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		if rc, ok := udpAsk(t, raddr, uint16(900+i), "www.d9.nl."); ok && rc == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cold miss never recovered after the brownout lifted")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -2,11 +2,19 @@
 // UDP and TCP sockets: stub queries in, a sharded TTL cache in the
 // middle, EWMA/P2C-selected authoritative upstreams behind it.
 //
+// The tier is built to survive its upstreams: RFC 8767 serve-stale
+// (-max-stale, -stale-ttl), per-upstream circuit breakers
+// (-breaker-failures, -breaker-open), an RFC 2308 failure cache
+// (-fail-ttl), RFC 7873 upstream DNS cookies (-cookies), per-client
+// response rate limiting (-rrl-rate) and a random-subdomain flood
+// guard (-flood-nx-rate).
+//
 // On shutdown (SIGINT/SIGTERM) it prints the centralization-through-
-// the-cache report: per-provider shares of the upstream traffic it
-// emitted next to shares of the stub traffic it absorbed — the paper's
-// authoritative vantage versus the client vantage, with the cache tier
-// in between.
+// the-cache report — per-provider shares of the upstream traffic it
+// emitted next to shares of the stub traffic it absorbed, the paper's
+// authoritative vantage versus the client vantage — followed by the
+// resilience report: availability, stale-serve share, amplification,
+// and breaker/RRL/flood counters.
 //
 // Usage:
 //
@@ -51,6 +59,22 @@ func main() {
 		hedge   = flag.Duration("hedge-delay", 0, "race a second upstream after this delay (0 = off)")
 		seed    = flag.Int64("seed", 1, "P2C tie-break seed")
 
+		maxStale = flag.Duration("max-stale", time.Hour, "RFC 8767 serve-stale window past expiry (0 = off)")
+		staleTTL = flag.Duration("stale-ttl", 30*time.Second, "TTL clamp on stale answers")
+		failTTL  = flag.Duration("fail-ttl", 2*time.Second, "negative failure-cache window (0 = off)")
+
+		brkFails = flag.Int("breaker-failures", 5, "consecutive upstream failures that open the circuit breaker (0 = off)")
+		brkOpen  = flag.Duration("breaker-open", time.Second, "how long an open breaker rejects before a half-open probe")
+		cookies  = flag.Bool("cookies", true, "round-trip RFC 7873 DNS cookies with upstreams")
+
+		rrlRate  = flag.Float64("rrl-rate", 0, "per-client-IP UDP queries/sec budget (0 = off)")
+		rrlBurst = flag.Float64("rrl-burst", 0, "RRL bucket depth (0 = 2×rate)")
+		rrlSlip  = flag.Int("rrl-slip", 2, "answer every n-th over-limit query with TC=1 instead of dropping")
+
+		floodNX    = flag.Int("flood-nx-rate", 0, "per-zone NXDOMAINs/sec that trip the water-torture guard (0 = off)")
+		floodHold  = flag.Duration("flood-hold", 5*time.Second, "suppression hold once a zone trips")
+		floodProbe = flag.Int("flood-probe", 1, "misses/sec still forwarded for a suppressed zone")
+
 		workers = flag.Int("udp-workers", 0, "UDP serving goroutines (0 = GOMAXPROCS, capped at 8)")
 		idle    = flag.Duration("tcp-idle", 10*time.Second, "stub TCP idle timeout")
 		maxTCP  = flag.Int("max-tcp", 128, "max concurrent stub TCP connections (<0 = unlimited)")
@@ -81,8 +105,26 @@ func main() {
 		MinTTL:          *minTTL,
 		MaxTTL:          *maxTTL,
 		AggressiveNSEC:  *aggressive,
-		Seed:            *seed,
-		Telemetry:       reg,
+		MaxStale:        *maxStale,
+		StaleTTL:        *staleTTL,
+		FailTTL:         *failTTL,
+		Breaker: recursor.BreakerConfig{
+			Failures: *brkFails,
+			OpenFor:  *brkOpen,
+		},
+		UseCookies: *cookies,
+		RRL: recursor.RRLConfig{
+			RatePerSec: *rrlRate,
+			Burst:      *rrlBurst,
+			SlipEvery:  *rrlSlip,
+		},
+		Flood: recursor.FloodConfig{
+			NXPerSec:  *floodNX,
+			Hold:      *floodHold,
+			ProbeRate: *floodProbe,
+		},
+		Seed:      *seed,
+		Telemetry: reg,
 	}, pool)
 
 	srv, err := recursor.Serve(*listen, rec, recursor.ServerConfig{
@@ -115,6 +157,8 @@ func main() {
 	<-sig
 	fmt.Println()
 	fmt.Print(rec.Report().Format())
+	rec.WaitRefreshes()
+	fmt.Print(rec.Resilience().Format())
 	_ = srv.Close()
 	prof.Stop()
 }

@@ -71,10 +71,12 @@ func main() {
 		bMode     = flag.String("brownout-mode", "drop", "brownout behavior: drop|servfail")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault injection seed (same seed = same faults)")
 
-		stub      = flag.Bool("stub", false, "stub-load mode: fire raw Zipf-ranked queries at -server (a recursor) instead of resolving")
-		stubNames = flag.Int("stub-names", 1000, "stub mode: popularity-ranked name universe size")
-		stubSkew  = flag.Float64("stub-skew", 1.0, "stub mode: Zipf skew exponent")
-		stubW     = flag.Int("stub-workers", 4, "stub mode: concurrent stub clients")
+		stub       = flag.Bool("stub", false, "stub-load mode: fire raw Zipf-ranked queries at -server (a recursor) instead of resolving")
+		stubNames  = flag.Int("stub-names", 1000, "stub mode: popularity-ranked name universe size")
+		stubSkew   = flag.Float64("stub-skew", 1.0, "stub mode: Zipf skew exponent")
+		stubW      = flag.Int("stub-workers", 4, "stub mode: concurrent stub clients")
+		stubAttack = flag.String("stub-attack", "", "stub mode attack pattern: watertorture (random-subdomain flood) or empty for benign")
+		stubVictim = flag.Int("stub-victim", 0, "stub mode: attack victim — 0 floods the zone apex (NXDOMAIN storm), rank ≥ 1 floods under that delegated domain (referral storm)")
 	)
 	tm := telemetry.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register(flag.CommandLine)
@@ -91,15 +93,17 @@ func main() {
 	}
 	if *stub {
 		st, err := workload.StubLoad(workload.StubLoadConfig{
-			Target:   addr.String(),
-			Zone:     *zone,
-			Names:    *stubNames,
-			Queries:  *n,
-			Skew:     *stubSkew,
-			Workers:  *stubW,
-			EDNSSize: uint16(*edns),
-			Timeout:  *timeout,
-			Seed:     *seed,
+			Target:       addr.String(),
+			Zone:         *zone,
+			Names:        *stubNames,
+			Queries:      *n,
+			Skew:         *stubSkew,
+			Workers:      *stubW,
+			EDNSSize:     uint16(*edns),
+			Timeout:      *timeout,
+			Seed:         *seed,
+			Attack:       *stubAttack,
+			AttackVictim: *stubVictim,
 		})
 		if err != nil {
 			prof.Stop()

@@ -232,6 +232,12 @@ func appendNameBytes(dst, msg []byte, off int) ([]byte, int, error) {
 	}
 }
 
+// SkipName returns the offset just past the (possibly compressed) name
+// starting at off, validating it along the way. It lets callers walk
+// resource records in a packed message without materializing names —
+// the recursor uses it to locate TTL fields for serve-stale clamping.
+func SkipName(msg []byte, off int) (int, error) { return skipName(msg, off) }
+
 // skipName validates the name at off exactly like readName but without
 // materializing it, returning only the offset just past the name in the
 // original stream. The lazy View walker uses it to cross names for free.

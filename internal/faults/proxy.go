@@ -22,10 +22,11 @@ type Proxy struct {
 	udp *net.UDPConn
 	tcp *net.TCPListener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed chan struct{}
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	// Logf, when non-nil, receives per-error diagnostics.
 	Logf func(format string, args ...any)
@@ -68,17 +69,20 @@ func (p *Proxy) Addr() netip.AddrPort {
 // Stats returns the injected-fault counters.
 func (p *Proxy) Stats() Stats { return p.inj.Stats() }
 
-// Close stops the proxy, severing in-flight TCP relays.
+// Close stops the proxy, severing in-flight TCP relays. Safe to call
+// more than once.
 func (p *Proxy) Close() error {
-	close(p.closed)
-	p.udp.Close()
-	p.tcp.Close()
-	p.mu.Lock()
-	for c := range p.conns {
-		c.Close()
-	}
-	p.mu.Unlock()
-	p.wg.Wait()
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.udp.Close()
+		p.tcp.Close()
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+		p.wg.Wait()
+	})
 	return nil
 }
 

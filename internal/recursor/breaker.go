@@ -1,0 +1,154 @@
+package recursor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerConfig tunes the per-upstream circuit breaker.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that opens the breaker
+	// (0 disables breakers entirely).
+	Failures int
+	// OpenFor is how long an open breaker rejects traffic before
+	// half-opening for a single probe (default 1s).
+	OpenFor time.Duration
+}
+
+func (cfg BreakerConfig) withDefaults() BreakerConfig {
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = time.Second
+	}
+	return cfg
+}
+
+// Breaker states. Open means the upstream is presumed down and picks
+// fast-fail; half-open admits exactly one probe whose outcome decides
+// between closing (recovered) and re-opening (still down).
+const (
+	BreakerClosed int32 = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// breaker is one upstream's circuit: consecutive failures open it, a
+// timer half-opens it, a successful probe closes it. All transitions
+// take the injected clock, so tests drive it with the virtual clock and
+// the whole state machine is deterministic.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     int32
+	fails     int
+	openUntil time.Time
+	probing   bool // a half-open probe is in flight
+
+	opens   atomic.Uint64 // closed/half-open → open transitions
+	rejects atomic.Uint64 // admissions refused while open
+	probes  atomic.Uint64 // half-open probes launched
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// admit decides whether an exchange may be sent now, consuming the
+// half-open probe slot when it grants one.
+func (b *breaker) admit(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Before(b.openUntil) {
+			b.rejects.Add(1)
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes.Add(1)
+		return true
+	default: // half-open
+		if b.probing {
+			b.rejects.Add(1)
+			return false
+		}
+		b.probing = true
+		b.probes.Add(1)
+		return true
+	}
+}
+
+// admissible is the non-consuming preview of admit — used by the serve
+// path to decide between blocking on a fill and serving stale.
+func (b *breaker) admissible(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return !now.Before(b.openUntil)
+	default:
+		return !b.probing
+	}
+}
+
+// onSuccess records a completed exchange: a successful half-open probe
+// closes the breaker; in closed state the failure streak resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records a failed exchange: a failed probe re-opens the
+// breaker immediately; in closed state the streak grows and opens the
+// breaker at the threshold.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open(now)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.open(now)
+		}
+	}
+}
+
+// onCancel releases the probe slot of an exchange that was torn down
+// before completing (a hedge loser): its outcome says nothing about the
+// upstream, so the breaker reverts to open with the original deadline —
+// the next admit re-probes immediately if the window already passed.
+func (b *breaker) onCancel() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen && b.probing {
+		b.state = BreakerOpen
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// open transitions to the open state (caller holds the lock).
+func (b *breaker) open(now time.Time) {
+	b.state = BreakerOpen
+	b.openUntil = now.Add(b.cfg.OpenFor)
+	b.fails = 0
+	b.probing = false
+	b.opens.Add(1)
+}
+
+// State returns the current breaker state constant.
+func (b *breaker) State() int32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

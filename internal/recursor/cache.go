@@ -41,6 +41,11 @@ type Entry struct {
 	// Upstream is the pool index of the server that filled the entry,
 	// attributing later cache hits to the provider that answered once.
 	Upstream int
+	// TTLOffs/PlainTTLOffs are the wire offsets of every RR TTL field
+	// in Wire and Plain (OPT pseudo-RRs excluded — their TTL carries
+	// EDNS flags). The serve-stale path clamps TTLs in place through
+	// them without re-parsing the message.
+	TTLOffs, PlainTTLOffs []uint16
 
 	expires time.Time
 	key     string
@@ -61,13 +66,15 @@ type flight struct {
 }
 
 // shard is one lock domain of the cache: a key→entry map, an intrusive
-// LRU list bounding it, and the in-flight fill registry.
+// LRU list bounding it, the in-flight fill registry, and the negative
+// failure-cache marks.
 type shard struct {
 	mu       sync.Mutex
 	entries  map[string]*Entry
 	inflight map[string]*flight
-	head     *Entry // most recently used
-	tail     *Entry // eviction candidate
+	failed   map[string]time.Time // key → fail mark expiry
+	head     *Entry               // most recently used
+	tail     *Entry               // eviction candidate
 }
 
 // CacheStats is a point-in-time snapshot of the cache counters.
@@ -76,7 +83,53 @@ type CacheStats struct {
 	// SingleflightShared counts misses answered by somebody else's
 	// in-flight fill instead of their own upstream query.
 	SingleflightShared uint64
-	Entries            int
+	// FailMarks counts fills recorded in the negative failure cache;
+	// FailHits counts misses absorbed by an active mark without any
+	// upstream attempt.
+	FailMarks, FailHits uint64
+	Entries             int
+}
+
+// CacheConfig shapes the answer cache.
+type CacheConfig struct {
+	// MaxEntries bounds the cache (default 65536).
+	MaxEntries int
+	// Shards is the lock-sharding factor, rounded up to a power of two
+	// (default 16).
+	Shards int
+	// MaxStale is the RFC 8767 retention window: expired entries stay
+	// resident (and retrievable via GetStale) up to MaxStale past their
+	// expiry instead of being discarded. 0 restores discard-on-expiry.
+	MaxStale time.Duration
+	// FailTTL is the negative failure-cache window (RFC 2308 §7 style):
+	// after a fill fails, repeat misses for the key inside the window
+	// are absorbed without touching the upstream path. 0 disables it.
+	FailTTL time.Duration
+	// TTLFloor/TTLCap clamp the lifetime of every inserted entry, so a
+	// 0-TTL answer is still briefly cacheable and a week-long TTL
+	// cannot pin an LRU slot past TTLCap (defaults 1s and 1h).
+	TTLFloor, TTLCap time.Duration
+	// Now is the cache clock (default time.Now).
+	Now func() time.Time
+}
+
+func (cfg CacheConfig) withDefaults() CacheConfig {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1 << 16
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.TTLFloor <= 0 {
+		cfg.TTLFloor = time.Second
+	}
+	if cfg.TTLCap <= 0 {
+		cfg.TTLCap = time.Hour
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return cfg
 }
 
 // Cache is the sharded TTL answer cache: power-of-two shards selected by
@@ -87,36 +140,37 @@ type Cache struct {
 	shards      []shard
 	mask        uint32
 	maxPerShard int
+	maxStale    time.Duration
+	failTTL     time.Duration
+	ttlFloor    time.Duration
+	ttlCap      time.Duration
 	now         func() time.Time
 
 	hits, misses, stale, evictions, sfShared atomic.Uint64
+	failMarks, failHits                      atomic.Uint64
 }
 
-// NewCache builds a cache bounded at maxEntries spread over shards
-// (rounded up to a power of two; default 16 shards, 65536 entries).
-func NewCache(maxEntries, shards int, now func() time.Time) *Cache {
-	if maxEntries <= 0 {
-		maxEntries = 1 << 16
-	}
-	if shards <= 0 {
-		shards = 16
-	}
+// NewCache builds a cache from cfg.
+func NewCache(cfg CacheConfig) *Cache {
+	cfg = cfg.withDefaults()
 	n := 1
-	for n < shards {
+	for n < cfg.Shards {
 		n <<= 1
-	}
-	if now == nil {
-		now = time.Now
 	}
 	c := &Cache{
 		shards:      make([]shard, n),
 		mask:        uint32(n - 1),
-		maxPerShard: (maxEntries + n - 1) / n,
-		now:         now,
+		maxPerShard: (cfg.MaxEntries + n - 1) / n,
+		maxStale:    cfg.MaxStale,
+		failTTL:     cfg.FailTTL,
+		ttlFloor:    cfg.TTLFloor,
+		ttlCap:      cfg.TTLCap,
+		now:         cfg.Now,
 	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*Entry)
 		c.shards[i].inflight = make(map[string]*flight)
+		c.shards[i].failed = make(map[string]time.Time)
 	}
 	return c
 }
@@ -161,19 +215,88 @@ func (c *Cache) Get(key []byte) *Entry {
 	return e
 }
 
-// lookup is the locked lookup + lazy-expiry + LRU-touch step.
+// lookup is the locked lookup + lazy-expiry + LRU-touch step. Expired
+// entries are misses, but within the MaxStale window they stay resident
+// (GetStale can retrieve them); past it they are removed.
 func (s *shard) lookup(c *Cache, key []byte, now time.Time) *Entry {
 	e := s.entries[string(key)]
 	if e == nil {
 		return nil
 	}
 	if now.After(e.expires) {
-		s.remove(e)
 		c.stale.Add(1)
+		if c.maxStale <= 0 || now.After(e.expires.Add(c.maxStale)) {
+			s.remove(e)
+		} else {
+			s.touch(e) // popular stale entries keep their LRU slot
+		}
 		return nil
 	}
 	s.touch(e)
 	return e
+}
+
+// GetStale returns the retained entry for key even when expired, as
+// long as it is still inside the MaxStale window — the RFC 8767 path
+// the recursor serves when the upstream is unreachable. Returns nil
+// when serve-stale is off or nothing usable is resident.
+func (c *Cache) GetStale(key []byte) *Entry {
+	if c.maxStale <= 0 {
+		return nil
+	}
+	now := c.now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[string(key)]
+	if e == nil || now.After(e.expires.Add(c.maxStale)) {
+		return nil
+	}
+	return e
+}
+
+// FailedRecently reports whether a fill for key failed inside the
+// FailTTL window, lazily dropping expired marks.
+func (c *Cache) FailedRecently(key []byte) bool {
+	if c.failTTL <= 0 {
+		return false
+	}
+	now := c.now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	until, ok := s.failed[string(key)]
+	if !ok {
+		return false
+	}
+	if now.After(until) {
+		delete(s.failed, string(key))
+		return false
+	}
+	c.failHits.Add(1)
+	return true
+}
+
+// markFailed records a failed fill under the shard lock. The map is
+// bounded like the entry map: past the per-shard cap expired marks are
+// swept, and if a storm of distinct keys keeps it full the whole map is
+// recycled — the marks only buy 2s of silence, losing them is safe.
+func (s *shard) markFailed(c *Cache, key string, now time.Time) {
+	if c.failTTL <= 0 {
+		return
+	}
+	if len(s.failed) >= c.maxPerShard {
+		for k, until := range s.failed {
+			if now.After(until) {
+				delete(s.failed, k)
+			}
+		}
+		if len(s.failed) >= c.maxPerShard {
+			s.failed = make(map[string]time.Time)
+		}
+	}
+	s.failed[key] = now.Add(c.failTTL)
+	c.failMarks.Add(1)
 }
 
 // Do returns the entry for key, filling it at most once no matter how
@@ -206,14 +329,75 @@ func (c *Cache) Do(key []byte, fill func() (*Entry, error)) (e *Entry, shared bo
 	f.e, f.err = e, err
 
 	s.mu.Lock()
-	delete(s.inflight, ks)
-	if err == nil && e != nil && e.Cacheable() {
-		e.key = ks
-		s.insert(c, e)
-	}
+	s.finish(c, ks, e, err)
 	s.mu.Unlock()
 	close(f.done)
 	return e, false, err
+}
+
+// finish completes a fill under the shard lock: successful cacheable
+// entries are clamped to [TTLFloor, TTLCap] and inserted (clearing any
+// fail mark); failures and non-cacheable answers (SERVFAIL) land in the
+// negative failure cache so repeat misses stop hammering the upstream.
+func (s *shard) finish(c *Cache, ks string, e *Entry, err error) {
+	delete(s.inflight, ks)
+	if err != nil || e == nil || !e.Cacheable() {
+		s.markFailed(c, ks, c.now())
+		return
+	}
+	now := c.now()
+	if floor := now.Add(c.ttlFloor); e.expires.Before(floor) {
+		e.expires = floor
+	}
+	if ceil := now.Add(c.ttlCap); e.expires.After(ceil) {
+		e.expires = ceil
+	}
+	e.key = ks
+	delete(s.failed, ks)
+	s.insert(c, e)
+}
+
+// Inflight reports whether a fill for key is currently running — a
+// cheap pre-check before spawning an asynchronous refresh goroutine.
+func (c *Cache) Inflight(key []byte) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.inflight[string(key)]
+	s.mu.Unlock()
+	return ok
+}
+
+// Refresh runs fill under the key's singleflight slot unless a fill is
+// already in flight or a fresh entry landed meanwhile (then it is a
+// no-op returning false). Unlike Do it never blocks on someone else's
+// fill — it is the background half of serve-stale: the stub already got
+// its stale answer, this call just tries to repopulate the entry.
+func (c *Cache) Refresh(key []byte, fill func() (*Entry, error)) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	// Fresh-entry check without lookup(): a refresh is not a stub
+	// lookup, so it must not skew the hit/miss/stale counters.
+	if e := s.entries[string(key)]; e != nil && !c.now().After(e.expires) {
+		s.mu.Unlock()
+		return false
+	}
+	if _, ok := s.inflight[string(key)]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	f := &flight{done: make(chan struct{})}
+	ks := string(key)
+	s.inflight[ks] = f
+	s.mu.Unlock()
+
+	e, err := fill()
+	f.e, f.err = e, err
+
+	s.mu.Lock()
+	s.finish(c, ks, e, err)
+	s.mu.Unlock()
+	close(f.done)
+	return true
 }
 
 // insert links a new entry at the LRU front, evicting the tail past the
@@ -299,6 +483,8 @@ func (c *Cache) Stats() CacheStats {
 		Stale:              c.stale.Load(),
 		Evictions:          c.evictions.Load(),
 		SingleflightShared: c.sfShared.Load(),
+		FailMarks:          c.failMarks.Load(),
+		FailHits:           c.failHits.Load(),
 		Entries:            c.Len(),
 	}
 }

@@ -47,7 +47,7 @@ func entryExpiring(at time.Time) *Entry {
 
 func TestCacheTTLExpiry(t *testing.T) {
 	clk := newClock()
-	c := NewCache(64, 4, clk.Now)
+	c := NewCache(CacheConfig{MaxEntries: 64, Shards: 4, Now: clk.Now})
 	key := testKey("www.d1.nl.")
 	mustFill(t, c, key, entryExpiring(clk.Now().Add(30*time.Second)))
 
@@ -77,7 +77,7 @@ func TestCacheTTLExpiry(t *testing.T) {
 func TestCacheLRUBound(t *testing.T) {
 	clk := newClock()
 	const max = 32
-	c := NewCache(max, 1, clk.Now) // one shard: the bound is exact
+	c := NewCache(CacheConfig{MaxEntries: max, Shards: 1, Now: clk.Now}) // one shard: the bound is exact
 	far := clk.Now().Add(time.Hour)
 	for i := 0; i < 3*max; i++ {
 		mustFill(t, c, testKey(fmt.Sprintf("www.d%d.nl.", i)), entryExpiring(far))
@@ -99,7 +99,7 @@ func TestCacheLRUBound(t *testing.T) {
 
 func TestCacheLRUTouchOnHit(t *testing.T) {
 	clk := newClock()
-	c := NewCache(2, 1, clk.Now)
+	c := NewCache(CacheConfig{MaxEntries: 2, Shards: 1, Now: clk.Now})
 	far := clk.Now().Add(time.Hour)
 	a, b, d := testKey("a.nl."), testKey("b.nl."), testKey("d.nl.")
 	mustFill(t, c, a, entryExpiring(far))
@@ -118,7 +118,7 @@ func TestCacheLRUTouchOnHit(t *testing.T) {
 
 func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
 	clk := newClock()
-	c := NewCache(64, 4, clk.Now)
+	c := NewCache(CacheConfig{MaxEntries: 64, Shards: 4, Now: clk.Now})
 	key := testKey("www.d1.nl.")
 
 	const n = 32
@@ -163,7 +163,7 @@ func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
 
 func TestDoDoesNotCacheUncacheable(t *testing.T) {
 	clk := newClock()
-	c := NewCache(64, 4, clk.Now)
+	c := NewCache(CacheConfig{MaxEntries: 64, Shards: 4, Now: clk.Now})
 	key := testKey("brownout.nl.")
 	e, _, err := c.Do(key, func() (*Entry, error) {
 		return &Entry{Wire: []byte{0, 0}}, nil // zero expiry: SERVFAIL-style
@@ -181,7 +181,7 @@ func TestDoDoesNotCacheUncacheable(t *testing.T) {
 
 func TestDoPropagatesFillError(t *testing.T) {
 	clk := newClock()
-	c := NewCache(64, 4, clk.Now)
+	c := NewCache(CacheConfig{MaxEntries: 64, Shards: 4, Now: clk.Now})
 	wantErr := fmt.Errorf("upstream dead")
 	_, _, err := c.Do(testKey("x.nl."), func() (*Entry, error) { return nil, wantErr })
 	if err != wantErr {

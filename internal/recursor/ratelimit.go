@@ -1,0 +1,125 @@
+package recursor
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// RRLVerdict is the front-line rate-limit decision for one datagram.
+type RRLVerdict int
+
+// Verdicts. Slip answers with a minimal TC=1 reply so a legitimate
+// stub behind a spoofed-source flood can still reach us over TCP;
+// Drop stays silent so the flood earns zero amplification.
+const (
+	RRLPass RRLVerdict = iota
+	RRLSlip
+	RRLDrop
+)
+
+// RRLConfig tunes the stub-facing per-client-IP token-bucket rate
+// limiter — the same shape the authserver's response rate limiting
+// uses, applied on the recursor's query side where the flood arrives.
+type RRLConfig struct {
+	// RatePerSec is the sustained per-client budget (0 disables RRL).
+	RatePerSec float64
+	// Burst is the bucket depth (defaults to 2×RatePerSec).
+	Burst float64
+	// SlipEvery makes every n-th over-limit query a TC=1 slip instead
+	// of a silent drop (default 2, the BIND default).
+	SlipEvery int
+	// MaxClients bounds the bucket table under spoofed-source floods
+	// (default 4096).
+	MaxClients int
+}
+
+func (cfg RRLConfig) withDefaults() RRLConfig {
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.RatePerSec
+	}
+	if cfg.SlipEvery <= 0 {
+		cfg.SlipEvery = 2
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	return cfg
+}
+
+// rrlBucket is one client's token bucket.
+type rrlBucket struct {
+	tokens float64
+	last   time.Time
+	slips  int
+}
+
+// rateLimiter applies RRLConfig per client address. One mutex guards
+// the table: the limiter sits in front of the parse path, so the
+// critical section is a map lookup and a few float ops.
+type rateLimiter struct {
+	cfg RRLConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[netip.Addr]*rrlBucket
+}
+
+func newRateLimiter(cfg RRLConfig, now func() time.Time) *rateLimiter {
+	if cfg.RatePerSec <= 0 {
+		return nil
+	}
+	return &rateLimiter{
+		cfg:     cfg.withDefaults(),
+		now:     now,
+		buckets: make(map[netip.Addr]*rrlBucket),
+	}
+}
+
+// admit updates client's bucket and decides pass/slip/drop.
+func (l *rateLimiter) admit(client netip.Addr) RRLVerdict {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= l.cfg.MaxClients {
+			l.sweep(now)
+		}
+		b = &rrlBucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[client] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * l.cfg.RatePerSec
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return RRLPass
+	}
+	b.slips++
+	if b.slips%l.cfg.SlipEvery == 0 {
+		return RRLSlip
+	}
+	return RRLDrop
+}
+
+// sweep bounds the bucket table: fully-recovered buckets (idle long
+// enough to refill to Burst) are dropped; if a spoofed-source flood
+// keeps every bucket warm, the whole table is recycled — each source
+// then gets one fresh burst, which the per-burst budget still bounds.
+func (l *rateLimiter) sweep(now time.Time) {
+	horizon := time.Duration(float64(time.Second) * l.cfg.Burst / l.cfg.RatePerSec)
+	for a, b := range l.buckets {
+		if now.Sub(b.last) > horizon {
+			delete(l.buckets, a)
+		}
+	}
+	if len(l.buckets) >= l.cfg.MaxClients {
+		l.buckets = make(map[netip.Addr]*rrlBucket)
+	}
+}

@@ -3,6 +3,8 @@ package recursor
 import (
 	"context"
 	"errors"
+	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,7 +16,8 @@ import (
 // Config shapes the recursor tier.
 type Config struct {
 	// Origin is the zone the upstreams are authoritative for; it scopes
-	// the RFC 8198 aggressive-NSEC cache.
+	// the RFC 8198 aggressive-NSEC cache and the flood guard's per-zone
+	// accounting.
 	Origin string
 	// CacheEntries bounds the answer cache (default 65536).
 	CacheEntries int
@@ -37,7 +40,37 @@ type Config struct {
 	// from DO-bit NXDOMAIN answers deny other covered names without an
 	// upstream query.
 	AggressiveNSEC bool
-	// Seed fixes the P2C randomness for reproducible runs.
+	// MaxStale is the RFC 8767 serve-stale window: expired entries stay
+	// retrievable this long past expiry and are served — TTLs clamped
+	// to StaleTTL — while an asynchronous refresh repopulates them, so
+	// an upstream outage browns out gracefully instead of going dark.
+	// 0 disables serve-stale entirely.
+	MaxStale time.Duration
+	// StaleTTL is the TTL clamp on served stale answers (default 30s,
+	// the RFC 8767 recommendation: long enough to damp retry storms,
+	// short enough that stubs re-ask soon after recovery).
+	StaleTTL time.Duration
+	// FailTTL is the negative failure-cache window (RFC 2308 §7 style):
+	// after a fill fails, repeat misses for the same key inside the
+	// window are answered from stale (or SERVFAIL) without touching the
+	// upstream path, absorbing miss storms during an outage. 0 disables.
+	FailTTL time.Duration
+	// Breaker arms a per-upstream circuit breaker (Failures 0 disables):
+	// consecutive failures open it, fills fast-fail past it, and a
+	// half-open probe re-admits the upstream when it recovers.
+	Breaker BreakerConfig
+	// UseCookies round-trips RFC 7873 DNS cookies on upstream queries
+	// (one jar per upstream), earning the RRL exemption cookie-validating
+	// authservers grant proven-source clients.
+	UseCookies bool
+	// RRL is the stub-facing per-client-IP token-bucket rate limit
+	// (RatePerSec 0 disables). UDP only; TCP proves the source address.
+	RRL RRLConfig
+	// Flood is the random-subdomain (water-torture) guard: zones whose
+	// NXDOMAIN-miss rate crosses the threshold get their misses REFUSED
+	// at the front door, upstream shielded (NXPerSec 0 disables).
+	Flood FloodConfig
+	// Seed fixes the P2C and cookie randomness for reproducible runs.
 	Seed int64
 	// Now is the cache clock (default time.Now); tests inject a
 	// virtual clock to step TTLs deterministically.
@@ -65,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTTL <= 0 {
 		c.MaxTTL = time.Hour
 	}
+	if c.StaleTTL <= 0 {
+		c.StaleTTL = 30 * time.Second
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -74,28 +110,43 @@ func (c Config) withDefaults() Config {
 // ErrNoUpstream is returned when every upstream attempt failed.
 var ErrNoUpstream = errors.New("recursor: all upstream attempts failed")
 
+// ErrBreakerOpen is returned when every upstream's circuit breaker
+// refused the exchange — the fill fast-fails without wire traffic.
+var ErrBreakerOpen = errors.New("recursor: all upstream breakers open")
+
 // Recursor answers stub queries from the sharded cache, filling misses
 // through the upstream pool with singleflight collapsing and hedged
 // racing. The wire-level serve path (HandleWire) is allocation-free on
-// cache hits.
+// cache hits. With MaxStale set it degrades gracefully through an
+// upstream outage: expired entries are served stale (RFC 8767) while
+// breakers hold the dead upstream to a probe trickle.
 type Recursor struct {
 	cfg   Config
 	cache *Cache
 	pool  *Pool
 	nsec  *resolver.NSECCache
+	rrl   *rateLimiter
+	flood *floodGuard
 
-	nextID atomic.Uint32
+	nextID    atomic.Uint32
+	refreshWG sync.WaitGroup
 
-	stubQueries    atomic.Uint64
-	aggressiveHits atomic.Uint64
-	truncations    atomic.Uint64
-	hedges         atomic.Uint64
-	hedgeWins      atomic.Uint64
-	failovers      atomic.Uint64
-	tcpFallbacks   atomic.Uint64
-	servfails      atomic.Uint64
-	dropped        atomic.Uint64
-	refused        atomic.Uint64
+	stubQueries      atomic.Uint64
+	aggressiveHits   atomic.Uint64
+	truncations      atomic.Uint64
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	failovers        atomic.Uint64
+	tcpFallbacks     atomic.Uint64
+	servfails        atomic.Uint64
+	dropped          atomic.Uint64
+	refused          atomic.Uint64
+	staleServed      atomic.Uint64
+	staleRefreshes   atomic.Uint64
+	breakerFastFails atomic.Uint64
+	rrlDrops         atomic.Uint64
+	rrlSlips         atomic.Uint64
+	floodRefused     atomic.Uint64
 
 	latency *telemetry.Histogram
 }
@@ -104,10 +155,26 @@ type Recursor struct {
 func New(cfg Config, pool *Pool) *Recursor {
 	cfg = cfg.withDefaults()
 	r := &Recursor{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries, cfg.CacheShards, cfg.Now),
+		cfg: cfg,
+		cache: NewCache(CacheConfig{
+			MaxEntries: cfg.CacheEntries,
+			Shards:     cfg.CacheShards,
+			MaxStale:   cfg.MaxStale,
+			FailTTL:    cfg.FailTTL,
+			TTLFloor:   cfg.MinTTL,
+			TTLCap:     cfg.MaxTTL,
+			Now:        cfg.Now,
+		}),
 		pool:  pool,
 		nsec:  resolver.NewNSECCache(cfg.Origin),
+		rrl:   newRateLimiter(cfg.RRL, cfg.Now),
+		flood: newFloodGuard(cfg.Flood, cfg.Now),
+	}
+	pool.armBreakers(cfg.Breaker)
+	if cfg.UseCookies {
+		for i := 0; i < pool.Len(); i++ {
+			pool.Upstream(i).jar = resolver.NewCookieJar(cfg.Seed + int64(i) + 1)
+		}
 	}
 	r.register(cfg.Telemetry)
 	return r
@@ -135,11 +202,23 @@ func (r *Recursor) register(reg *telemetry.Registry) {
 	reg.CounterFunc("recursor_upstream_tcp_fallbacks_total", r.tcpFallbacks.Load)
 	reg.CounterFunc("recursor_servfail_total", r.servfails.Load)
 	reg.CounterFunc("recursor_dropped_total", r.dropped.Load)
+	reg.CounterFunc("recursor_stale_served_total", r.staleServed.Load)
+	reg.CounterFunc("recursor_stale_refreshes_total", r.staleRefreshes.Load)
+	reg.CounterFunc("recursor_fail_cache_marks_total", r.cache.failMarks.Load)
+	reg.CounterFunc("recursor_fail_cache_hits_total", r.cache.failHits.Load)
+	reg.CounterFunc("recursor_breaker_fastfails_total", r.breakerFastFails.Load)
+	reg.CounterFunc("recursor_rrl_drops_total", r.rrlDrops.Load)
+	reg.CounterFunc("recursor_rrl_slips_total", r.rrlSlips.Load)
+	reg.CounterFunc("recursor_flood_refused_total", r.floodRefused.Load)
 	reg.GaugeFunc("recursor_cache_entries", func() int64 { return int64(r.cache.Len()) })
 	for i := 0; i < r.pool.Len(); i++ {
 		u := r.pool.Upstream(i)
 		reg.CounterFunc(`recursor_upstream_queries_total{upstream="`+u.Name+`"}`, u.queries.Load)
 		reg.CounterFunc(`recursor_upstream_failures_total{upstream="`+u.Name+`"}`, u.failures.Load)
+		reg.CounterFunc(`recursor_breaker_opens_total{upstream="`+u.Name+`"}`, u.BreakerOpens)
+		reg.GaugeFunc(`recursor_breaker_state{upstream="`+u.Name+`"}`, func() int64 {
+			return int64(u.BreakerState())
+		})
 		reg.GaugeFunc(`recursor_upstream_ewma_rtt_us{upstream="`+u.Name+`"}`, func() int64 {
 			return int64(u.EWMA() / time.Microsecond)
 		})
@@ -151,6 +230,46 @@ func (r *Recursor) Cache() *Cache { return r.cache }
 
 // Pool exposes the upstream pool.
 func (r *Recursor) Pool() *Pool { return r.pool }
+
+// WaitRefreshes blocks until every in-flight asynchronous stale refresh
+// has completed — tests and shutdown paths use it to make serve-stale
+// outcomes deterministic.
+func (r *Recursor) WaitRefreshes() { r.refreshWG.Wait() }
+
+// AdmitStub applies the front-line per-client rate limit for one UDP
+// datagram, before any parsing. TCP is exempt: completing the handshake
+// already proves the source address, which is the spoofing RRL defends
+// against.
+func (r *Recursor) AdmitStub(client netip.Addr) RRLVerdict {
+	if r.rrl == nil {
+		return RRLPass
+	}
+	v := r.rrl.admit(client)
+	switch v {
+	case RRLSlip:
+		r.rrlSlips.Add(1)
+	case RRLDrop:
+		r.rrlDrops.Add(1)
+	}
+	return v
+}
+
+// SlipResponse builds the RRL slip answer for query into dst: a minimal
+// TC=1 header that invites a legitimate stub to retry over TCP while
+// staying smaller than the query — negative amplification. Returns nil
+// when the datagram is not even a plausible query.
+func (r *Recursor) SlipResponse(query, dst []byte) []byte {
+	if len(query) < dnswire.HeaderLen || query[2]&flagQR != 0 {
+		return nil
+	}
+	dst = append(dst, query[:dnswire.HeaderLen]...)
+	dst[2] = dst[2]&(0x78|flagRD) | flagQR | flagTC
+	dst[3] = flagRA
+	for i := 4; i < 12; i++ {
+		dst[i] = 0
+	}
+	return dst
+}
 
 // Scratch is the per-goroutine reusable state of the serve path: the
 // lazy View and the qname/key buffers. One Scratch per serving
@@ -237,11 +356,60 @@ func (r *Recursor) HandleWire(query []byte, dst []byte, tcp bool, sc *Scratch) [
 		return dst
 	}
 
+	// Water-torture guard: a zone drowning in NXDOMAIN misses gets its
+	// further misses REFUSED at the front door (cache hits above still
+	// serve — the flood only poisons the miss path).
+	if r.flood != nil && !r.flood.admitMiss(parentZone(qname, r.cfg.Origin)) {
+		r.floodRefused.Add(1)
+		dst = r.headerError(query, dst, dnswire.RCodeRefused)
+		r.latency.Observe(time.Since(start))
+		return dst
+	}
+
+	// Failure cache: the upstream path failed for this key moments ago;
+	// answer from stale data (or SERVFAIL) without re-asking.
+	if r.cache.FailedRecently(sc.key) {
+		if e := r.cache.GetStale(sc.key); e != nil {
+			r.pool.Upstream(e.Upstream).answers.Add(1)
+			dst = r.serveStale(query, dst, e, hasEDNS, budget)
+		} else {
+			r.servfails.Add(1)
+			dst = r.synthesize(query, dst, dnswire.RCodeServFail)
+		}
+		r.latency.Observe(time.Since(start))
+		return dst
+	}
+
+	// Serve-stale (RFC 8767): an expired-but-retained answer is served
+	// immediately with clamped TTLs while a background singleflight
+	// refresh tries to repopulate the entry. During an outage the
+	// refresh fails fast (breaker) or marks the failure cache, so the
+	// stub-facing path never blocks on a dead upstream.
+	if e := r.cache.GetStale(sc.key); e != nil {
+		r.pool.Upstream(e.Upstream).answers.Add(1)
+		dst = r.serveStale(query, dst, e, hasEDNS, budget)
+		r.asyncRefresh(sc.key, qname, qtype, do)
+		r.latency.Observe(time.Since(start))
+		return dst
+	}
+
+	// Cold miss: block on the (singleflight-collapsed) fill.
 	// Do reads sc.key only before running fill (its inflight and map
 	// keys are string copies), so the scratch can be passed directly.
 	e, _, err := r.cache.Do(sc.key, func() (*Entry, error) {
 		return r.fill(qname, qtype, do)
 	})
+	if err != nil || (e != nil && e.RCode == dnswire.RCodeServFail && !e.Cacheable()) {
+		// The fill could not produce a usable answer; stale data that
+		// landed in the window since the checks above is still better
+		// than surfacing the failure.
+		if se := r.cache.GetStale(sc.key); se != nil {
+			r.pool.Upstream(se.Upstream).answers.Add(1)
+			dst = r.serveStale(query, dst, se, hasEDNS, budget)
+			r.latency.Observe(time.Since(start))
+			return dst
+		}
+	}
 	if err != nil {
 		r.servfails.Add(1)
 		dst = r.synthesize(query, dst, dnswire.RCodeServFail)
@@ -252,6 +420,27 @@ func (r *Recursor) HandleWire(query []byte, dst []byte, tcp bool, sc *Scratch) [
 	dst = r.serveEntry(query, dst, e, hasEDNS, budget)
 	r.latency.Observe(time.Since(start))
 	return dst
+}
+
+// asyncRefresh launches the background half of serve-stale: one
+// goroutine per key (the Inflight pre-check plus Refresh's singleflight
+// slot collapse duplicates) re-running the fill. The key is copied out
+// of the caller's scratch, which is reused the moment HandleWire
+// returns.
+func (r *Recursor) asyncRefresh(key []byte, qname string, qtype dnswire.Type, do bool) {
+	if r.cache.Inflight(key) {
+		return
+	}
+	k := append([]byte(nil), key...)
+	r.refreshWG.Add(1)
+	go func() {
+		defer r.refreshWG.Done()
+		if r.cache.Refresh(k, func() (*Entry, error) {
+			return r.fill(qname, qtype, do)
+		}) {
+			r.staleRefreshes.Add(1)
+		}
+	}()
 }
 
 // serveEntry copies the right cached variant into dst and patches it
@@ -277,6 +466,20 @@ func (r *Recursor) serveEntry(query, dst []byte, e *Entry, hasEDNS bool, budget 
 		dst[8], dst[9] = 0, 0 // NSCOUNT
 		dst[10], dst[11] = 0, 0
 	}
+	return dst
+}
+
+// serveStale serves a retained expired entry: the normal patching plus
+// the RFC 8767 TTL clamp, applied in place through the precomputed
+// offsets so stale serving stays allocation-free too.
+func (r *Recursor) serveStale(query, dst []byte, e *Entry, hasEDNS bool, budget int) []byte {
+	dst = r.serveEntry(query, dst, e, hasEDNS, budget)
+	offs := e.TTLOffs
+	if !hasEDNS {
+		offs = e.PlainTTLOffs
+	}
+	clampTTLs(dst, offs, uint32(r.cfg.StaleTTL/time.Second))
+	r.staleServed.Add(1)
 	return dst
 }
 
@@ -361,14 +564,29 @@ func (r *Recursor) fill(qname string, qtype dnswire.Type, do bool) (*Entry, erro
 		RCode:    resp.Header.RCode,
 		Upstream: upIdx,
 	}
+	if r.cfg.MaxStale > 0 {
+		// Precompute the TTL patch points once per fill so every later
+		// stale serve is a few in-place writes.
+		e.TTLOffs = ttlOffsets(wire)
+		if resp.Edns != nil {
+			e.PlainTTLOffs = ttlOffsets(plain)
+		} else {
+			e.PlainTTLOffs = e.TTLOffs
+		}
+	}
 	if resp.Header.RCode == dnswire.RCodeServFail {
 		// Browned-out answers are surfaced but never cached.
 		r.servfails.Add(1)
 		return e, nil
 	}
 	e.expires = now.Add(r.ttlOf(resp))
-	if r.cfg.AggressiveNSEC && do && resp.Header.RCode == dnswire.RCodeNXDomain {
-		r.nsec.Remember(resp, e.expires)
+	if resp.Header.RCode == dnswire.RCodeNXDomain {
+		if r.flood != nil {
+			r.flood.noteNXDomain(parentZone(qname, r.cfg.Origin))
+		}
+		if r.cfg.AggressiveNSEC && do {
+			r.nsec.Remember(resp, e.expires)
+		}
 	}
 	return e, nil
 }
@@ -405,8 +623,14 @@ func (r *Recursor) ttlOf(m *dnswire.Message) time.Duration {
 // second query races against the best alternative; the first answer
 // wins and cancels the loser. A primary that fails outright triggers
 // the second attempt immediately (failover), with or without hedging.
+// When every upstream's breaker refuses the exchange it fast-fails
+// with ErrBreakerOpen — no wire traffic, no timeout wait.
 func (r *Recursor) exchangeHedged(q *dnswire.Message) (*dnswire.Message, int, error) {
-	primary, pi := r.pool.Pick()
+	primary, pi := r.pool.Pick(r.cfg.Now())
+	if primary == nil {
+		r.breakerFastFails.Add(1)
+		return nil, -1, ErrBreakerOpen
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -435,7 +659,7 @@ func (r *Recursor) exchangeHedged(q *dnswire.Message) (*dnswire.Message, int, er
 		if second {
 			return
 		}
-		u, idx := r.pool.PickOther(pi)
+		u, idx := r.pool.PickOther(pi, r.cfg.Now())
 		if u == nil {
 			return
 		}
@@ -482,18 +706,42 @@ func (r *Recursor) exchangeHedged(q *dnswire.Message) (*dnswire.Message, int, er
 }
 
 // exchangeOne performs a single upstream exchange including the TC→TCP
-// escalation, maintaining the EWMA estimate: successes feed measured
-// RTTs, failures charge the penalty — except cancelled losers, which
-// carry no signal about the upstream's speed.
+// escalation, maintaining the EWMA estimate and the circuit breaker:
+// successes feed measured RTTs and close the breaker, failures charge
+// the penalty and grow the streak — except cancelled losers, which
+// carry no signal about the upstream and only release the probe slot.
+// An upstream answering SERVFAIL counts as a breaker failure (the
+// server is up but not serving) without distorting the RTT estimate.
 func (r *Recursor) exchangeOne(ctx context.Context, u *Upstream, q *dnswire.Message) (*dnswire.Message, error) {
+	if u.jar != nil && q.Edns != nil {
+		// Shallow-copy the message and OPT so this upstream's COOKIE
+		// option never rides along to another upstream (server cookies
+		// are bound to the issuing server, RFC 7873 §5.2).
+		qc := *q
+		edns := *q.Edns
+		edns.Options = append([]dnswire.EDNSOption(nil), q.Edns.Options...)
+		qc.Edns = &edns
+		u.jar.Attach(&qc)
+		q = &qc
+	}
+	fail := func(err error) (*dnswire.Message, error) {
+		if ctx.Err() != nil {
+			if u.br != nil {
+				u.br.onCancel()
+			}
+			return nil, err
+		}
+		u.failures.Add(1)
+		u.penalize()
+		if u.br != nil {
+			u.br.onFailure(r.cfg.Now())
+		}
+		return nil, err
+	}
 	u.queries.Add(1)
 	resp, rtt, err := resolver.ExchangeContext(ctx, u.Transport, q, false, r.cfg.UpstreamTimeout)
 	if err != nil {
-		if ctx.Err() == nil {
-			u.failures.Add(1)
-			u.penalize()
-		}
-		return nil, err
+		return fail(err)
 	}
 	u.observe(rtt)
 	if resp.Header.Truncated {
@@ -501,13 +749,19 @@ func (r *Recursor) exchangeOne(ctx context.Context, u *Upstream, q *dnswire.Mess
 		u.queries.Add(1)
 		resp, rtt, err = resolver.ExchangeContext(ctx, u.Transport, q, true, r.cfg.UpstreamTimeout)
 		if err != nil {
-			if ctx.Err() == nil {
-				u.failures.Add(1)
-				u.penalize()
-			}
-			return nil, err
+			return fail(err)
 		}
 		u.observe(rtt)
+	}
+	if u.br != nil {
+		if resp.Header.RCode == dnswire.RCodeServFail {
+			u.br.onFailure(r.cfg.Now())
+		} else {
+			u.br.onSuccess()
+		}
+	}
+	if u.jar != nil {
+		u.jar.Learn(resp)
 	}
 	return resp, nil
 }

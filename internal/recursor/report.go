@@ -102,6 +102,32 @@ func (r *Recursor) Report() Report {
 	return rep
 }
 
+// Resilience snapshots the outage-survival counters. Call
+// WaitRefreshes first when background stale refreshes must be settled
+// (tests; the live CLI snapshots whatever is current).
+func (r *Recursor) Resilience() stats.Resilience {
+	cs := r.cache.Stats()
+	res := stats.Resilience{
+		StubQueries:      r.stubQueries.Load(),
+		Servfails:        r.servfails.Load(),
+		FloodRefused:     r.floodRefused.Load(),
+		FreshHits:        cs.Hits,
+		StaleServed:      r.staleServed.Load(),
+		StaleRefreshes:   r.staleRefreshes.Load(),
+		FailCacheHits:    cs.FailHits,
+		BreakerFastFails: r.breakerFastFails.Load(),
+		RRLDrops:         r.rrlDrops.Load(),
+		RRLSlips:         r.rrlSlips.Load(),
+	}
+	for i := 0; i < r.pool.Len(); i++ {
+		u := r.pool.Upstream(i)
+		res.BreakerOpens += u.BreakerOpens()
+		res.UpstreamQueries += u.queries.Load()
+		res.UpstreamFailures += u.failures.Load()
+	}
+	return res
+}
+
 // Format renders the report for the CLI.
 func (rep Report) Format() string {
 	var b strings.Builder

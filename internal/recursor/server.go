@@ -159,6 +159,20 @@ func (s *Server) handleUDPPacket(pkt, out []byte, raddr netip.AddrPort, sc *Scra
 			s.logf("udp handler panic from %s: %v", raddr, p)
 		}
 	}()
+	// Front-line rate limit, before any parsing: drops stay silent,
+	// slips answer TC=1 so a real stub retries over TCP (which is
+	// exempt — the handshake proves the source address).
+	switch s.rec.AdmitStub(raddr.Addr()) {
+	case RRLDrop:
+		return
+	case RRLSlip:
+		if resp := s.rec.SlipResponse(pkt, out); resp != nil {
+			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
+				s.logf("udp write to %s: %v", raddr, err)
+			}
+		}
+		return
+	}
 	resp := s.rec.HandleWire(pkt, out, false, sc)
 	if resp == nil {
 		return

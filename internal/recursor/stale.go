@@ -1,0 +1,84 @@
+package recursor
+
+import (
+	"encoding/binary"
+
+	"dnscentral/internal/dnswire"
+)
+
+// ttlOffsets walks a packed message and records the wire offset of
+// every RR TTL field, skipping OPT pseudo-RRs (their TTL carries the
+// extended RCODE and EDNS flags, not a lifetime). The serve-stale path
+// patches clamped TTLs through these offsets into the copied response
+// without re-parsing, keeping stale serving allocation-free per query.
+// Returns nil on any malformed structure — the entry then serves stale
+// with original TTLs, which RFC 8767 tolerates.
+func ttlOffsets(wire []byte) []uint16 {
+	if len(wire) < dnswire.HeaderLen {
+		return nil
+	}
+	qd := int(binary.BigEndian.Uint16(wire[4:]))
+	rrs := int(binary.BigEndian.Uint16(wire[6:])) +
+		int(binary.BigEndian.Uint16(wire[8:])) +
+		int(binary.BigEndian.Uint16(wire[10:]))
+	off := dnswire.HeaderLen
+	var err error
+	for i := 0; i < qd; i++ {
+		if off, err = dnswire.SkipName(wire, off); err != nil {
+			return nil
+		}
+		off += 4
+	}
+	var out []uint16
+	for i := 0; i < rrs; i++ {
+		if off, err = dnswire.SkipName(wire, off); err != nil {
+			return nil
+		}
+		if off+10 > len(wire) {
+			return nil
+		}
+		typ := dnswire.Type(binary.BigEndian.Uint16(wire[off:]))
+		rdlen := int(binary.BigEndian.Uint16(wire[off+8:]))
+		if typ != dnswire.TypeOPT {
+			out = append(out, uint16(off+4))
+		}
+		off += 10 + rdlen
+		if off > len(wire) {
+			return nil
+		}
+	}
+	return out
+}
+
+// clampTTLs rewrites every recorded TTL in resp that exceeds maxSecs
+// down to maxSecs. Offsets past len(resp) (records clipped away by
+// TC truncation) are skipped.
+func clampTTLs(resp []byte, offs []uint16, maxSecs uint32) {
+	for _, off := range offs {
+		if int(off)+4 > len(resp) {
+			continue
+		}
+		if binary.BigEndian.Uint32(resp[off:]) > maxSecs {
+			binary.BigEndian.PutUint32(resp[off:], maxSecs)
+		}
+	}
+}
+
+// parentZone maps a qname to its flood-accounting zone: the name with
+// its first label stripped ("w123.d1.nl." under "nl." → "d1.nl.";
+// "junk.nl." → "nl."), clamped to the recursor's origin for apex or
+// out-of-bailiwick names. A random-subdomain (water-torture) flood
+// shares its victim's parent under this key while its qnames never
+// repeat — exactly the aggregation the NXDOMAIN-rate detector needs.
+func parentZone(qname, origin string) string {
+	for i := 0; i+1 < len(qname); i++ {
+		if qname[i] == '.' {
+			p := qname[i+1:]
+			if len(p) >= len(origin) && p[len(p)-len(origin):] == origin {
+				return p
+			}
+			break
+		}
+	}
+	return origin
+}

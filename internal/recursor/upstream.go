@@ -35,9 +35,43 @@ type Upstream struct {
 	// int64; 0 = unmeasured).
 	ewmaNS atomic.Int64
 
+	// br is the circuit breaker (nil when disabled); jar round-trips
+	// RFC 7873 DNS cookies with this server (nil when disabled). Both
+	// are armed by Recursor.New from its Config.
+	br  *breaker
+	jar *resolver.CookieJar
+
 	queries  atomic.Uint64 // wire exchanges sent to this upstream
 	failures atomic.Uint64 // exchanges that errored
 	answers  atomic.Uint64 // stub queries answered from this upstream's fills (hits included)
+}
+
+// admit consults the breaker (always true when disarmed), consuming the
+// half-open probe slot when it grants one.
+func (u *Upstream) admit(now time.Time) bool {
+	return u.br == nil || u.br.admit(now)
+}
+
+// admissible is the non-consuming admission preview.
+func (u *Upstream) admissible(now time.Time) bool {
+	return u.br == nil || u.br.admissible(now)
+}
+
+// BreakerState returns the breaker state constant (BreakerClosed when
+// breakers are disarmed).
+func (u *Upstream) BreakerState() int32 {
+	if u.br == nil {
+		return BreakerClosed
+	}
+	return u.br.State()
+}
+
+// BreakerOpens returns how often this upstream's breaker tripped open.
+func (u *Upstream) BreakerOpens() uint64 {
+	if u.br == nil {
+		return 0
+	}
+	return u.br.opens.Load()
 }
 
 // EWMA returns the smoothed RTT estimate (0 until first measurement).
@@ -91,12 +125,43 @@ func (p *Pool) Len() int { return len(p.ups) }
 // Upstream returns the upstream at pool index i.
 func (p *Pool) Upstream(i int) *Upstream { return p.ups[i] }
 
+// armBreakers attaches a circuit breaker to every upstream. No-op when
+// cfg.Failures is 0 (disabled).
+func (p *Pool) armBreakers(cfg BreakerConfig) {
+	if cfg.Failures <= 0 {
+		return
+	}
+	for _, u := range p.ups {
+		u.br = newBreaker(cfg)
+	}
+}
+
+// anyAdmissible reports whether at least one upstream would currently
+// accept an exchange — false means every breaker is open and a fill
+// would fast-fail, so the serve path should go straight to stale data.
+func (p *Pool) anyAdmissible(now time.Time) bool {
+	for _, u := range p.ups {
+		if u.admissible(now) {
+			return true
+		}
+	}
+	return false
+}
+
 // Pick chooses the next upstream by power-of-two-choices. Unmeasured
 // upstreams (EWMA 0) win every comparison so each gets probed early.
-func (p *Pool) Pick() (*Upstream, int) {
+// Breaker-rejected candidates are skipped; when every upstream's
+// breaker refuses, Pick returns (nil, -1) and the exchange fast-fails
+// without wire traffic. A granted pick consumes the breaker admission
+// (including the single half-open probe slot), so the caller must
+// actually send.
+func (p *Pool) Pick(now time.Time) (*Upstream, int) {
 	n := len(p.ups)
 	if n == 1 {
-		return p.ups[0], 0
+		if p.ups[0].admit(now) {
+			return p.ups[0], 0
+		}
+		return nil, -1
 	}
 	p.mu.Lock()
 	i := p.rng.Intn(n)
@@ -106,24 +171,40 @@ func (p *Pool) Pick() (*Upstream, int) {
 		j++
 	}
 	if better(p.ups[j], p.ups[i]) {
+		i, j = j, i
+	}
+	if p.ups[i].admit(now) {
+		return p.ups[i], i
+	}
+	if p.ups[j].admit(now) {
 		return p.ups[j], j
 	}
-	return p.ups[i], i
+	for k, u := range p.ups {
+		if k != i && k != j && u.admit(now) {
+			return u, k
+		}
+	}
+	return nil, -1
 }
 
-// PickOther chooses the hedge target: the lowest-EWMA upstream other
-// than the primary (nil when the pool has no alternative). Hedging to
-// the best-known alternative, not a random one, is what makes the
-// second query likely to actually beat a straggling primary.
-func (p *Pool) PickOther(primary int) (*Upstream, int) {
+// PickOther chooses the hedge target: the lowest-EWMA admissible
+// upstream other than the primary (nil when the pool has no admissible
+// alternative). Hedging to the best-known alternative, not a random
+// one, is what makes the second query likely to actually beat a
+// straggling primary. Like Pick, a non-nil return consumes the
+// breaker admission.
+func (p *Pool) PickOther(primary int, now time.Time) (*Upstream, int) {
 	best, bi := (*Upstream)(nil), -1
 	for i, u := range p.ups {
-		if i == primary {
+		if i == primary || !u.admissible(now) {
 			continue
 		}
 		if best == nil || better(u, best) {
 			best, bi = u, i
 		}
+	}
+	if best == nil || !best.admit(now) {
+		return nil, -1
 	}
 	return best, bi
 }

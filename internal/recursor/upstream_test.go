@@ -40,7 +40,7 @@ func TestP2CPrefersFasterUpstream(t *testing.T) {
 	p := NewPool(42, fast, slow)
 	fastPicks := 0
 	for i := 0; i < 1000; i++ {
-		if u, _ := p.Pick(); u == fast {
+		if u, _ := p.Pick(time.Now()); u == fast {
 			fastPicks++
 		}
 	}
@@ -56,7 +56,7 @@ func TestP2CProbesUnmeasuredFirst(t *testing.T) {
 	measured.observe(time.Millisecond)
 	fresh := &Upstream{Name: "fresh"}
 	p := NewPool(7, measured, fresh)
-	if u, _ := p.Pick(); u != fresh {
+	if u, _ := p.Pick(time.Now()); u != fresh {
 		t.Fatal("unmeasured upstream must win its first comparison")
 	}
 }
@@ -69,7 +69,7 @@ func TestP2CSpreadsAcrossComparableUpstreams(t *testing.T) {
 	p := NewPool(1, ups...)
 	picks := make(map[string]int)
 	for i := 0; i < 4000; i++ {
-		u, _ := p.Pick()
+		u, _ := p.Pick(time.Now())
 		picks[u.Name]++
 		// Tiny jitter so estimates wander but stay comparable.
 		u.observe(10 * time.Millisecond)
@@ -89,11 +89,11 @@ func TestPickOtherReturnsBestAlternative(t *testing.T) {
 	b.observe(50 * time.Millisecond)
 	c.observe(5 * time.Millisecond)
 	p := NewPool(1, a, b, c)
-	if u, idx := p.PickOther(0); u != c || idx != 2 {
+	if u, idx := p.PickOther(0, time.Now()); u != c || idx != 2 {
 		t.Fatalf("PickOther(0) = %v/%d, want c/2", u, idx)
 	}
 	single := NewPool(1, a)
-	if u, _ := single.PickOther(0); u != nil {
+	if u, _ := single.PickOther(0, time.Now()); u != nil {
 		t.Fatal("single-upstream pool must have no hedge target")
 	}
 }

@@ -1,0 +1,70 @@
+package resolver
+
+import (
+	"math/rand"
+	"sync"
+
+	"dnscentral/internal/authserver"
+	"dnscentral/internal/dnswire"
+)
+
+// CookieJar round-trips RFC 7873 DNS cookies for one client↔server
+// pair: it generates the client cookie lazily, remembers the last
+// server cookie the server echoed, and attaches both to outgoing
+// queries. A client presenting a valid server cookie proves its source
+// address is not spoofed, so cookie-validating servers exempt it from
+// response rate limiting — the exemption both the simulated resolver
+// and the recursor's upstream path claim through this type.
+//
+// The jar is safe for concurrent use; each upstream server needs its
+// own jar, because server cookies are bound to the issuing server.
+type CookieJar struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	client []byte
+	server []byte
+}
+
+// NewCookieJar builds a jar whose client cookie derives from seed, so
+// runs are reproducible.
+func NewCookieJar(seed int64) *CookieJar {
+	return &CookieJar{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Option returns the COOKIE option payload: the client cookie plus the
+// last learned server cookie, if any.
+func (j *CookieJar) Option() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.client == nil {
+		j.client = make([]byte, authserver.ClientCookieLen)
+		j.rng.Read(j.client)
+	}
+	out := append([]byte(nil), j.client...)
+	return append(out, j.server...)
+}
+
+// Attach appends the COOKIE option to a query that already carries an
+// OPT record (cookies require EDNS; without one this is a no-op).
+func (j *CookieJar) Attach(q *dnswire.Message) {
+	if q.Edns == nil {
+		return
+	}
+	q.Edns.Options = append(q.Edns.Options, dnswire.EDNSOption{
+		Code: dnswire.EDNSOptionCookie, Data: j.Option(),
+	})
+}
+
+// Learn remembers the server cookie echoed in a response.
+func (j *CookieJar) Learn(resp *dnswire.Message) {
+	if resp == nil || resp.Edns == nil {
+		return
+	}
+	for _, opt := range resp.Edns.Options {
+		if opt.Code == dnswire.EDNSOptionCookie && len(opt.Data) > authserver.ClientCookieLen {
+			j.mu.Lock()
+			j.server = append(j.server[:0], opt.Data[authserver.ClientCookieLen:]...)
+			j.mu.Unlock()
+		}
+	}
+}

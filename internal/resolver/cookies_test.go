@@ -52,8 +52,8 @@ func TestResolverCookiesBypassRRL(t *testing.T) {
 func TestResolverCookieStableAcrossQueries(t *testing.T) {
 	f := newFixture(t)
 	r := f.resolver(Config{EDNSSize: 1232, UseCookies: true})
-	a := r.cookieOption()
-	b := r.cookieOption()
+	a := r.jar.Option()
+	b := r.jar.Option()
 	if len(a) < authserver.ClientCookieLen || string(a[:8]) != string(b[:8]) {
 		t.Fatal("client cookie not stable")
 	}
@@ -61,7 +61,7 @@ func TestResolverCookieStableAcrossQueries(t *testing.T) {
 	if _, err := r.Resolve("www.d1.nl.", dnswire.TypeA); err != nil {
 		t.Fatal(err)
 	}
-	c := r.cookieOption()
+	c := r.jar.Option()
 	if len(c) != authserver.ClientCookieLen+authserver.ServerCookieLen {
 		t.Fatalf("cookie option after exchange = %d bytes", len(c))
 	}

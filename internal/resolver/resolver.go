@@ -20,7 +20,6 @@ import (
 	"sync"
 	"time"
 
-	"dnscentral/internal/authserver"
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/telemetry"
 )
@@ -211,17 +210,16 @@ type Resolver struct {
 	origin string
 	cfg    Config
 
-	mu           sync.Mutex
-	upstreams    map[Family]Transport
-	rtt          map[Family]rttEstimate
-	cache        map[cacheKey]cacheEntry
-	nsec         *NSECCache
-	clientCookie []byte
-	serverCookie []byte
-	rng          *rand.Rand
-	nextID       uint16
-	stats        Stats
-	tm           resolverMetrics
+	mu        sync.Mutex
+	upstreams map[Family]Transport
+	rtt       map[Family]rttEstimate
+	cache     map[cacheKey]cacheEntry
+	nsec      *NSECCache
+	jar       *CookieJar
+	rng       *rand.Rand
+	nextID    uint16
+	stats     Stats
+	tm        resolverMetrics
 }
 
 // New builds a resolver for the zone rooted at origin.
@@ -245,6 +243,7 @@ func New(origin string, cfg Config) *Resolver {
 		rtt:       make(map[Family]rttEstimate),
 		cache:     make(map[cacheKey]cacheEntry),
 		nsec:      NewNSECCache(origin),
+		jar:       NewCookieJar(cfg.Seed),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		tm:        newResolverMetrics(cfg.Telemetry),
 	}
@@ -459,9 +458,7 @@ func (r *Resolver) exchangeOnce(name string, typ dnswire.Type, attempt int) (*dn
 	if r.cfg.EDNSSize > 0 {
 		q.WithEdns(r.cfg.EDNSSize, r.cfg.Validate)
 		if r.cfg.UseCookies {
-			q.Edns.Options = append(q.Edns.Options, dnswire.EDNSOption{
-				Code: dnswire.EDNSOptionCookie, Data: r.cookieOption(),
-			})
+			r.jar.Attach(q)
 		}
 	}
 
@@ -503,31 +500,12 @@ func (r *Resolver) count(f func(*Stats)) {
 	r.mu.Unlock()
 }
 
-// cookieOption builds the COOKIE option payload: the resolver's client
-// cookie plus the last server cookie it learned, if any.
-func (r *Resolver) cookieOption() []byte {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.clientCookie == nil {
-		r.clientCookie = make([]byte, authserver.ClientCookieLen)
-		r.rng.Read(r.clientCookie)
-	}
-	out := append([]byte(nil), r.clientCookie...)
-	return append(out, r.serverCookie...)
-}
-
 // learnCookie remembers the server cookie echoed in a response.
 func (r *Resolver) learnCookie(resp *dnswire.Message) {
-	if !r.cfg.UseCookies || resp == nil || resp.Edns == nil {
+	if !r.cfg.UseCookies {
 		return
 	}
-	for _, opt := range resp.Edns.Options {
-		if opt.Code == dnswire.EDNSOptionCookie && len(opt.Data) > authserver.ClientCookieLen {
-			r.mu.Lock()
-			r.serverCookie = append(r.serverCookie[:0], opt.Data[authserver.ClientCookieLen:]...)
-			r.mu.Unlock()
-		}
-	}
+	r.jar.Learn(resp)
 }
 
 // note updates stats and the RTT estimator.

@@ -37,6 +37,18 @@ type StubLoadConfig struct {
 	// Seed makes runs reproducible; worker i uses Seed+i so the drawn
 	// rank sequence is independent of scheduling.
 	Seed int64
+	// Attack switches the generator from the benign Zipf stream to an
+	// attack pattern. "watertorture" sends random never-repeating
+	// names — every query a guaranteed cache miss, the classic
+	// random-subdomain flood. Empty means benign.
+	Attack string
+	// AttackVictim selects the flood's target. 0 (the default) aims at
+	// the zone apex: random junk directly under <zone>, which a TLD
+	// answers with NXDOMAIN — the storm the recursor's flood guard
+	// keys on. A rank ≥ 1 aims under that delegated domain
+	// ("w<rand>.d<victim>.<zone>."), which draws referrals instead and
+	// fills the recursor cache with unique entries.
+	AttackVictim int
 }
 
 func (c StubLoadConfig) withDefaults() StubLoadConfig {
@@ -117,9 +129,20 @@ func StubLoad(cfg StubLoadConfig) (StubLoadStats, error) {
 			defer conn.Close()
 			buf := make([]byte, 1<<16)
 			for i := 0; i < n; i++ {
-				rank := zipf.Next()
+				var name string
+				if cfg.Attack == "watertorture" {
+					// Unique per draw, so the cache never helps and every
+					// query costs an upstream round trip.
+					if cfg.AttackVictim > 0 {
+						name = fmt.Sprintf("w%08x.d%d.%s.", rng.Uint32(), cfg.AttackVictim, cfg.Zone)
+					} else {
+						name = fmt.Sprintf("w%08x.%s.", rng.Uint32(), cfg.Zone)
+					}
+				} else {
+					name = fmt.Sprintf("www.d%d.%s.", zipf.Next(), cfg.Zone)
+				}
 				id := uint16(worker<<10) + uint16(i)
-				q := dnswire.NewQuery(id, fmt.Sprintf("www.d%d.%s.", rank, cfg.Zone), dnswire.TypeA)
+				q := dnswire.NewQuery(id, name, dnswire.TypeA)
 				if cfg.EDNSSize > 0 {
 					q.WithEdns(cfg.EDNSSize, false)
 				}
