@@ -36,6 +36,11 @@ func main() {
 
 		idle    = flag.Duration("tcp-idle", 10*time.Second, "TCP idle timeout before the server hangs up")
 		maxTCP  = flag.Int("max-tcp", 128, "max concurrent TCP connections (<0 = unlimited)")
+
+		udpBatch    = flag.Int("udp-batch", 32, "datagrams per recvmmsg/sendmmsg syscall on the batched UDP engine")
+		udpSockets  = flag.Int("udp-sockets", 0, "SO_REUSEPORT UDP sockets / receive loops (0 = GOMAXPROCS, capped at 8)")
+		udpPortable = flag.Bool("udp-portable", false, "force the one-datagram-per-syscall portable UDP loop (benchmark baseline)")
+
 		loss    = flag.Float64("chaos-loss", 0, "impairment proxy: per-direction UDP loss probability")
 		dup     = flag.Float64("chaos-dup", 0, "impairment proxy: response duplication probability")
 		corrupt = flag.Float64("chaos-corrupt", 0, "impairment proxy: response corruption probability")
@@ -81,8 +86,16 @@ func main() {
 	chaos := faults.Config{
 		Loss: *loss, Duplicate: *dup, Corrupt: *corrupt, Truncate: *trunc,
 		TCPFail: *tcpfail, Latency: *latency, Jitter: *jitter, Seed: *cseed,
+		Telemetry: reg,
 	}
-	scfg := authserver.ServerConfig{TCPIdleTimeout: *idle, MaxTCPConns: *maxTCP, Telemetry: reg}
+	scfg := authserver.ServerConfig{
+		TCPIdleTimeout: *idle,
+		MaxTCPConns:    *maxTCP,
+		UDPBatch:       *udpBatch,
+		UDPSockets:     *udpSockets,
+		UDPPortable:    *udpPortable,
+		Telemetry:      reg,
+	}
 
 	// With impairment configured, the public address is the chaos proxy
 	// and the real server hides behind it on an ephemeral loopback port.

@@ -77,6 +77,8 @@ func main() {
 		stubW      = flag.Int("stub-workers", 4, "stub mode: concurrent stub clients")
 		stubAttack = flag.String("stub-attack", "", "stub mode attack pattern: watertorture (random-subdomain flood) or empty for benign")
 		stubVictim = flag.Int("stub-victim", 0, "stub mode: attack victim — 0 floods the zone apex (NXDOMAIN storm), rank ≥ 1 floods under that delegated domain (referral storm)")
+		stubBatch  = flag.Int("stub-batch", 1, "stub mode: queries per sendmmsg window (>1 engages the batched sender)")
+		stubRate   = flag.Float64("stub-rate", 0, "stub mode: aggregate target send rate in queries/sec (0 = closed-loop, as fast as answers return); the report shows achieved vs target")
 	)
 	tm := telemetry.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register(flag.CommandLine)
@@ -104,6 +106,8 @@ func main() {
 			Seed:         *seed,
 			Attack:       *stubAttack,
 			AttackVictim: *stubVictim,
+			Batch:        *stubBatch,
+			TargetQPS:    *stubRate,
 		})
 		if err != nil {
 			prof.Stop()

@@ -13,6 +13,7 @@ import (
 
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/telemetry"
+	"dnscentral/internal/udpengine"
 )
 
 // ServerConfig tunes the transport hardening knobs.
@@ -24,10 +25,21 @@ type ServerConfig struct {
 	// connections are accepted and immediately closed so clients see a
 	// fast reset instead of a hang (default 128, negative = unlimited).
 	MaxTCPConns int
+	// UDPBatch is the datagrams-per-syscall budget of the batched UDP
+	// engine (default 32; see internal/udpengine).
+	UDPBatch int
+	// UDPSockets is the UDP receive parallelism: SO_REUSEPORT sockets on
+	// Linux, reader goroutines on the portable fallback (default
+	// GOMAXPROCS capped at 8).
+	UDPSockets int
+	// UDPPortable forces the one-datagram-per-syscall portable engine —
+	// the pre-batching baseline, kept for debugging and benchmarking.
+	UDPPortable bool
 	// Telemetry, when set, publishes live transport metrics (datagram
-	// and connection counters, the active-connection gauge) on the
-	// registry; pair it with WithTelemetry on the Engine for the RCODE
-	// mix. Nil keeps the serve loops telemetry-free.
+	// and connection counters, the active-connection gauge, the
+	// udpengine_* socket-plane family) on the registry; pair it with
+	// WithTelemetry on the Engine for the RCODE mix. Nil keeps the
+	// serve loops telemetry-free.
 	Telemetry *telemetry.Registry
 }
 
@@ -43,11 +55,16 @@ func (c ServerConfig) withDefaults() ServerConfig {
 
 // Server binds an Engine to real UDP and TCP sockets, speaking standard
 // DNS transport framing (RFC 1035 §4.2: two-byte length prefix on TCP).
+// The UDP side rides the batched socket engine (internal/udpengine):
+// recvmmsg/sendmmsg with SO_REUSEPORT sharding on Linux, the classic
+// one-datagram loop elsewhere; responses are appended straight into the
+// engine's write arena via AppendResponse, so the per-datagram response
+// allocation the old PackResponse path paid is gone.
 type Server struct {
 	engine *Engine
 	cfg    ServerConfig
 
-	udp *net.UDPConn
+	udp udpengine.Engine
 	tcp *net.TCPListener
 
 	wg     sync.WaitGroup
@@ -80,19 +97,9 @@ func ListenConfig(addr string, engine *Engine, cfg ServerConfig) (*Server, error
 	if err != nil {
 		return nil, fmt.Errorf("authserver: tcp listen: %w", err)
 	}
-	// Bind UDP to the exact port TCP got (relevant for addr with port 0).
-	udpConn, err := net.ListenUDP("udp", &net.UDPAddr{
-		IP:   tcpLn.Addr().(*net.TCPAddr).IP,
-		Port: tcpLn.Addr().(*net.TCPAddr).Port,
-	})
-	if err != nil {
-		tcpLn.Close()
-		return nil, fmt.Errorf("authserver: udp listen: %w", err)
-	}
 	s := &Server{
 		engine: engine,
 		cfg:    cfg.withDefaults(),
-		udp:    udpConn,
 		tcp:    tcpLn.(*net.TCPListener),
 		closed: make(chan struct{}),
 		conns:  make(map[*net.TCPConn]struct{}),
@@ -108,15 +115,29 @@ func ListenConfig(addr string, engine *Engine, cfg ServerConfig) (*Server, error
 			return int64(len(s.conns))
 		})
 	}
-	s.wg.Add(2)
-	go s.serveUDP()
+	// Bind UDP to the exact port TCP got (relevant for addr with port 0)
+	// through the batched socket engine.
+	tcpAddr := tcpLn.Addr().(*net.TCPAddr)
+	udpAddr := net.JoinHostPort(tcpAddr.IP.String(), fmt.Sprint(tcpAddr.Port))
+	s.udp, err = udpengine.Listen(udpAddr, s.handleUDPPacket, udpengine.Config{
+		Batch:     s.cfg.UDPBatch,
+		Sockets:   s.cfg.UDPSockets,
+		Portable:  s.cfg.UDPPortable,
+		Telemetry: s.cfg.Telemetry,
+		Logf:      s.logf,
+	})
+	if err != nil {
+		tcpLn.Close()
+		return nil, fmt.Errorf("authserver: udp listen: %w", err)
+	}
+	s.wg.Add(1)
 	go s.serveTCP()
 	return s, nil
 }
 
 // Addr returns the bound address (same port for UDP and TCP).
 func (s *Server) Addr() netip.AddrPort {
-	return s.udp.LocalAddr().(*net.UDPAddr).AddrPort()
+	return s.udp.Addr()
 }
 
 // Engine returns the underlying engine.
@@ -150,51 +171,35 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-func (s *Server) serveUDP() {
-	defer s.wg.Done()
-	buf := make([]byte, 65535)
-	for {
-		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				s.logf("udp read: %v", err)
-				continue
-			}
-		}
-		s.tmDatagrams.Inc()
-		s.handleUDPPacket(buf[:n], raddr)
-	}
-}
-
-// handleUDPPacket serves one datagram; a panic in the engine poisons
-// only that datagram, not the receive loop.
-func (s *Server) handleUDPPacket(pkt []byte, raddr netip.AddrPort) {
+// handleUDPPacket serves one datagram from the engine's receive arena,
+// appending the response into the engine's write arena (resp) so the
+// fresh-buffer-per-response allocation of the old PackResponse path is
+// gone. A panic in the engine poisons only that datagram, not the
+// socket loop.
+func (s *Server) handleUDPPacket(shard int, pkt []byte, raddr netip.AddrPort, resp []byte) (out []byte) {
 	defer func() {
 		if p := recover(); p != nil {
+			out = nil
 			s.panics.Add(1)
 			s.logf("udp handler panic from %s: %v", raddr, p)
 		}
 	}()
+	s.tmDatagrams.Shard(shard).Inc()
 	q, err := dnswire.Unpack(pkt)
 	if err != nil {
 		s.logf("udp parse from %s: %v", raddr, err)
-		return
+		return nil
 	}
 	r := s.engine.Handle(q, raddr.Addr(), false)
 	if r == nil {
-		return // RRL drop
+		return nil // RRL drop
 	}
-	out, err := PackResponse(r, q, false)
+	out, err = AppendResponse(resp, r, q, false)
 	if err != nil {
 		s.logf("udp pack: %v", err)
-		return
+		return nil
 	}
-	if _, err := s.udp.WriteToUDPAddrPort(out, raddr); err != nil {
-		s.logf("udp write to %s: %v", raddr, err)
-	}
+	return out
 }
 
 func (s *Server) serveTCP() {

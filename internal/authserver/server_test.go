@@ -317,7 +317,9 @@ func TestServerRecoversHandlerPanic(t *testing.T) {
 	s := &Server{conns: make(map[*net.TCPConn]struct{})}
 	q := dnswire.NewQuery(3, "nl.", dnswire.TypeSOA)
 	out, _ := q.Pack()
-	s.handleUDPPacket(out, netip.MustParseAddrPort("192.0.2.1:5353"))
+	if resp := s.handleUDPPacket(0, out, netip.MustParseAddrPort("192.0.2.1:5353"), nil); resp != nil {
+		t.Errorf("panicking handler returned a response")
+	}
 	if got := s.Panics(); got != 1 {
 		t.Errorf("Panics = %d, want 1", got)
 	}

@@ -1,0 +1,103 @@
+package authserver
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dnscentral/internal/dnswire"
+	"dnscentral/internal/udpengine"
+	"dnscentral/internal/zonedb"
+)
+
+// TestServerUDPEngineParity replays one DNS query stream against two
+// authservers over the same zone — one on the batched engine, one on
+// the portable loop — and requires byte-identical responses. Batching
+// must change syscall counts, never bytes on the wire.
+func TestServerUDPEngineParity(t *testing.T) {
+	z, err := zonedb.NewCcTLD("nl", 2000, 0, 0.5, []string{"ns1.dns.nl", "ns2.dns.nl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := func(portable bool) *Server {
+		s, err := ListenConfig("127.0.0.1:0", NewEngine(z), ServerConfig{
+			UDPBatch: 8, UDPSockets: 2, UDPPortable: portable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	batched, portable := start(false), start(true)
+
+	// A mixed stream: referrals, apex SOA/NS, NXDOMAIN, DS, with and
+	// without EDNS — every major response shape the engine produces.
+	var queries [][]byte
+	for i := 0; i < 60; i++ {
+		var q *dnswire.Message
+		switch i % 5 {
+		case 0:
+			q = dnswire.NewQuery(uint16(i), fmt.Sprintf("www.d%d.nl.", i), dnswire.TypeA).WithEdns(1232, false)
+		case 1:
+			q = dnswire.NewQuery(uint16(i), "nl.", dnswire.TypeSOA)
+		case 2:
+			q = dnswire.NewQuery(uint16(i), fmt.Sprintf("no-such-%d.nl.", i), dnswire.TypeA).WithEdns(1232, true)
+		case 3:
+			q = dnswire.NewQuery(uint16(i), fmt.Sprintf("d%d.nl.", i), dnswire.TypeDS).WithEdns(1232, false)
+		default:
+			q = dnswire.NewQuery(uint16(i), "nl.", dnswire.TypeNS).WithEdns(512, false)
+		}
+		wire, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, wire)
+	}
+	collect := func(s *Server) map[uint16][]byte {
+		conn, err := net.Dial("udp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		cb, err := udpengine.NewClientBatch(conn.(*net.UDPConn), 8, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			if err := cb.Queue(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cb.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[uint16][]byte)
+		deadline := time.Now().Add(5 * time.Second)
+		for len(got) < len(queries) && time.Now().Before(deadline) {
+			conn.SetReadDeadline(time.Now().Add(time.Second))
+			views, err := cb.Recv()
+			if err != nil {
+				break
+			}
+			for _, v := range views {
+				if len(v) < dnswire.HeaderLen {
+					continue
+				}
+				got[uint16(v[0])<<8|uint16(v[1])] = append([]byte(nil), v...)
+			}
+		}
+		return got
+	}
+	gb, gp := collect(batched), collect(portable)
+	if len(gb) != len(queries) || len(gp) != len(queries) {
+		t.Fatalf("lost responses: batched %d, portable %d, want %d", len(gb), len(gp), len(queries))
+	}
+	for id, rb := range gb {
+		if !bytes.Equal(rb, gp[id]) {
+			t.Errorf("response %d diverges:\n batched: %x\nportable: %x", id, rb, gp[id])
+		}
+	}
+}

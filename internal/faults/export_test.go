@@ -1,0 +1,11 @@
+package faults
+
+import "net/netip"
+
+// RelayUDPForTest drives one datagram through the proxy's UDP relay
+// path synchronously, letting tests target unreachable client
+// addresses to exercise the write-error accounting.
+func (p *Proxy) RelayUDPForTest(query []byte, client netip.AddrPort) {
+	p.wg.Add(1)
+	p.relayUDP(query, client)
+}

@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dnscentral/internal/telemetry"
 )
 
 // BrownoutMode selects how a browned-out server misbehaves.
@@ -96,6 +98,10 @@ type Config struct {
 	Timeout time.Duration
 	// Seed drives every random decision; same seed ⇒ same run.
 	Seed int64
+	// Telemetry, when set, publishes the proxy's socket-plane counters
+	// (faults_proxy_udp_write_errors_total) on the registry. Proxy-only;
+	// it never counts toward Enabled().
+	Telemetry *telemetry.Registry
 }
 
 // Enabled reports whether any impairment is configured.

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,11 @@ type Proxy struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// udpWriteErrs counts datagrams the proxy meant to deliver to a
+	// client but could not write — errors that were previously logged
+	// (at best) and otherwise invisible in the fault accounting.
+	udpWriteErrs atomic.Uint64
 
 	// Logf, when non-nil, receives per-error diagnostics.
 	Logf func(format string, args ...any)
@@ -55,6 +61,9 @@ func NewProxy(addr string, upstream netip.AddrPort, cfg Config) (*Proxy, error) 
 		conns:    make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		reg.CounterFunc("faults_proxy_udp_write_errors_total", p.udpWriteErrs.Load)
+	}
 	p.wg.Add(2)
 	go p.serveUDP()
 	go p.serveTCP()
@@ -68,6 +77,10 @@ func (p *Proxy) Addr() netip.AddrPort {
 
 // Stats returns the injected-fault counters.
 func (p *Proxy) Stats() Stats { return p.inj.Stats() }
+
+// UDPWriteErrors counts response datagrams lost to client-side write
+// failures — losses the impairment plan did not ask for.
+func (p *Proxy) UDPWriteErrors() uint64 { return p.udpWriteErrs.Load() }
 
 // Close stops the proxy, severing in-flight TCP relays. Safe to call
 // more than once.
@@ -136,6 +149,7 @@ func (p *Proxy) relayUDP(query []byte, client netip.AddrPort) {
 	case outcomeBrownoutServfail:
 		if resp := servfailWire(query); resp != nil {
 			if _, err := p.udp.WriteToUDPAddrPort(resp, client); err != nil {
+				p.udpWriteErrs.Add(1)
 				p.logf("proxy udp servfail write: %v", err)
 			}
 		}
@@ -182,6 +196,7 @@ func (p *Proxy) relayUDP(query []byte, client netip.AddrPort) {
 	}
 	for i := 0; i < sends; i++ {
 		if _, err := p.udp.WriteToUDPAddrPort(resp, client); err != nil {
+			p.udpWriteErrs.Add(1)
 			p.logf("proxy udp write: %v", err)
 			return
 		}

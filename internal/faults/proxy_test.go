@@ -1,13 +1,17 @@
 package faults
 
 import (
+	"bytes"
 	"fmt"
+	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
 	"dnscentral/internal/authserver"
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/resolver"
+	"dnscentral/internal/telemetry"
 	"dnscentral/internal/zonedb"
 )
 
@@ -121,6 +125,30 @@ func TestProxyServfailBrownout(t *testing.T) {
 	}
 	if st := r.Stats(); st.ServfailRetries == 0 {
 		t.Error("no servfail retries counted")
+	}
+}
+
+// TestProxyCountsUDPWriteErrors relays a response toward an
+// undeliverable client address (port 0 ⇒ EINVAL on the sendto) and
+// checks the failure is counted, not just logged — previously these
+// losses were invisible in the fault accounting.
+func TestProxyCountsUDPWriteErrors(t *testing.T) {
+	up := startUpstream(t)
+	reg := telemetry.New()
+	p := startProxy(t, up, Config{Telemetry: reg})
+	q := dnswire.NewQuery(9, "www.d1.nl.", dnswire.TypeA).WithEdns(1232, false)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RelayUDPForTest(wire, netip.MustParseAddrPort("127.0.0.1:0"))
+	if got := p.UDPWriteErrors(); got != 1 {
+		t.Fatalf("UDPWriteErrors = %d, want 1", got)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "faults_proxy_udp_write_errors_total 1") {
+		t.Errorf("registry missing write-error counter:\n%s", buf.String())
 	}
 }
 

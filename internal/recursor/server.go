@@ -12,19 +12,34 @@ import (
 	"time"
 
 	"dnscentral/internal/authserver"
+	"dnscentral/internal/telemetry"
+	"dnscentral/internal/udpengine"
 )
 
 // ServerConfig tunes the stub-facing transport.
 type ServerConfig struct {
-	// UDPWorkers is how many goroutines share the UDP socket, each with
-	// its own Scratch and buffers (default GOMAXPROCS, capped at 8).
+	// UDPWorkers is the UDP receive parallelism: SO_REUSEPORT sockets on
+	// the Linux batched engine, reader goroutines sharing one socket on
+	// the portable fallback. Each worker owns its own Scratch and arena
+	// slots (default GOMAXPROCS, capped at 8). A cold miss blocks only
+	// its own worker; cache hits on the other workers keep flowing.
 	UDPWorkers int
+	// UDPBatch is the datagrams-per-syscall budget of the batched UDP
+	// engine (default 32; see internal/udpengine).
+	UDPBatch int
+	// UDPPortable forces the one-datagram-per-syscall portable engine.
+	UDPPortable bool
 	// TCPIdleTimeout is how long an idle stub TCP connection may sit
 	// between messages (default 10s).
 	TCPIdleTimeout time.Duration
 	// MaxTCPConns caps concurrent stub TCP connections (default 128,
 	// negative = unlimited).
 	MaxTCPConns int
+	// Telemetry, when set, publishes the udpengine_* socket-plane
+	// metrics (per-socket datagram counters, batch-size histogram,
+	// syscalls saved). Typically the same registry the Recursor itself
+	// publishes on.
+	Telemetry *telemetry.Registry
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -43,16 +58,19 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// Server binds a Recursor to real UDP and TCP sockets. Multiple UDP
-// reader goroutines share the socket (the kernel serializes reads), each
-// owning a Scratch and reusable I/O buffers so the hit path stays
-// allocation-free end to end.
+// Server binds a Recursor to real UDP and TCP sockets. The UDP side
+// rides the batched socket engine (internal/udpengine): per-socket
+// loops each own a Scratch, and both query and response bytes live in
+// the engine's pooled batch arenas — the response buffer the old read
+// loop kept per worker is now an arena slot, so the hit path stays
+// allocation-free from recvmmsg to sendmmsg.
 type Server struct {
 	rec *Recursor
 	cfg ServerConfig
 
-	udp *net.UDPConn
-	tcp *net.TCPListener
+	udp     udpengine.Engine
+	scratch []*Scratch
+	tcp     *net.TCPListener
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -74,33 +92,38 @@ func Serve(addr string, rec *Recursor, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recursor: tcp listen: %w", err)
 	}
-	udpConn, err := net.ListenUDP("udp", &net.UDPAddr{
-		IP:   tcpLn.Addr().(*net.TCPAddr).IP,
-		Port: tcpLn.Addr().(*net.TCPAddr).Port,
+	s := &Server{
+		rec:    rec,
+		cfg:    cfg.withDefaults(),
+		tcp:    tcpLn.(*net.TCPListener),
+		closed: make(chan struct{}),
+		conns:  make(map[*net.TCPConn]struct{}),
+	}
+	s.scratch = make([]*Scratch, s.cfg.UDPWorkers)
+	for i := range s.scratch {
+		s.scratch[i] = NewScratch()
+	}
+	tcpAddr := tcpLn.Addr().(*net.TCPAddr)
+	udpAddr := net.JoinHostPort(tcpAddr.IP.String(), fmt.Sprint(tcpAddr.Port))
+	s.udp, err = udpengine.Listen(udpAddr, s.handleUDPPacket, udpengine.Config{
+		Batch:     s.cfg.UDPBatch,
+		Sockets:   s.cfg.UDPWorkers,
+		Portable:  s.cfg.UDPPortable,
+		Telemetry: s.cfg.Telemetry,
+		Logf:      s.logf,
 	})
 	if err != nil {
 		tcpLn.Close()
 		return nil, fmt.Errorf("recursor: udp listen: %w", err)
 	}
-	s := &Server{
-		rec:    rec,
-		cfg:    cfg.withDefaults(),
-		udp:    udpConn,
-		tcp:    tcpLn.(*net.TCPListener),
-		closed: make(chan struct{}),
-		conns:  make(map[*net.TCPConn]struct{}),
-	}
-	s.wg.Add(s.cfg.UDPWorkers + 1)
-	for i := 0; i < s.cfg.UDPWorkers; i++ {
-		go s.serveUDP()
-	}
+	s.wg.Add(1)
 	go s.serveTCP()
 	return s, nil
 }
 
 // Addr returns the bound address (same port for UDP and TCP).
 func (s *Server) Addr() netip.AddrPort {
-	return s.udp.LocalAddr().(*net.UDPAddr).AddrPort()
+	return s.udp.Addr()
 }
 
 // Recursor returns the underlying recursor.
@@ -127,34 +150,15 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// serveUDP is one reader worker: it owns its receive buffer, response
-// buffer, and Scratch for the whole loop, so a cache hit costs zero
-// allocations from socket to socket.
-func (s *Server) serveUDP() {
-	defer s.wg.Done()
-	in := make([]byte, 1<<16)
-	out := make([]byte, 0, 1<<16)
-	sc := NewScratch()
-	for {
-		n, raddr, err := s.udp.ReadFromUDPAddrPort(in)
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				s.logf("udp read: %v", err)
-				continue
-			}
-		}
-		s.handleUDPPacket(in[:n], out[:0], raddr, sc)
-	}
-}
-
-// handleUDPPacket serves one datagram; a panic poisons only that
-// datagram, not the worker.
-func (s *Server) handleUDPPacket(pkt, out []byte, raddr netip.AddrPort, sc *Scratch) {
+// handleUDPPacket serves one datagram on its socket loop: pkt lives in
+// the engine's receive arena, out is the response slot from the write
+// arena (replacing the per-worker response buffer the old read loop
+// allocated), and the Scratch is the shard's own. A panic poisons only
+// that datagram, not the socket loop.
+func (s *Server) handleUDPPacket(shard int, pkt []byte, raddr netip.AddrPort, out []byte) (resp []byte) {
 	defer func() {
 		if p := recover(); p != nil {
+			resp = nil
 			s.panics.Add(1)
 			s.logf("udp handler panic from %s: %v", raddr, p)
 		}
@@ -164,22 +168,11 @@ func (s *Server) handleUDPPacket(pkt, out []byte, raddr netip.AddrPort, sc *Scra
 	// exempt — the handshake proves the source address).
 	switch s.rec.AdmitStub(raddr.Addr()) {
 	case RRLDrop:
-		return
+		return nil
 	case RRLSlip:
-		if resp := s.rec.SlipResponse(pkt, out); resp != nil {
-			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
-				s.logf("udp write to %s: %v", raddr, err)
-			}
-		}
-		return
+		return s.rec.SlipResponse(pkt, out)
 	}
-	resp := s.rec.HandleWire(pkt, out, false, sc)
-	if resp == nil {
-		return
-	}
-	if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
-		s.logf("udp write to %s: %v", raddr, err)
-	}
+	return s.rec.HandleWire(pkt, out, false, s.scratch[shard])
 }
 
 func (s *Server) serveTCP() {

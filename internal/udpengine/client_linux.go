@@ -1,0 +1,159 @@
+//go:build linux && (amd64 || arm64)
+
+package udpengine
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// ClientBatch batches sends and receives on a connected UDP socket — the
+// load-generator counterpart of the serving engine, so a stub population
+// can produce traffic as fast as the batched servers consume it. Queue
+// copies datagrams into a contiguous send arena (flushing automatically
+// when the batch fills), Flush pushes the remainder out in one sendmmsg,
+// and Recv drains up to a batch of answers per recvmmsg. On this
+// platform every call moves up to Batch datagrams per syscall; the
+// fallback build runs the identical API over one-datagram syscalls.
+//
+// A ClientBatch is not safe for concurrent use; give each worker its own.
+type ClientBatch struct {
+	conn  *net.UDPConn
+	rc    syscall.RawConn
+	batch int
+	slot  int
+
+	sendArena []byte
+	sendIovs  []iovec
+	sendHdrs  []mmsghdr
+	pending   int
+	sendOff   int
+	nsent     int
+	werr      error
+	wfn       func(fd uintptr) bool
+
+	recvArena []byte
+	recvIovs  []iovec
+	recvHdrs  []mmsghdr
+	views     [][]byte
+	nrecv     int
+	rerr      error
+	rfn       func(fd uintptr) bool
+}
+
+// NewClientBatch wraps a connected UDP socket (net.Dial "udp"). batch
+// and slotSize default to 32 and 4096 when ≤ 0.
+func NewClientBatch(conn *net.UDPConn, batch, slotSize int) (*ClientBatch, error) {
+	if batch <= 0 {
+		batch = 32
+	}
+	if batch > 1024 {
+		batch = 1024
+	}
+	if slotSize <= 0 {
+		slotSize = 4096
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, fmt.Errorf("udpengine: client syscall conn: %w", err)
+	}
+	c := &ClientBatch{
+		conn:      conn,
+		rc:        rc,
+		batch:     batch,
+		slot:      slotSize,
+		sendArena: make([]byte, batch*slotSize),
+		sendIovs:  make([]iovec, batch),
+		sendHdrs:  make([]mmsghdr, batch),
+		recvArena: make([]byte, batch*slotSize),
+		recvIovs:  make([]iovec, batch),
+		recvHdrs:  make([]mmsghdr, batch),
+		views:     make([][]byte, 0, batch),
+	}
+	for i := 0; i < batch; i++ {
+		// Connected socket: no per-datagram sockaddr, the kernel routes
+		// by the connection's peer.
+		c.sendIovs[i] = iovec{base: &c.sendArena[i*slotSize]}
+		c.sendHdrs[i].hdr.iov = &c.sendIovs[i]
+		c.sendHdrs[i].hdr.iovlen = 1
+		c.recvIovs[i] = iovec{base: &c.recvArena[i*slotSize], len: uint64(slotSize)}
+		c.recvHdrs[i].hdr.iov = &c.recvIovs[i]
+		c.recvHdrs[i].hdr.iovlen = 1
+	}
+	c.wfn = func(fd uintptr) bool {
+		c.nsent, c.werr = sendmmsg(fd, c.sendHdrs[c.sendOff:c.pending], syscall.MSG_DONTWAIT)
+		return c.werr != syscall.EAGAIN
+	}
+	c.rfn = func(fd uintptr) bool {
+		c.nrecv, c.rerr = recvmmsg(fd, c.recvHdrs, syscall.MSG_DONTWAIT)
+		return c.rerr != syscall.EAGAIN
+	}
+	return c, nil
+}
+
+// Batched reports whether syscall batching is actually in effect.
+func (c *ClientBatch) Batched() bool { return true }
+
+// Pending is the number of queued-but-unflushed datagrams.
+func (c *ClientBatch) Pending() int { return c.pending }
+
+// Queue copies pkt into the send arena, flushing first when the batch is
+// full. Packets larger than the slot size are rejected.
+func (c *ClientBatch) Queue(pkt []byte) error {
+	if len(pkt) > c.slot {
+		return fmt.Errorf("udpengine: %d-byte datagram exceeds %d-byte slot", len(pkt), c.slot)
+	}
+	if c.pending == c.batch {
+		if err := c.Flush(); err != nil {
+			return err
+		}
+	}
+	w := c.pending
+	copy(c.sendArena[w*c.slot:], pkt)
+	c.sendIovs[w].len = uint64(len(pkt))
+	c.pending++
+	return nil
+}
+
+// Flush sends every queued datagram, resuming across partial sendmmsg
+// returns. Returns the number of datagrams handed to the kernel.
+func (c *ClientBatch) Flush() (err error) {
+	if c.pending == 0 {
+		return nil
+	}
+	defer func() { c.pending = 0 }()
+	c.sendOff = 0
+	for c.sendOff < c.pending {
+		if werr := c.rc.Write(c.wfn); werr != nil {
+			return werr
+		}
+		if c.werr != nil {
+			return c.werr
+		}
+		if c.nsent <= 0 {
+			return fmt.Errorf("udpengine: sendmmsg made no progress")
+		}
+		c.sendOff += c.nsent
+	}
+	return nil
+}
+
+// Recv blocks (honoring the connection's read deadline) until at least
+// one datagram arrives, then drains up to a batch of them in one
+// recvmmsg. The returned views alias the receive arena and are valid
+// only until the next Recv.
+func (c *ClientBatch) Recv() ([][]byte, error) {
+	if err := c.rc.Read(c.rfn); err != nil {
+		return nil, err
+	}
+	if c.rerr != nil {
+		return nil, c.rerr
+	}
+	c.views = c.views[:0]
+	for i := 0; i < c.nrecv; i++ {
+		n := int(c.recvHdrs[i].len)
+		c.views = append(c.views, c.recvArena[i*c.slot:i*c.slot+n])
+	}
+	return c.views, nil
+}

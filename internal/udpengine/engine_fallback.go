@@ -1,0 +1,11 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udpengine
+
+// batchedSupported gates Listen's dispatch: off Linux (or on an arch we
+// have no syscall numbers for) every engine is the portable one.
+const batchedSupported = false
+
+func listenBatched(addr string, h Handler, cfg Config) (Engine, error) {
+	return listenPortable(addr, h, cfg)
+}

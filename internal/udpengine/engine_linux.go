@@ -1,0 +1,289 @@
+//go:build linux && (amd64 || arm64)
+
+package udpengine
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"syscall"
+)
+
+const batchedSupported = true
+
+// batchedEngine is the recvmmsg/sendmmsg transport: K SO_REUSEPORT
+// sockets bound to one address, each owned by a single goroutine running
+// the batch loop over per-socket arenas. The kernel hashes client flows
+// across the sockets, so under multi-flow load every loop (and every
+// core) receives independently.
+type batchedEngine struct {
+	conns []*net.UDPConn
+	h     Handler
+	cfg   Config
+	m     *metrics
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+func listenBatched(addr string, h Handler, cfg Config) (Engine, error) {
+	e := &batchedEngine{
+		h:      h,
+		cfg:    cfg,
+		m:      newMetrics(cfg.Telemetry, cfg.Sockets),
+		closed: make(chan struct{}),
+	}
+	lc := net.ListenConfig{}
+	if cfg.Sockets > 1 {
+		// SO_REUSEPORT must be set before bind on every socket sharing
+		// the port; the kernel then shards flows by 4-tuple hash.
+		lc.Control = func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		}
+	}
+	bindAddr := addr
+	for i := 0; i < cfg.Sockets; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bindAddr)
+		if err != nil {
+			for _, c := range e.conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("udpengine: listen %s (socket %d): %w", bindAddr, i, err)
+		}
+		conn := pc.(*net.UDPConn)
+		// Best-effort deep socket buffers: a batch drain amortizes
+		// syscalls only if the kernel can queue a batch's worth of
+		// datagrams between wakeups. Clamped by net.core.{r,w}mem_max.
+		_ = conn.SetReadBuffer(1 << 20)
+		_ = conn.SetWriteBuffer(1 << 20)
+		e.conns = append(e.conns, conn)
+		if i == 0 {
+			// Later sockets must bind the exact port the first one got
+			// (relevant when addr asked for :0).
+			bindAddr = conn.LocalAddr().String()
+		}
+	}
+	for i, c := range e.conns {
+		e.wg.Add(1)
+		go e.serve(i, c)
+	}
+	return e, nil
+}
+
+func (e *batchedEngine) Addr() netip.AddrPort {
+	return e.conns[0].LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+func (e *batchedEngine) Batched() bool { return true }
+func (e *batchedEngine) Sockets() int  { return e.cfg.Sockets }
+
+func (e *batchedEngine) Close() error {
+	close(e.closed)
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+func (e *batchedEngine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// sockState is one socket loop's batch memory: a contiguous receive
+// arena with an iovec per slot, a parallel sockaddr arena the kernel
+// writes peer addresses into, and the mirror write-side arena responses
+// are appended into. Everything is allocated once at startup; the loop
+// itself allocates nothing per datagram.
+type sockState struct {
+	slot int
+
+	recvArena []byte
+	nameArena []byte
+	recvIovs  []iovec
+	recvHdrs  []mmsghdr
+
+	sendArena []byte
+	sendIovs  []iovec
+	sendHdrs  []mmsghdr
+	pending   int
+
+	// sendmmsg resume state shared with the pre-allocated writeFn
+	// closure (one closure per loop, not per flush, keeps this alloc-free).
+	sendOff int
+	nsent   int
+	werr    error
+
+	nrecv int
+	rerr  error
+
+	// wfn is the sendmmsg raw-write callback, built once per loop so
+	// flushes don't allocate a closure.
+	wfn func(fd uintptr) bool
+}
+
+func newSockState(cfg Config) *sockState {
+	b := cfg.Batch
+	st := &sockState{
+		slot:      cfg.SlotSize,
+		recvArena: make([]byte, b*cfg.SlotSize),
+		nameArena: make([]byte, b*sockaddrSlot),
+		recvIovs:  make([]iovec, b),
+		recvHdrs:  make([]mmsghdr, b),
+		sendArena: make([]byte, b*cfg.SlotSize),
+		sendIovs:  make([]iovec, b),
+		sendHdrs:  make([]mmsghdr, b),
+	}
+	for i := 0; i < b; i++ {
+		st.recvIovs[i] = iovec{base: &st.recvArena[i*cfg.SlotSize], len: uint64(cfg.SlotSize)}
+		st.recvHdrs[i].hdr.iov = &st.recvIovs[i]
+		st.recvHdrs[i].hdr.iovlen = 1
+		st.recvHdrs[i].hdr.name = &st.nameArena[i*sockaddrSlot]
+		st.recvHdrs[i].hdr.namelen = sockaddrSlot
+		st.sendHdrs[i].hdr.iov = &st.sendIovs[i]
+		st.sendHdrs[i].hdr.iovlen = 1
+	}
+	return st
+}
+
+// resetRecv restores the kernel-written header fields before reuse.
+func (st *sockState) resetRecv() {
+	for i := range st.recvHdrs {
+		st.recvHdrs[i].hdr.namelen = sockaddrSlot
+		st.recvHdrs[i].hdr.flags = 0
+	}
+}
+
+// respSlot hands out the pending response's arena slot as an empty
+// append buffer with the slot's full capacity.
+func (st *sockState) respSlot() []byte {
+	w := st.pending
+	return st.sendArena[w*st.slot : w*st.slot : (w+1)*st.slot]
+}
+
+// queue stages resp (for the peer that sent receive-slot i) into the
+// send batch. The destination sockaddr is the kernel-written peer
+// address, pointed at in place — no conversion round trip.
+func (st *sockState) queue(resp []byte, i int) {
+	w := st.pending
+	st.sendIovs[w].base = &resp[0]
+	st.sendIovs[w].len = uint64(len(resp))
+	st.sendHdrs[w].hdr.name = &st.nameArena[i*sockaddrSlot]
+	st.sendHdrs[w].hdr.namelen = st.recvHdrs[i].hdr.namelen
+	st.pending++
+}
+
+// serve is one socket's batch loop: drain up to Batch datagrams per
+// recvmmsg, serve each through the handler with a write-arena slot, and
+// push responses out via sendmmsg — flushed when the send batch fills
+// and again once the receive batch is exhausted (flush-on-idle), so a
+// lone datagram still answers immediately.
+func (e *batchedEngine) serve(shard int, conn *net.UDPConn) {
+	defer e.wg.Done()
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		e.logf("socket %d: syscall conn: %v", shard, err)
+		return
+	}
+	st := newSockState(e.cfg)
+	readFn := func(fd uintptr) bool {
+		st.resetRecv()
+		st.nrecv, st.rerr = recvmmsg(fd, st.recvHdrs, syscall.MSG_DONTWAIT)
+		return st.rerr != syscall.EAGAIN
+	}
+	st.wfn = func(fd uintptr) bool {
+		st.nsent, st.werr = sendmmsg(fd, st.sendHdrs[st.sendOff:st.pending], syscall.MSG_DONTWAIT)
+		return st.werr != syscall.EAGAIN
+	}
+	for {
+		if err := rc.Read(readFn); err != nil {
+			select {
+			case <-e.closed:
+			default:
+				e.logf("socket %d: read: %v", shard, err)
+			}
+			return
+		}
+		if st.rerr != nil {
+			e.logf("socket %d: recvmmsg: %v", shard, st.rerr)
+			continue
+		}
+		if st.nrecv == 0 {
+			continue
+		}
+		e.m.received(shard, st.nrecv)
+		for i := 0; i < st.nrecv; i++ {
+			h := &st.recvHdrs[i]
+			if h.hdr.flags&syscall.MSG_TRUNC != 0 {
+				e.m.oversized.Shard(shard).Inc()
+				continue
+			}
+			pkt := st.recvArena[i*st.slot : i*st.slot+int(h.len)]
+			raddr := decodeSockaddr(st.nameArena[i*sockaddrSlot : (i+1)*sockaddrSlot])
+			resp := e.serveOne(shard, pkt, raddr, st.respSlot())
+			if len(resp) == 0 {
+				continue
+			}
+			st.queue(resp, i)
+			if st.pending == e.cfg.Batch {
+				e.flush(shard, rc, st)
+			}
+		}
+		e.flush(shard, rc, st)
+	}
+}
+
+// serveOne invokes the handler with per-datagram panic isolation: a
+// panicking handler poisons one datagram, never the socket loop.
+func (e *batchedEngine) serveOne(shard int, pkt []byte, raddr netip.AddrPort, resp []byte) (out []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			e.logf("socket %d: handler panic from %s: %v", shard, raddr, p)
+		}
+	}()
+	return e.h(shard, pkt, raddr, resp)
+}
+
+// flush drives the staged responses out with as few sendmmsg calls as
+// the kernel permits, resuming after partial sends and skipping (and
+// counting) individually refused datagrams so one bad peer cannot wedge
+// the batch.
+func (e *batchedEngine) flush(shard int, rc syscall.RawConn, st *sockState) {
+	if st.pending == 0 {
+		return
+	}
+	st.sendOff = 0
+	for st.sendOff < st.pending {
+		if err := rc.Write(st.wfn); err != nil {
+			e.m.sendErrs.Shard(shard).Add(uint64(st.pending - st.sendOff))
+			break
+		}
+		e.m.sendCalls.Shard(shard).Inc()
+		if st.werr != nil {
+			// sendmmsg fails on the first datagram or not at all: drop
+			// that one and resume with the rest.
+			e.m.sendErrs.Shard(shard).Inc()
+			e.logf("socket %d: sendmmsg: %v", shard, st.werr)
+			st.sendOff++
+			continue
+		}
+		e.m.sent.Shard(shard).Add(uint64(st.nsent))
+		if st.nsent <= 0 {
+			st.sendOff++ // defensive: never livelock on a zero-progress send
+			continue
+		}
+		st.sendOff += st.nsent
+	}
+	st.pending = 0
+}

@@ -1,0 +1,114 @@
+package udpengine
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+)
+
+// portableEngine is the fallback transport: one net.UDPConn, Sockets
+// reader goroutines issuing one ReadFromUDPAddrPort and (at most) one
+// WriteToUDPAddrPort per datagram — byte-for-byte the serve loop the
+// servers ran before the batched engine existed, kept as the reference
+// implementation the batched engine must stay parity with.
+type portableEngine struct {
+	conn *net.UDPConn
+	h    Handler
+	cfg  Config
+	m    *metrics
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+func listenPortable(addr string, h Handler, cfg Config) (Engine, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpengine: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpengine: listen %s: %w", addr, err)
+	}
+	e := &portableEngine{
+		conn:   conn,
+		h:      h,
+		cfg:    cfg,
+		m:      newMetrics(cfg.Telemetry, cfg.Sockets),
+		closed: make(chan struct{}),
+	}
+	e.wg.Add(cfg.Sockets)
+	for i := 0; i < cfg.Sockets; i++ {
+		go e.serve(i)
+	}
+	return e, nil
+}
+
+func (e *portableEngine) Addr() netip.AddrPort {
+	return e.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+func (e *portableEngine) Batched() bool { return false }
+func (e *portableEngine) Sockets() int  { return e.cfg.Sockets }
+
+func (e *portableEngine) Close() error {
+	close(e.closed)
+	e.conn.Close()
+	e.wg.Wait()
+	return nil
+}
+
+func (e *portableEngine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// serve is one reader worker: the kernel serializes concurrent reads on
+// the shared socket, so workers never see the same datagram twice. The
+// receive buffer is a full 64 KiB (the portable engine predates slot
+// sizing and must accept any datagram the socket can deliver); the
+// response buffer is one reusable slot.
+func (e *portableEngine) serve(shard int) {
+	defer e.wg.Done()
+	in := make([]byte, 1<<16)
+	out := make([]byte, 0, e.cfg.SlotSize)
+	for {
+		n, raddr, err := e.conn.ReadFromUDPAddrPort(in)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+				e.logf("udp read: %v", err)
+				continue
+			}
+		}
+		e.m.received(shard, 1)
+		resp := e.serveOne(shard, in[:n], raddr, out[:0])
+		if len(resp) == 0 {
+			continue
+		}
+		e.m.sendCalls.Shard(shard).Inc()
+		if _, err := e.conn.WriteToUDPAddrPort(resp, raddr); err != nil {
+			e.m.sendErrs.Shard(shard).Inc()
+			e.logf("udp write to %s: %v", raddr, err)
+			continue
+		}
+		e.m.sent.Shard(shard).Inc()
+	}
+}
+
+// serveOne invokes the handler with per-datagram panic isolation,
+// mirroring the batched engine: a panicking handler poisons one
+// datagram, never the reader.
+func (e *portableEngine) serveOne(shard int, pkt []byte, raddr netip.AddrPort, resp []byte) (out []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			e.logf("udp handler panic from %s: %v", raddr, p)
+		}
+	}()
+	return e.h(shard, pkt, raddr, resp)
+}

@@ -1,0 +1,108 @@
+//go:build linux && (amd64 || arm64)
+
+package udpengine
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// The batched syscall layer: hand-laid struct mirrors of the kernel's
+// iovec/msghdr/mmsghdr ABI (LP64 layout — identical on linux/amd64 and
+// linux/arm64) plus thin recvmmsg/sendmmsg wrappers over Syscall6, so
+// the engine needs no module dependency for golang.org/x/sys.
+
+// iovec is struct iovec: one scatter/gather slot.
+type iovec struct {
+	base *byte
+	len  uint64
+}
+
+// msghdr is struct msghdr (56 bytes on LP64).
+type msghdr struct {
+	name       *byte
+	namelen    uint32
+	_          [4]byte
+	iov        *iovec
+	iovlen     uint64
+	control    *byte
+	controllen uint64
+	flags      int32
+	_          [4]byte
+}
+
+// mmsghdr is struct mmsghdr: a msghdr plus the kernel-written per-packet
+// byte count.
+type mmsghdr struct {
+	hdr msghdr
+	len uint32
+	_   [4]byte
+}
+
+// sockaddrSlot is the per-datagram peer-address buffer: large enough for
+// sockaddr_in6 (28 bytes), rounded to a power of two so slot offsets are
+// shift-computable.
+const sockaddrSlot = 32
+
+// soReusePort is SO_REUSEPORT, absent from the frozen stdlib syscall
+// package (Linux ≥ 3.9). 15 on every arch this file builds for.
+const soReusePort = 0xf
+
+// recvmmsg drains up to len(hs) datagrams in one syscall. Non-blocking
+// (pair with MSG_DONTWAIT and the runtime poller); returns the number of
+// populated mmsghdrs.
+func recvmmsg(fd uintptr, hs []mmsghdr, flags int) (int, error) {
+	for {
+		n, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&hs[0])), uintptr(len(hs)),
+			uintptr(flags), 0, 0)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return 0, errno
+		}
+		return int(n), nil
+	}
+}
+
+// sendmmsg transmits up to len(hs) datagrams in one syscall, returning
+// how many the kernel accepted (possibly fewer — the caller resumes from
+// there).
+func sendmmsg(fd uintptr, hs []mmsghdr, flags int) (int, error) {
+	for {
+		n, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&hs[0])), uintptr(len(hs)),
+			uintptr(flags), 0, 0)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return 0, errno
+		}
+		return int(n), nil
+	}
+}
+
+// decodeSockaddr converts a kernel-written sockaddr buffer into a
+// netip.AddrPort without allocating. Unknown families return the zero
+// AddrPort.
+func decodeSockaddr(b []byte) netip.AddrPort {
+	if len(b) < 8 {
+		return netip.AddrPort{}
+	}
+	family := binary.LittleEndian.Uint16(b[0:2]) // sa_family_t is host-endian
+	port := binary.BigEndian.Uint16(b[2:4])      // sin_port is network-endian
+	switch family {
+	case syscall.AF_INET:
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte(b[4:8])), port)
+	case syscall.AF_INET6:
+		if len(b) < 24 {
+			return netip.AddrPort{}
+		}
+		return netip.AddrPortFrom(netip.AddrFrom16([16]byte(b[8:24])), port)
+	}
+	return netip.AddrPort{}
+}

@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package udpengine
+
+// Syscall numbers the frozen stdlib syscall package predates or omits.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

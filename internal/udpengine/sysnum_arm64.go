@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpengine
+
+// Syscall numbers the frozen stdlib syscall package predates or omits.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,181 @@
+// Package udpengine is the batched UDP socket plane of the live servers:
+// a transport that moves N datagrams per syscall via recvmmsg/sendmmsg
+// and shards flows across K independently-bound SO_REUSEPORT sockets, so
+// the socket layer can keep up with the zero-allocation serve paths
+// behind it (authserver.AppendResponse, recursor.HandleWire, the
+// workload emit path) instead of capping them at one syscall per packet.
+//
+// Two implementations sit behind one Engine interface:
+//
+//   - The batched engine (engine_linux.go, linux amd64/arm64) binds K
+//     UDP sockets to the same address with SO_REUSEPORT — the kernel
+//     hashes each client flow to one socket, giving per-socket receive
+//     loops that never contend — and each loop drains up to Batch
+//     datagrams per recvmmsg into a contiguous arena (one iovec per
+//     slot), invokes the handler per datagram with a response slot from
+//     the write arena, and accumulates responses into a sendmmsg batch
+//     that is flushed when full and at the end of every receive batch
+//     (flush-on-full / flush-on-idle). Steady state, the engine itself
+//     performs zero allocations per datagram.
+//
+//   - The portable engine (engine_portable.go, every platform) serves
+//     the same Handler over the classic one-datagram-per-syscall loop —
+//     Sockets reader goroutines sharing a single net.UDPConn, exactly
+//     the transport the servers used before this package existed — so
+//     behavior off Linux (or with Config.Portable set) is unchanged and
+//     byte-parity between the two engines is testable on one machine.
+//
+// The syscall layer is dependency-free: raw syscall.Syscall6 against
+// per-arch SYS_RECVMMSG/SYS_SENDMMSG numbers and hand-laid Mmsghdr
+// structs, driven through net.UDPConn.SyscallConn so the runtime
+// netpoller still owns readiness, deadlines, and Close interruption.
+package udpengine
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"time"
+
+	"dnscentral/internal/telemetry"
+)
+
+// Handler serves one datagram. pkt is the received payload and is only
+// valid until the handler returns; resp is an empty (len 0) reusable
+// buffer from the engine's write arena the response should be appended
+// into. The returned slice is sent back to raddr, nil means drop (no
+// response). shard identifies the socket/worker loop the datagram
+// arrived on — stable in [0, Sockets) — so handlers can keep per-shard
+// scratch state and shard telemetry cells without locking. Handlers are
+// called concurrently across shards but serially within one shard.
+type Handler func(shard int, pkt []byte, raddr netip.AddrPort, resp []byte) []byte
+
+// Config tunes an engine.
+type Config struct {
+	// Batch is the number of datagrams moved per recvmmsg/sendmmsg
+	// syscall (default 32, clamped to [1, 1024]). The portable engine
+	// ignores it (always 1 datagram per syscall).
+	Batch int
+	// Sockets is the receive parallelism: SO_REUSEPORT sockets on the
+	// batched engine, reader goroutines sharing one socket on the
+	// portable engine (default GOMAXPROCS capped at 8).
+	Sockets int
+	// SlotSize is the per-datagram buffer size in both arenas (default
+	// 4096). Received datagrams larger than a slot are dropped and
+	// counted; responses appended past a slot's capacity fall back to a
+	// heap allocation but are still sent intact.
+	SlotSize int
+	// Portable forces the one-datagram portable engine even where the
+	// batched one is available — the debugging/benchmark baseline.
+	Portable bool
+	// Telemetry, when set, publishes the udpengine_* metric family
+	// (per-socket datagram counters, the batch-size histogram, syscall
+	// counts and the syscalls-saved derived counter). Nil is free.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives per-error diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.Batch > 1024 {
+		c.Batch = 1024
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = runtime.GOMAXPROCS(0)
+		if c.Sockets > 8 {
+			c.Sockets = 8
+		}
+	}
+	if c.SlotSize <= 0 {
+		c.SlotSize = 4096
+	}
+	return c
+}
+
+// Engine is a serving UDP transport bound to one address.
+type Engine interface {
+	// Addr is the bound address (identical across all reuseport sockets).
+	Addr() netip.AddrPort
+	// Close stops every socket loop and waits for them to drain.
+	Close() error
+	// Batched reports whether this is the recvmmsg/sendmmsg engine.
+	Batched() bool
+	// Sockets is the number of independent receive loops (= the shard
+	// index space handlers observe).
+	Sockets() int
+}
+
+// Listen starts an engine serving h on addr (e.g. "127.0.0.1:5300" or
+// ":0"). On Linux amd64/arm64 it returns the batched engine unless
+// cfg.Portable is set; everywhere else the portable fallback.
+func Listen(addr string, h Handler, cfg Config) (Engine, error) {
+	cfg = cfg.withDefaults()
+	if h == nil {
+		return nil, fmt.Errorf("udpengine: nil handler")
+	}
+	if cfg.Portable || !batchedSupported {
+		return listenPortable(addr, h, cfg)
+	}
+	return listenBatched(addr, h, cfg)
+}
+
+// metrics is the udpengine_* family shared by both engines. Every field
+// tolerates the nil (telemetry-off) registry.
+type metrics struct {
+	datagrams []*telemetry.Counter // per socket: udpengine_datagrams_total{socket="k"}
+	sent      *telemetry.Counter   // udpengine_sent_datagrams_total
+	recvCalls *telemetry.Counter   // udpengine_recv_syscalls_total
+	sendCalls *telemetry.Counter   // udpengine_send_syscalls_total
+	oversized *telemetry.Counter   // udpengine_oversized_dropped_total
+	sendErrs  *telemetry.Counter   // udpengine_send_errors_total
+	batchHist *telemetry.Histogram // udpengine_batch_size (1 datagram = 1µs)
+}
+
+// batchSizeUnit encodes a datagrams-per-batch sample into the shared
+// log-bucketed duration histogram geometry: one datagram is one
+// microsecond, so batch sizes 1..1024 land in distinct buckets with the
+// reservoir's ~0.5% relative error.
+const batchSizeUnit = time.Microsecond
+
+func newMetrics(reg *telemetry.Registry, sockets int) *metrics {
+	m := &metrics{
+		sent:      reg.Counter("udpengine_sent_datagrams_total"),
+		recvCalls: reg.Counter("udpengine_recv_syscalls_total"),
+		sendCalls: reg.Counter("udpengine_send_syscalls_total"),
+		oversized: reg.Counter("udpengine_oversized_dropped_total"),
+		sendErrs:  reg.Counter("udpengine_send_errors_total"),
+		batchHist: reg.Histogram("udpengine_batch_size"),
+	}
+	m.datagrams = make([]*telemetry.Counter, sockets)
+	for i := range m.datagrams {
+		m.datagrams[i] = reg.Counter(fmt.Sprintf("udpengine_datagrams_total{socket=%q}", fmt.Sprint(i)))
+	}
+	if reg != nil {
+		// Syscalls saved = datagrams moved minus syscalls spent moving
+		// them, summed over both directions — the engine's whole reason
+		// to exist, readable straight off the metrics page.
+		reg.CounterFunc("udpengine_syscalls_saved_total", func() uint64 {
+			var recvd uint64
+			for _, c := range m.datagrams {
+				recvd += c.Value()
+			}
+			saved := recvd + m.sent.Value()
+			spent := m.recvCalls.Value() + m.sendCalls.Value()
+			if spent >= saved {
+				return 0
+			}
+			return saved - spent
+		})
+	}
+	return m
+}
+
+// received counts one receive batch on socket k.
+func (m *metrics) received(k, n int) {
+	m.datagrams[k].Shard(k).Add(uint64(n))
+	m.recvCalls.Shard(k).Inc()
+	m.batchHist.Observe(time.Duration(n) * batchSizeUnit)
+}

@@ -10,6 +10,7 @@ import (
 
 	"dnscentral/internal/dnswire"
 	"dnscentral/internal/stats"
+	"dnscentral/internal/udpengine"
 )
 
 // StubLoadConfig shapes a synthetic stub population firing queries at a
@@ -49,6 +50,16 @@ type StubLoadConfig struct {
 	// ("w<rand>.d<victim>.<zone>."), which draws referrals instead and
 	// fills the recursor cache with unique entries.
 	AttackVictim int
+	// Batch switches each worker from the synchronous send-one-await-one
+	// stub to a windowed batch client: queue Batch queries through one
+	// sendmmsg, then drain the answers. >1 engages the batched sender
+	// (default 1, the classic stub).
+	Batch int
+	// TargetQPS paces the population's aggregate send rate (0 = as fast
+	// as answers come back). The stats report achieved vs target so a
+	// too-slow load generator is visible rather than silently deflating
+	// the measurement.
+	TargetQPS float64
 }
 
 func (c StubLoadConfig) withDefaults() StubLoadConfig {
@@ -67,6 +78,9 @@ func (c StubLoadConfig) withDefaults() StubLoadConfig {
 	if c.Timeout <= 0 {
 		c.Timeout = 3 * time.Second
 	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
 	return c
 }
 
@@ -77,6 +91,8 @@ type StubLoadStats struct {
 	ByRCode map[dnswire.RCode]uint64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// TargetQPS echoes the configured pacing target (0 = unpaced).
+	TargetQPS float64
 }
 
 // QPS is the achieved answered-queries-per-second rate.
@@ -87,21 +103,58 @@ func (s StubLoadStats) QPS() float64 {
 	return float64(s.Answered) / s.Elapsed.Seconds()
 }
 
+// SendQPS is the achieved send rate — the number the load generator
+// actually produced, regardless of how many answers came back.
+func (s StubLoadStats) SendQPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Sent) / s.Elapsed.Seconds()
+}
+
+// GeneratorBottleneck reports whether the generator fell visibly short
+// of its pacing target (under 90% of TargetQPS): the measurement then
+// reflects the load generator's ceiling, not the server's.
+func (s StubLoadStats) GeneratorBottleneck() bool {
+	return s.TargetQPS > 0 && s.SendQPS() < 0.9*s.TargetQPS
+}
+
 // Format renders the stats for the CLI.
 func (s StubLoadStats) Format() string {
-	return fmt.Sprintf("stub load: %d sent, %d answered, %d timeouts, %.0f qps over %v",
+	out := fmt.Sprintf("stub load: %d sent, %d answered, %d timeouts, %.0f qps over %v",
 		s.Sent, s.Answered, s.Timeouts, s.QPS(), s.Elapsed.Round(time.Millisecond))
+	if s.TargetQPS > 0 {
+		out += fmt.Sprintf("; send rate %.0f/s of %.0f/s target", s.SendQPS(), s.TargetQPS)
+		if s.GeneratorBottleneck() {
+			out += " (LOAD GENERATOR BOTTLENECK: results measure the generator, not the server)"
+		}
+	}
+	return out
 }
 
 // StubLoad fires the configured query stream at the target and blocks
-// until every worker drains. Each worker is a synchronous stub: send,
-// wait for the matching ID, next — so concurrency equals Workers, like a
-// population of simple clients rather than an open-loop flood.
+// until every worker drains. With Batch ≤ 1 each worker is a synchronous
+// stub: send, wait for the matching ID, next — so concurrency equals
+// Workers, like a population of simple clients rather than an open-loop
+// flood. With Batch > 1 each worker drives a udpengine.ClientBatch:
+// Batch queries leave in one sendmmsg and the answers drain in batched
+// recvmmsg calls, so the generator can saturate a batched server from
+// far fewer sockets. TargetQPS paces the sends either way.
 func StubLoad(cfg StubLoadConfig) (StubLoadStats, error) {
 	cfg = cfg.withDefaults()
-	st := StubLoadStats{ByRCode: make(map[dnswire.RCode]uint64)}
+	st := StubLoadStats{
+		ByRCode:   make(map[dnswire.RCode]uint64),
+		TargetQPS: cfg.TargetQPS,
+	}
 	var sent, answered, timeouts atomic.Uint64
 	var mu sync.Mutex // guards ByRCode
+
+	// Pacing: query i of a worker is due at start + i*interval, where
+	// interval spreads TargetQPS across the population.
+	var interval time.Duration
+	if cfg.TargetQPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Workers) / cfg.TargetQPS)
+	}
 
 	per := cfg.Queries / cfg.Workers
 	extra := cfg.Queries % cfg.Workers
@@ -121,32 +174,57 @@ func StubLoad(cfg StubLoadConfig) (StubLoadStats, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
 			zipf := stats.NewZipf(rng, cfg.Skew, uint64(cfg.Names))
+			nextName := func() string {
+				if cfg.Attack == "watertorture" {
+					// Unique per draw, so the cache never helps and every
+					// query costs an upstream round trip.
+					if cfg.AttackVictim > 0 {
+						return fmt.Sprintf("w%08x.d%d.%s.", rng.Uint32(), cfg.AttackVictim, cfg.Zone)
+					}
+					return fmt.Sprintf("w%08x.%s.", rng.Uint32(), cfg.Zone)
+				}
+				return fmt.Sprintf("www.d%d.%s.", zipf.Next(), cfg.Zone)
+			}
+			packQuery := func(i int) ([]byte, uint16, error) {
+				id := uint16(worker<<10) + uint16(i)
+				q := dnswire.NewQuery(id, nextName(), dnswire.TypeA)
+				if cfg.EDNSSize > 0 {
+					q.WithEdns(cfg.EDNSSize, false)
+				}
+				wire, err := q.Pack()
+				return wire, id, err
+			}
+			pace := func(i int) {
+				if interval <= 0 {
+					return
+				}
+				if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			conn, err := net.Dial("udp", cfg.Target)
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer conn.Close()
+			record := func(rcode dnswire.RCode) {
+				answered.Add(1)
+				mu.Lock()
+				st.ByRCode[rcode]++
+				mu.Unlock()
+			}
+			if cfg.Batch > 1 {
+				if err := stubWorkerBatched(conn.(*net.UDPConn), cfg, n, packQuery, pace,
+					&sent, &timeouts, record); err != nil {
+					errs <- err
+				}
+				return
+			}
 			buf := make([]byte, 1<<16)
 			for i := 0; i < n; i++ {
-				var name string
-				if cfg.Attack == "watertorture" {
-					// Unique per draw, so the cache never helps and every
-					// query costs an upstream round trip.
-					if cfg.AttackVictim > 0 {
-						name = fmt.Sprintf("w%08x.d%d.%s.", rng.Uint32(), cfg.AttackVictim, cfg.Zone)
-					} else {
-						name = fmt.Sprintf("w%08x.%s.", rng.Uint32(), cfg.Zone)
-					}
-				} else {
-					name = fmt.Sprintf("www.d%d.%s.", zipf.Next(), cfg.Zone)
-				}
-				id := uint16(worker<<10) + uint16(i)
-				q := dnswire.NewQuery(id, name, dnswire.TypeA)
-				if cfg.EDNSSize > 0 {
-					q.WithEdns(cfg.EDNSSize, false)
-				}
-				wire, err := q.Pack()
+				pace(i)
+				wire, id, err := packQuery(i)
 				if err != nil {
 					errs <- err
 					return
@@ -162,10 +240,7 @@ func StubLoad(cfg StubLoadConfig) (StubLoadStats, error) {
 					timeouts.Add(1)
 					continue
 				}
-				answered.Add(1)
-				mu.Lock()
-				st.ByRCode[rcode]++
-				mu.Unlock()
+				record(rcode)
 			}
 		}(w, n)
 	}
@@ -179,6 +254,60 @@ func StubLoad(cfg StubLoadConfig) (StubLoadStats, error) {
 		return st, err
 	}
 	return st, nil
+}
+
+// stubWorkerBatched runs one worker's share of the load through a
+// ClientBatch: windows of up to cfg.Batch queries leave in one sendmmsg,
+// then answers drain in batched recvmmsg calls until every ID in the
+// window is matched or the window's deadline hits. Unmatched IDs count
+// as timeouts, exactly like the synchronous stub's per-query deadline.
+func stubWorkerBatched(conn *net.UDPConn, cfg StubLoadConfig, n int,
+	packQuery func(int) ([]byte, uint16, error), pace func(int),
+	sent, timeouts *atomic.Uint64, record func(dnswire.RCode)) error {
+	cb, err := udpengine.NewClientBatch(conn, cfg.Batch, 4096)
+	if err != nil {
+		return err
+	}
+	pending := make(map[uint16]struct{}, cfg.Batch)
+	for i := 0; i < n; i += cfg.Batch {
+		window := min(cfg.Batch, n-i)
+		for j := 0; j < window; j++ {
+			pace(i + j)
+			wire, id, err := packQuery(i + j)
+			if err != nil {
+				return err
+			}
+			if err := cb.Queue(wire); err != nil {
+				return err
+			}
+			sent.Add(1)
+			pending[id] = struct{}{}
+		}
+		if err := cb.Flush(); err != nil {
+			return err
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.Timeout))
+		for len(pending) > 0 {
+			pkts, err := cb.Recv()
+			if err != nil {
+				break // window deadline: leftovers are timeouts
+			}
+			for _, pkt := range pkts {
+				if len(pkt) < dnswire.HeaderLen {
+					continue
+				}
+				id := uint16(pkt[0])<<8 | uint16(pkt[1])
+				if _, ok := pending[id]; !ok {
+					continue // stray from an earlier window
+				}
+				delete(pending, id)
+				record(dnswire.RCode(pkt[3] & 0xF))
+			}
+		}
+		timeouts.Add(uint64(len(pending)))
+		clear(pending)
+	}
+	return nil
 }
 
 // awaitAnswer reads datagrams until the matching ID arrives (stray or

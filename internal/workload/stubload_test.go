@@ -2,6 +2,7 @@ package workload
 
 import (
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -54,6 +55,84 @@ func TestStubLoadAllAnswered(t *testing.T) {
 	}
 	if st.QPS() <= 0 {
 		t.Fatal("qps not computed")
+	}
+}
+
+// TestStubLoadBatched runs the same load through the windowed batch
+// sender: every query answered, none lost across window boundaries.
+func TestStubLoadBatched(t *testing.T) {
+	addr := echoResponder(t)
+	st, err := StubLoad(StubLoadConfig{
+		Target:  addr,
+		Zone:    "nl",
+		Names:   50,
+		Queries: 203, // deliberately not a multiple of Batch or Workers
+		Workers: 3,
+		Batch:   16,
+		Seed:    7,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 203 || st.Answered != 203 || st.Timeouts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByRCode[0] != 203 {
+		t.Fatalf("NOERROR count = %d, want 203", st.ByRCode[0])
+	}
+}
+
+// TestStubLoadPacedRate checks TargetQPS pacing holds the send rate
+// near the target and the stats expose achieved-vs-target.
+func TestStubLoadPacedRate(t *testing.T) {
+	addr := echoResponder(t)
+	st, err := StubLoad(StubLoadConfig{
+		Target:    addr,
+		Zone:      "nl",
+		Names:     20,
+		Queries:   100,
+		Workers:   2,
+		Batch:     8,
+		TargetQPS: 500,
+		Seed:      3,
+		Timeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 100 {
+		t.Fatalf("sent = %d, want 100", st.Sent)
+	}
+	// 100 queries at 500/s ≈ 200ms minimum; an unpaced run against a
+	// loopback echo finishes in a few ms.
+	if st.Elapsed < 150*time.Millisecond {
+		t.Fatalf("run finished in %v — pacing not applied", st.Elapsed)
+	}
+	if got := st.SendQPS(); got > 700 {
+		t.Fatalf("send rate %.0f/s overshoots the 500/s target", got)
+	}
+	if st.TargetQPS != 500 {
+		t.Fatalf("TargetQPS = %v", st.TargetQPS)
+	}
+	if !strings.Contains(st.Format(), "target") {
+		t.Fatalf("Format() missing target report: %s", st.Format())
+	}
+}
+
+// TestStubLoadBottleneckWarning fabricates stats where the generator
+// missed its target and checks the report calls it out.
+func TestStubLoadBottleneckWarning(t *testing.T) {
+	st := StubLoadStats{Sent: 100, Elapsed: time.Second, TargetQPS: 1000}
+	if !st.GeneratorBottleneck() {
+		t.Fatal("100/s of a 1000/s target not flagged as a bottleneck")
+	}
+	if !strings.Contains(st.Format(), "BOTTLENECK") {
+		t.Fatalf("Format() missing bottleneck warning: %s", st.Format())
+	}
+	ok := StubLoadStats{Sent: 980, Elapsed: time.Second, TargetQPS: 1000}
+	if ok.GeneratorBottleneck() {
+		t.Fatal("98% of target wrongly flagged")
 	}
 }
 
