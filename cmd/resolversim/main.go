@@ -78,6 +78,7 @@ func main() {
 		stubAttack = flag.String("stub-attack", "", "stub mode attack pattern: watertorture (random-subdomain flood) or empty for benign")
 		stubVictim = flag.Int("stub-victim", 0, "stub mode: attack victim — 0 floods the zone apex (NXDOMAIN storm), rank ≥ 1 floods under that delegated domain (referral storm)")
 		stubBatch  = flag.Int("stub-batch", 1, "stub mode: queries per sendmmsg window (>1 engages the batched sender)")
+		stubGSO    = flag.Bool("stub-gso", true, "stub mode: send each batch window as UDP_SEGMENT super-datagrams (needs -stub-batch > 1; auto-fallback on unsupported kernels)")
 		stubRate   = flag.Float64("stub-rate", 0, "stub mode: aggregate target send rate in queries/sec (0 = closed-loop, as fast as answers return); the report shows achieved vs target")
 	)
 	tm := telemetry.RegisterFlags(flag.CommandLine)
@@ -107,6 +108,7 @@ func main() {
 			Attack:       *stubAttack,
 			AttackVictim: *stubVictim,
 			Batch:        *stubBatch,
+			GSO:          *stubGSO,
 			TargetQPS:    *stubRate,
 		})
 		if err != nil {

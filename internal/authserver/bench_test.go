@@ -12,7 +12,7 @@ import (
 
 // benchServer starts an authserver over the chosen UDP engine for the
 // loopback-throughput benchmarks.
-func benchServer(b *testing.B, portable bool) *Server {
+func benchServer(b *testing.B, portable, gso bool) *Server {
 	b.Helper()
 	z, err := zonedb.NewCcTLD("nl", 10_000, 0, 0.5, []string{"ns1.dns.nl", "ns2.dns.nl"})
 	if err != nil {
@@ -22,6 +22,7 @@ func benchServer(b *testing.B, portable bool) *Server {
 		UDPBatch:    32,
 		UDPSockets:  1,
 		UDPPortable: portable,
+		UDPGSO:      gso,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -47,8 +48,8 @@ func benchQueries(b *testing.B, window int) [][]byte {
 	return queries
 }
 
-func benchAuthserver(b *testing.B, portable bool) {
-	s := benchServer(b, portable)
+func benchAuthserver(b *testing.B, portable, gso bool) {
+	s := benchServer(b, portable, gso)
 	conn, err := net.Dial("udp", s.Addr().String())
 	if err != nil {
 		b.Fatal(err)
@@ -58,6 +59,9 @@ func benchAuthserver(b *testing.B, portable bool) {
 	cb, err := udpengine.NewClientBatch(uconn, 32, 2048)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if gso && !cb.EnableGSO() {
+		b.Skip("UDP_SEGMENT unavailable on this kernel")
 	}
 	const window = 32
 	queries := benchQueries(b, window)
@@ -92,9 +96,15 @@ func benchAuthserver(b *testing.B, portable bool) {
 // BenchmarkAuthserverBatched is the headline number: full DNS serving
 // (unpack → engine → AppendResponse) over the recvmmsg/sendmmsg engine,
 // loopback round trips per second.
-func BenchmarkAuthserverBatched(b *testing.B) { benchAuthserver(b, false) }
+func BenchmarkAuthserverBatched(b *testing.B) { benchAuthserver(b, false, false) }
 
 // BenchmarkAuthserverPortable is the pre-batching baseline on the same
 // hardware: identical serving path over the one-datagram-per-syscall
 // loop.
-func BenchmarkAuthserverPortable(b *testing.B) { benchAuthserver(b, true) }
+func BenchmarkAuthserverPortable(b *testing.B) { benchAuthserver(b, true, false) }
+
+// BenchmarkAuthserverGSO layers segmentation offload on the batched
+// path: the 32-query windows arrive as GRO-coalesced payloads and the
+// equal-size response runs leave as UDP_SEGMENT super-datagrams, both
+// directions one kernel stack traversal per run instead of per packet.
+func BenchmarkAuthserverGSO(b *testing.B) { benchAuthserver(b, false, true) }

@@ -35,6 +35,14 @@ type ServerConfig struct {
 	// UDPPortable forces the one-datagram-per-syscall portable engine —
 	// the pre-batching baseline, kept for debugging and benchmarking.
 	UDPPortable bool
+	// UDPGSO enables segmentation offload on the batched engine:
+	// equal-destination response runs coalesce into UDP_SEGMENT
+	// super-datagrams and GRO-coalesced receives are split back into
+	// per-query packets. Probed at bind with automatic fallback.
+	UDPGSO bool
+	// UDPPin pins each socket loop to a CPU core and steers reuseport
+	// delivery to the receiving core's socket (Linux batched engine).
+	UDPPin bool
 	// Telemetry, when set, publishes live transport metrics (datagram
 	// and connection counters, the active-connection gauge, the
 	// udpengine_* socket-plane family) on the registry; pair it with
@@ -123,6 +131,8 @@ func ListenConfig(addr string, engine *Engine, cfg ServerConfig) (*Server, error
 		Batch:     s.cfg.UDPBatch,
 		Sockets:   s.cfg.UDPSockets,
 		Portable:  s.cfg.UDPPortable,
+		GSO:       s.cfg.UDPGSO,
+		PinCPUs:   s.cfg.UDPPin,
 		Telemetry: s.cfg.Telemetry,
 		Logf:      s.logf,
 	})

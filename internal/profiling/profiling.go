@@ -14,25 +14,33 @@ import (
 
 // Flags holds the registered profile flag values for one command.
 type Flags struct {
-	cpu *string
-	mem *string
+	cpu   *string
+	mem   *string
+	mutex *string
 
 	cpuFile *os.File
 	stopped bool
 }
 
-// Register adds -cpuprofile and -memprofile to fs. Call before fs is
-// parsed.
+// Register adds -cpuprofile, -memprofile, and -mutexprofile to fs. Call
+// before fs is parsed.
 func Register(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
-		mem: fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+		cpu:   fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem:   fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+		mutex: fs.String("mutexprofile", "", "write a pprof mutex-contention profile to this file on exit (records every contended lock while set)"),
 	}
 }
 
-// Start begins CPU profiling when -cpuprofile was given. Every exit
-// path must reach Stop afterwards or the profile file ends up empty.
+// Start begins CPU profiling when -cpuprofile was given and turns on
+// mutex-contention sampling when -mutexprofile was given (full sampling:
+// the contention this repo profiles for — shard locks on serve paths —
+// is exactly what a sampled fraction would hide). Every exit path must
+// reach Stop afterwards or the profile files end up empty.
 func (f *Flags) Start() error {
+	if *f.mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	if *f.cpu == "" {
 		return nil
 	}
@@ -59,6 +67,17 @@ func (f *Flags) Stop() {
 	if f.cpuFile != nil {
 		pprof.StopCPUProfile()
 		f.cpuFile.Close()
+	}
+	if *f.mutex != "" {
+		if file, err := os.Create(*f.mutex); err != nil {
+			fmt.Fprintln(os.Stderr, "mutexprofile:", err)
+		} else {
+			if err := pprof.Lookup("mutex").WriteTo(file, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "mutexprofile:", err)
+			}
+			file.Close()
+			runtime.SetMutexProfileFraction(0)
+		}
 	}
 	if *f.mem == "" {
 		return

@@ -49,8 +49,16 @@ type Entry struct {
 
 	expires time.Time
 	key     string
+	hash    uint32 // read-index home slot seed, set before publication
 	// Intrusive LRU links; most-recently-used entries sit at the head.
 	prev, next *Entry
+	// slot is the entry's position in the shard's lock-free read index
+	// (-1 = unindexed). Only touched under the shard lock.
+	slot int32
+	// hot is the CLOCK second-chance bit: the lock-free hit path sets
+	// it instead of relinking the LRU (which would need the lock), and
+	// eviction gives hot tail entries one more lap before removal.
+	hot atomic.Bool
 }
 
 // Cacheable reports whether the entry carries a future expiry; fills
@@ -66,8 +74,18 @@ type flight struct {
 }
 
 // shard is one lock domain of the cache: a key→entry map, an intrusive
-// LRU list bounding it, the in-flight fill registry, and the negative
-// failure-cache marks.
+// LRU list bounding it, the in-flight fill registry, the negative
+// failure-cache marks, and — the hit path's whole reason to be fast — a
+// lock-free read index over the live entries.
+//
+// The read index is a fixed open-addressing table of atomic entry
+// pointers guarded by a seqlock: readers load seq (even = stable),
+// probe the table with atomic loads, and re-check seq; writers hold mu
+// for every mutation, flip seq odd only around multi-slot rewrites
+// (tombstone compaction), and otherwise publish single-slot changes
+// with one atomic store. A cache hit therefore never takes mu — the
+// per-shard mutex is reserved for fills, evictions, expiry accounting,
+// and the seqlock's (rare) retry fallback.
 type shard struct {
 	mu       sync.Mutex
 	entries  map[string]*Entry
@@ -75,7 +93,23 @@ type shard struct {
 	failed   map[string]time.Time // key → fail mark expiry
 	head     *Entry               // most recently used
 	tail     *Entry               // eviction candidate
+
+	// seq is the shard seqlock: even = stable, odd = a multi-slot index
+	// rewrite is in progress. Single-slot publications do not bump it —
+	// one atomic pointer store is already untearable.
+	seq atomic.Uint64
+	// idx is the lock-free read index: open addressing, linear probing
+	// from hash&idxMask, nil = never used (probe terminator), tombstone
+	// = deleted (probe continues). Sized ≥ 2× the per-shard entry bound
+	// so a free slot always exists.
+	idx     []atomic.Pointer[Entry]
+	idxMask uint32
+	tombs   int // tombstoned slots; compaction runs past idx/4
 }
+
+// tombstone marks a deleted read-index slot: probes skip it but keep
+// walking, preserving chains that were built through the slot.
+var tombstone = new(Entry)
 
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
@@ -87,7 +121,12 @@ type CacheStats struct {
 	// FailHits counts misses absorbed by an active mark without any
 	// upstream attempt.
 	FailMarks, FailHits uint64
-	Entries             int
+	// LockedGets counts Get calls that fell back to the shard mutex —
+	// seqlock retries exhausted under writer pressure, or an expired
+	// entry needing stale accounting. Steady-state hits and misses keep
+	// this at zero; the hit-path benchmarks pin that.
+	LockedGets uint64
+	Entries    int
 }
 
 // CacheConfig shapes the answer cache.
@@ -147,7 +186,7 @@ type Cache struct {
 	now         func() time.Time
 
 	hits, misses, stale, evictions, sfShared atomic.Uint64
-	failMarks, failHits                      atomic.Uint64
+	failMarks, failHits, lockedGets          atomic.Uint64
 }
 
 // NewCache builds a cache from cfg.
@@ -167,10 +206,19 @@ func NewCache(cfg CacheConfig) *Cache {
 		ttlCap:      cfg.TTLCap,
 		now:         cfg.Now,
 	}
+	// The read index stays under 50% occupied (entries are bounded by
+	// maxPerShard, +1 transient during insert-then-evict), so probes
+	// terminate fast and a free slot always exists.
+	idxSize := 8
+	for idxSize < 2*(c.maxPerShard+2) {
+		idxSize <<= 1
+	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*Entry)
 		c.shards[i].inflight = make(map[string]*flight)
 		c.shards[i].failed = make(map[string]time.Time)
+		c.shards[i].idx = make([]atomic.Pointer[Entry], idxSize)
+		c.shards[i].idxMask = uint32(idxSize - 1)
 	}
 	return c
 }
@@ -187,23 +235,77 @@ func AppendKey(dst []byte, qname []byte, qtype dnswire.Type, do bool) []byte {
 	return append(dst, byte(qtype>>8), byte(qtype), d)
 }
 
-// shardFor hashes the key bytes (FNV-1a, folded) to a shard.
-func (c *Cache) shardFor(key []byte) *shard {
+// hashKey is FNV-1a over the key bytes. The low word seeds the read
+// index's home slot, the folded word selects the shard — distinct
+// projections, so keys sharing a shard do not cluster onto every
+// (numShards)-th index slot.
+func hashKey[T string | []byte](key T) uint64 {
 	h := uint64(14695981039346656037)
-	for _, b := range key {
-		h ^= uint64(b)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return &c.shards[uint32(h>>32^h)&c.mask]
+	return h
 }
 
-// Get returns the live entry for key, nil on miss. Expired entries are
-// removed lazily and counted as stale; hits move to the LRU front. The
-// key is looked up without copying (map access through string(key)
-// compiles to a no-allocation lookup).
+// shardFor hashes the key bytes to a shard plus the read-index home
+// slot seed.
+func (c *Cache) shardFor(key []byte) (*shard, uint32) {
+	h := hashKey(key)
+	return &c.shards[uint32(h>>32^h)&c.mask], uint32(h)
+}
+
+// seqRetries bounds the lock-free read attempts before Get falls back
+// to the mutex: a reader only loses a round when a writer flips the
+// seqlock mid-probe (tombstone compaction), so consecutive losses are
+// vanishingly rare and a small bound keeps the worst case tight.
+const seqRetries = 8
+
+// Get returns the live entry for key, nil on miss. The fast path is
+// lock-free: load the shard seqlock, probe the atomic read index, and
+// re-check the seqlock — a torn observation (compaction moved slots
+// mid-probe) retries, everything else returns without touching the
+// shard mutex. Hits mark the entry's CLOCK bit instead of relinking the
+// LRU; expired entries fall back to the locked path, which does the
+// stale accounting and lazy removal exactly as before.
 func (c *Cache) Get(key []byte) *Entry {
 	now := c.now()
-	s := c.shardFor(key)
+	s, h := c.shardFor(key)
+	for attempt := 0; attempt < seqRetries; attempt++ {
+		seq := s.seq.Load()
+		if seq&1 != 0 {
+			// A compaction is mid-flight; writers finish in microseconds.
+			continue
+		}
+		e, ok := s.probe(h, key)
+		if s.seq.Load() != seq {
+			continue // index rewritten under us: the probe may have torn
+		}
+		if !ok {
+			break // probe wrapped without a terminator — needs the lock
+		}
+		if e == nil {
+			c.misses.Add(1)
+			return nil
+		}
+		if now.After(e.expires) {
+			break // stale: locked path counts it and retires the entry
+		}
+		if !e.hot.Load() {
+			// Load-then-store keeps steady-state hits on a hot entry from
+			// bouncing the cache line between cores.
+			e.hot.Store(true)
+		}
+		c.hits.Add(1)
+		return e
+	}
+	return c.getLocked(s, key, now)
+}
+
+// getLocked is Get's mutex fallback — seqlock contention or an expired
+// entry that needs its removal and stale accounting done under the lock.
+func (c *Cache) getLocked(s *shard, key []byte, now time.Time) *Entry {
+	c.lockedGets.Add(1)
 	s.mu.Lock()
 	e := s.lookup(c, key, now)
 	s.mu.Unlock()
@@ -213,6 +315,31 @@ func (c *Cache) Get(key []byte) *Entry {
 	}
 	c.hits.Add(1)
 	return e
+}
+
+// probe walks the read index from key's home slot. Returns (entry,
+// true) on a hit, (nil, true) on a definitive miss (nil terminator
+// reached), (nil, false) when the probe wrapped the whole table without
+// terminating — only possible mid-compaction or under pathological
+// tombstone load, both of which the locked fallback resolves.
+func (s *shard) probe(h uint32, key []byte) (*Entry, bool) {
+	mask := s.idxMask
+	for i, n := h&mask, uint32(0); n <= mask; i, n = (i+1)&mask, n+1 {
+		e := s.idx[i].Load()
+		if e == nil {
+			return nil, true
+		}
+		if e == tombstone {
+			continue
+		}
+		// string(key) here compiles to an allocation-free comparison;
+		// e.key is immutable after publication, so this read is safe
+		// under the atomic load's acquire ordering.
+		if e.key == string(key) {
+			return e, true
+		}
+	}
+	return nil, false
 }
 
 // lookup is the locked lookup + lazy-expiry + LRU-touch step. Expired
@@ -245,7 +372,7 @@ func (c *Cache) GetStale(key []byte) *Entry {
 		return nil
 	}
 	now := c.now()
-	s := c.shardFor(key)
+	s, _ := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.entries[string(key)]
@@ -262,7 +389,7 @@ func (c *Cache) FailedRecently(key []byte) bool {
 		return false
 	}
 	now := c.now()
-	s := c.shardFor(key)
+	s, _ := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	until, ok := s.failed[string(key)]
@@ -305,7 +432,7 @@ func (s *shard) markFailed(c *Cache, key string, now time.Time) {
 // piggybacked. Entries whose Cacheable() is false are returned to every
 // parked caller but not inserted.
 func (c *Cache) Do(key []byte, fill func() (*Entry, error)) (e *Entry, shared bool, err error) {
-	s := c.shardFor(key)
+	s, _ := c.shardFor(key)
 	s.mu.Lock()
 	// Re-check under the lock: a racing fill may have landed since the
 	// caller's Get missed. (Not a counted hit — the caller's miss is
@@ -360,7 +487,7 @@ func (s *shard) finish(c *Cache, ks string, e *Entry, err error) {
 // Inflight reports whether a fill for key is currently running — a
 // cheap pre-check before spawning an asynchronous refresh goroutine.
 func (c *Cache) Inflight(key []byte) bool {
-	s := c.shardFor(key)
+	s, _ := c.shardFor(key)
 	s.mu.Lock()
 	_, ok := s.inflight[string(key)]
 	s.mu.Unlock()
@@ -373,7 +500,7 @@ func (c *Cache) Inflight(key []byte) bool {
 // fill — it is the background half of serve-stale: the stub already got
 // its stale answer, this call just tries to repopulate the entry.
 func (c *Cache) Refresh(key []byte, fill func() (*Entry, error)) bool {
-	s := c.shardFor(key)
+	s, _ := c.shardFor(key)
 	s.mu.Lock()
 	// Fresh-entry check without lookup(): a refresh is not a stub
 	// lookup, so it must not skew the hit/miss/stale counters.
@@ -400,14 +527,23 @@ func (c *Cache) Refresh(key []byte, fill func() (*Entry, error)) bool {
 	return true
 }
 
-// insert links a new entry at the LRU front, evicting the tail past the
+// insert links a new entry at the LRU front, evicting past the
 // per-shard bound. An existing entry under the same key (possible when a
 // fill races an eviction-refill cycle) is replaced.
+//
+// Eviction is CLOCK second-chance over the LRU list: the lock-free hit
+// path cannot relink the list (that needs the lock), so it sets the
+// entry's hot bit instead, and eviction walks from the tail clearing
+// hot bits — a hot tail entry is re-headed for one more lap, the first
+// cold one is the victim. With no intervening hits every bit is cold
+// and this degenerates to exact tail (LRU) eviction.
 func (s *shard) insert(c *Cache, e *Entry) {
 	if old := s.entries[e.key]; old != nil {
 		s.remove(old)
 	}
+	e.hash = uint32(hashKey(e.key))
 	s.entries[e.key] = e
+	s.idxInsert(e)
 	e.prev = nil
 	e.next = s.head
 	if s.head != nil {
@@ -417,10 +553,81 @@ func (s *shard) insert(c *Cache, e *Entry) {
 	if s.tail == nil {
 		s.tail = e
 	}
-	if len(s.entries) > c.maxPerShard && s.tail != nil {
-		s.remove(s.tail)
-		c.evictions.Add(1)
+	if len(s.entries) > c.maxPerShard {
+		victim := s.tail
+		for scanned := 0; victim != nil && scanned < len(s.entries); scanned++ {
+			if victim != e && !victim.hot.Load() {
+				break
+			}
+			// Hot (or the entry being inserted): clear the bit and give
+			// it another lap at the head.
+			victim.hot.Store(false)
+			s.touch(victim)
+			victim = s.tail
+		}
+		if victim != nil {
+			s.remove(victim)
+			c.evictions.Add(1)
+		}
 	}
+}
+
+// idxInsert publishes e into the read index under the shard lock. One
+// atomic store is the whole publication: every Entry field is written
+// before the Store, and Go atomics give release/acquire pairing with
+// probe's Load, so lock-free readers that see the pointer see the
+// fields. Tombstoned slots are reused.
+func (s *shard) idxInsert(e *Entry) {
+	for i := e.hash & s.idxMask; ; i = (i + 1) & s.idxMask {
+		cur := s.idx[i].Load()
+		if cur == nil || cur == tombstone {
+			if cur == tombstone {
+				s.tombs--
+			}
+			e.slot = int32(i)
+			s.idx[i].Store(e)
+			return
+		}
+	}
+}
+
+// idxRemove tombstones e's slot — probes walk through tombstones, so
+// chains built past the slot stay reachable — and compacts the index
+// once tombstones would slow every miss probe.
+func (s *shard) idxRemove(e *Entry) {
+	if e.slot < 0 {
+		return
+	}
+	s.idx[e.slot].Store(tombstone)
+	e.slot = -1
+	s.tombs++
+	if s.tombs > len(s.idx)/4 {
+		s.rebuildIdx()
+	}
+}
+
+// rebuildIdx rewrites the index without tombstones. This is the one
+// multi-slot rewrite in the scheme, so it runs inside an odd seqlock
+// window: a reader that loads an odd seq, or whose seq re-check after
+// probing sees a different value, discards what it probed and retries
+// (clearing slots mid-probe could otherwise fake a nil terminator and
+// turn a resident entry into a spurious miss).
+func (s *shard) rebuildIdx() {
+	s.seq.Add(1) // odd: readers back off
+	for i := range s.idx {
+		s.idx[i].Store(nil)
+	}
+	for _, e := range s.entries {
+		for i := e.hash & s.idxMask; ; i = (i + 1) & s.idxMask {
+			if s.idx[i].Load() == nil {
+				e.slot = int32(i)
+				s.idx[i].Store(e)
+				break
+			}
+		}
+	}
+	s.tombs = 0
+	s.seq.Add(1) // even: stable again
 }
 
 // touch moves an entry to the LRU front.
@@ -447,9 +654,11 @@ func (s *shard) touch(e *Entry) {
 	s.head = e
 }
 
-// remove unlinks an entry from the map and the LRU list.
+// remove unlinks an entry from the map, the read index, and the LRU
+// list.
 func (s *shard) remove(e *Entry) {
 	delete(s.entries, e.key)
+	s.idxRemove(e)
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else if s.head == e {
@@ -485,6 +694,7 @@ func (c *Cache) Stats() CacheStats {
 		SingleflightShared: c.sfShared.Load(),
 		FailMarks:          c.failMarks.Load(),
 		FailHits:           c.failHits.Load(),
+		LockedGets:         c.lockedGets.Load(),
 		Entries:            c.Len(),
 	}
 }

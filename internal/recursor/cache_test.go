@@ -116,6 +116,117 @@ func TestCacheLRUTouchOnHit(t *testing.T) {
 	}
 }
 
+// TestCacheLockFreeHitPath pins the seqlock contract: a read-only
+// concurrent phase over a stable cache never touches the shard mutex
+// (LockedGets stays zero), and every reader sees every resident entry.
+func TestCacheLockFreeHitPath(t *testing.T) {
+	clk := newClock()
+	c := NewCache(CacheConfig{MaxEntries: 256, Shards: 4, Now: clk.Now})
+	far := clk.Now().Add(time.Hour)
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		mustFill(t, c, testKey(fmt.Sprintf("www.d%d.nl.", i)), entryExpiring(far))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 2000; round++ {
+				k := testKey(fmt.Sprintf("www.d%d.nl.", (round+w)%keys))
+				if c.Get(k) == nil {
+					t.Errorf("worker %d: resident key missed", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lg := c.Stats().LockedGets; lg != 0 {
+		t.Fatalf("LockedGets = %d on a read-only run, want 0 (hit path took the mutex)", lg)
+	}
+}
+
+// TestCacheSeqlockConcurrentChurn hammers lock-free readers against
+// writers doing the full mutation set — inserts, evictions (the CLOCK
+// walk), expiry removals, and the tombstone compaction that flips the
+// seqlock — and asserts readers never see a torn or wrong entry. The
+// cache is deliberately tiny so eviction and compaction run constantly.
+// This is the -race sentinel for the whole seqlock scheme.
+func TestCacheSeqlockConcurrentChurn(t *testing.T) {
+	clk := newClock()
+	c := NewCache(CacheConfig{MaxEntries: 16, Shards: 2, Now: clk.Now})
+	far := clk.Now().Add(time.Hour)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers: continuous distinct-key fills force evictions every
+	// insert and, via the removals they cause, periodic compactions.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("w%d-%d.nl.", w, i)
+				key := AppendKey(nil, []byte(name), dnswire.TypeA, false)
+				e := entryExpiring(far)
+				if _, _, err := c.Do(key, func() (*Entry, error) { return e, nil }); err != nil {
+					t.Errorf("fill: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: probe a moving window of recent keys. A returned entry
+	// must be internally consistent — the key the probe matched must be
+	// the key the entry was filled under (catches torn index reads).
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("w%d-%d.nl.", r%2, i%512)
+				key := AppendKey(nil, []byte(name), dnswire.TypeA, false)
+				if e := c.Get(key); e != nil && e.key != string(key) {
+					t.Errorf("torn read: got entry for %q via key %q", e.key, key)
+					return
+				}
+			}
+		}(r)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n, max := c.Len(), 16+2; n > max {
+		t.Fatalf("len = %d, want ≤ %d after churn", n, max)
+	}
+	// The index must still agree with the map: every resident entry
+	// remains reachable lock-free.
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if e, ok := s.probe(uint32(hashKey(k)), []byte(k)); !ok || e == nil {
+				s.mu.Unlock()
+				t.Fatalf("resident key %q unreachable through the read index", k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
 	clk := newClock()
 	c := NewCache(CacheConfig{MaxEntries: 64, Shards: 4, Now: clk.Now})

@@ -193,6 +193,7 @@ func (r *Recursor) register(reg *telemetry.Registry) {
 	reg.CounterFunc("recursor_cache_misses_total", r.cache.misses.Load)
 	reg.CounterFunc("recursor_cache_stale_total", r.cache.stale.Load)
 	reg.CounterFunc("recursor_cache_evictions_total", r.cache.evictions.Load)
+	reg.CounterFunc("recursor_cache_locked_gets_total", r.cache.lockedGets.Load)
 	reg.CounterFunc("recursor_singleflight_shared_total", r.cache.sfShared.Load)
 	reg.CounterFunc("recursor_aggressive_hits_total", r.aggressiveHits.Load)
 	reg.CounterFunc("recursor_truncated_total", r.truncations.Load)

@@ -29,6 +29,14 @@ type ServerConfig struct {
 	UDPBatch int
 	// UDPPortable forces the one-datagram-per-syscall portable engine.
 	UDPPortable bool
+	// UDPGSO enables segmentation offload on the batched engine:
+	// equal-destination response runs coalesce into UDP_SEGMENT
+	// super-datagrams and GRO-coalesced receives are split back into
+	// per-query packets. Probed at bind with automatic fallback.
+	UDPGSO bool
+	// UDPPin pins each socket loop to a CPU core and steers reuseport
+	// delivery to the receiving core's socket (Linux batched engine).
+	UDPPin bool
 	// TCPIdleTimeout is how long an idle stub TCP connection may sit
 	// between messages (default 10s).
 	TCPIdleTimeout time.Duration
@@ -109,6 +117,8 @@ func Serve(addr string, rec *Recursor, cfg ServerConfig) (*Server, error) {
 		Batch:     s.cfg.UDPBatch,
 		Sockets:   s.cfg.UDPWorkers,
 		Portable:  s.cfg.UDPPortable,
+		GSO:       s.cfg.UDPGSO,
+		PinCPUs:   s.cfg.UDPPin,
 		Telemetry: s.cfg.Telemetry,
 		Logf:      s.logf,
 	})

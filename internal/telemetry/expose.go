@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -48,6 +49,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	vhists := make(map[string]*ValueHistogram, len(r.vhists))
+	for name, h := range r.vhists {
+		vhists[name] = h
+	}
 	r.mu.Unlock()
 
 	var lastType string // "family typ" of the preceding sample
@@ -77,11 +82,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	for _, name := range sortedKeys(hists) {
+	// Duration and value histograms are one sorted histogram namespace:
+	// merge the key sets so families stay in lexical order regardless of
+	// which flavor a metric is.
+	histNames := make([]string, 0, len(hists)+len(vhists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	for name := range vhists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
 		if err := emitType(name, "histogram"); err != nil {
 			return err
 		}
-		if err := writePrometheusHistogram(w, name, hists[name]); err != nil {
+		if h, ok := hists[name]; ok {
+			if err := writePrometheusHistogram(w, name, h); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writePrometheusValueHistogram(w, name, vhists[name]); err != nil {
 			return err
 		}
 	}
@@ -116,6 +138,32 @@ func writePrometheusHistogram(w io.Writer, name string, h *Histogram) error {
 	return err
 }
 
+// writePrometheusValueHistogram is the plain-value counterpart: `le`
+// boundaries are the integer bucket upper bounds, _sum is the raw summed
+// value (no unit conversion).
+func writePrometheusValueHistogram(w io.Writer, name string, h *ValueHistogram) error {
+	base := baseName(name)
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", base, ValueBucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", base, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count())
+	return err
+}
+
 func formatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
@@ -144,6 +192,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			out[name] = map[string]any{
 				"count":       h.Count(),
 				"sum_seconds": h.Sum().Seconds(),
+			}
+		}
+		for name, h := range r.vhists {
+			out[name] = map[string]any{
+				"count": h.Count(),
+				"sum":   h.Sum(),
 			}
 		}
 		r.mu.Unlock()

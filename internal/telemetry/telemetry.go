@@ -31,6 +31,7 @@
 package telemetry
 
 import (
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -192,6 +193,80 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
 }
 
+// Value-histogram bucket geometry: exact buckets for 0..128 (the counts
+// the instrumented paths actually produce — batch sizes, segment counts
+// — deserve exact resolution), then 16 sub-buckets per power of two up
+// to the full uint64 range (~3% relative error). 1041 buckets total.
+const (
+	valueExactMax   = 128
+	valueSubBuckets = 16
+	numValueBuckets = valueExactMax + 1 + (64-7)*valueSubBuckets
+)
+
+// ValueBucket maps a plain value to its bucket index.
+func ValueBucket(v uint64) int {
+	if v <= valueExactMax {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // 2^e ≤ v < 2^(e+1), e ≥ 7
+	sub := int((v - 1<<e) >> (e - 4))
+	return valueExactMax + 1 + (e-7)*valueSubBuckets + sub
+}
+
+// ValueBucketUpper returns the inclusive upper bound of bucket i — the
+// `le` boundary the Prometheus exposition prints.
+func ValueBucketUpper(i int) uint64 {
+	if i <= valueExactMax {
+		return uint64(i)
+	}
+	rel := i - valueExactMax - 1
+	e := uint(7 + rel/valueSubBuckets)
+	sub := uint64(rel % valueSubBuckets)
+	return 1<<e + (sub+1)<<(e-4) - 1
+}
+
+// ValueHistogram is a fixed-memory log-bucketed histogram over plain
+// (unitless) integer values — batch sizes, segment counts, queue
+// lengths. It exists so counts are not smuggled through the duration
+// Histogram under a fake time unit: buckets are exact up to 128 and
+// ~3%-relative above, and the exposition prints plain-number `le`
+// boundaries. Observations are lock-free atomic adds.
+type ValueHistogram struct {
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+func newValueHistogram() *ValueHistogram {
+	return &ValueHistogram{buckets: make([]atomic.Uint64, numValueBuckets)}
+}
+
+// Observe adds one sample. Nil histograms are no-ops.
+func (h *ValueHistogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[ValueBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples. Nil histograms read zero.
+func (h *ValueHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the summed value of all samples.
+func (h *ValueHistogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
 // Registry names and hands out metrics. The zero value of the pointer —
 // nil — is the no-op default: a nil registry hands out nil metrics whose
 // operations cost a single predictable branch, so instrumented code pays
@@ -208,6 +283,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFns   map[string]func() int64
 	hists      map[string]*Histogram
+	vhists     map[string]*ValueHistogram
 }
 
 // New creates an empty registry.
@@ -218,6 +294,7 @@ func New() *Registry {
 		gauges:     make(map[string]*Gauge),
 		gaugeFns:   make(map[string]func() int64),
 		hists:      make(map[string]*Histogram),
+		vhists:     make(map[string]*ValueHistogram),
 	}
 }
 
@@ -290,6 +367,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h == nil {
 		h = newHistogram()
 		r.hists[name] = h
+	}
+	return h
+}
+
+// ValueHistogram returns the named value histogram, creating it on first
+// use. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) ValueHistogram(name string) *ValueHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.vhists[name]
+	if h == nil {
+		h = newValueHistogram()
+		r.vhists[name] = h
 	}
 	return h
 }

@@ -63,6 +63,51 @@ func TestGaugeAndHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestValueBucketGeometry pins the plain-value bucket layout: exact
+// buckets through 128 (every distinct batch size its own bucket), every
+// value lands in a bucket whose bounds contain it, and indices are
+// monotone in the value.
+func TestValueBucketGeometry(t *testing.T) {
+	for v := uint64(0); v <= 4096; v++ {
+		i := ValueBucket(v)
+		if v <= 128 && i != int(v) {
+			t.Fatalf("ValueBucket(%d) = %d, want exact bucket %d", v, i, v)
+		}
+		upper := ValueBucketUpper(i)
+		if v > upper {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, i, upper)
+		}
+		if i > 0 && v <= ValueBucketUpper(i-1) {
+			t.Fatalf("value %d fits bucket %d but was put in %d", v, i-1, i)
+		}
+		if prev := ValueBucket(v - 1); v > 0 && prev > i {
+			t.Fatalf("bucket index not monotone: ValueBucket(%d)=%d > ValueBucket(%d)=%d", v-1, prev, v, i)
+		}
+	}
+	// The extremes must not panic or fall outside the bucket array.
+	if i := ValueBucket(1<<64 - 1); i >= numValueBuckets {
+		t.Fatalf("max value bucket %d out of range %d", i, numValueBuckets)
+	}
+}
+
+func TestValueHistogramObserve(t *testing.T) {
+	reg := New()
+	h := reg.ValueHistogram("batch_size")
+	for i := 0; i < 100; i++ {
+		h.Observe(32)
+	}
+	h.Observe(1000)
+	if h.Count() != 101 {
+		t.Fatalf("count = %d, want 101", h.Count())
+	}
+	if h.Sum() != 100*32+1000 {
+		t.Fatalf("sum = %d, want %d", h.Sum(), 100*32+1000)
+	}
+	if again := reg.ValueHistogram("batch_size"); again != h {
+		t.Fatal("ValueHistogram() is not idempotent")
+	}
+}
+
 // TestNilRegistryNoop pins the no-op default: a nil registry hands out
 // nil metrics, every operation is safe, and — the contract instrumented
 // hot paths rely on — none of it allocates.
@@ -71,8 +116,9 @@ func TestNilRegistryNoop(t *testing.T) {
 	c := reg.Counter("x_total")
 	g := reg.Gauge("x")
 	h := reg.Histogram("x_seconds")
+	vh := reg.ValueHistogram("x_size")
 	cell := c.Shard(3)
-	if c != nil || g != nil || h != nil || cell != nil {
+	if c != nil || g != nil || h != nil || vh != nil || cell != nil {
 		t.Fatal("nil registry must hand out nil metrics")
 	}
 	reg.CounterFunc("f_total", func() uint64 { return 1 })
@@ -85,9 +131,12 @@ func TestNilRegistryNoop(t *testing.T) {
 		g.Set(4)
 		g.Add(-1)
 		h.Observe(time.Millisecond)
+		vh.Observe(32)
 		_ = c.Value()
 		_ = g.Value()
 		_ = h.Count()
+		_ = vh.Count()
+		_ = vh.Sum()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled telemetry allocates: %v allocs/op", allocs)
@@ -118,6 +167,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 	h.Observe(time.Millisecond)
 	h.Observe(time.Millisecond)
 	h.Observe(time.Second)
+	vh := reg.ValueHistogram("udpengine_batch_size")
+	vh.Observe(1)
+	vh.Observe(1)
+	vh.Observe(32)
+	vh.Observe(200)
 
 	var sb strings.Builder
 	if err := reg.WritePrometheus(&sb); err != nil {
@@ -140,6 +194,13 @@ resolver_rtt_seconds_bucket{le="1.005514144"} 3
 resolver_rtt_seconds_bucket{le="+Inf"} 3
 resolver_rtt_seconds_sum 1.002
 resolver_rtt_seconds_count 3
+# TYPE udpengine_batch_size histogram
+udpengine_batch_size_bucket{le="1"} 2
+udpengine_batch_size_bucket{le="32"} 3
+udpengine_batch_size_bucket{le="207"} 4
+udpengine_batch_size_bucket{le="+Inf"} 4
+udpengine_batch_size_sum 234
+udpengine_batch_size_count 4
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

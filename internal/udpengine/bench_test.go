@@ -18,10 +18,11 @@ func BenchmarkEngineEcho(b *testing.B) {
 	for _, mode := range []struct {
 		name     string
 		portable bool
-	}{{"batched", false}, {"portable", true}} {
+		gso      bool
+	}{{"batched", false, false}, {"portable", true, false}, {"gso", false, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			e, err := Listen("127.0.0.1:0", echoHandler, Config{
-				Batch: 32, Sockets: 1, Portable: mode.portable,
+				Batch: 32, Sockets: 1, Portable: mode.portable, GSO: mode.gso,
 			})
 			if err != nil {
 				b.Fatalf("Listen: %v", err)
@@ -36,6 +37,9 @@ func BenchmarkEngineEcho(b *testing.B) {
 			cb, err := NewClientBatch(uconn, 32, 2048)
 			if err != nil {
 				b.Fatalf("client: %v", err)
+			}
+			if mode.gso && !cb.EnableGSO() {
+				b.Skip("UDP_SEGMENT unavailable on this kernel")
 			}
 			payload := bytes.Repeat([]byte{0x5A}, 64)
 			const window = 32

@@ -53,6 +53,13 @@ func NewClientBatch(conn *net.UDPConn, batch, slotSize int) (*ClientBatch, error
 // Batched reports whether syscall batching is actually in effect.
 func (c *ClientBatch) Batched() bool { return false }
 
+// EnableGSO is a no-op on the fallback build: segmentation offload is a
+// Linux sendmsg feature. Always reports false.
+func (c *ClientBatch) EnableGSO() bool { return false }
+
+// GSO reports whether segmentation-offload sending is active.
+func (c *ClientBatch) GSO() bool { return false }
+
 // Pending is the number of queued-but-unflushed datagrams.
 func (c *ClientBatch) Pending() int { return c.pending }
 

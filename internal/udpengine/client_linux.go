@@ -40,6 +40,21 @@ type ClientBatch struct {
 	nrecv     int
 	rerr      error
 	rfn       func(fd uintptr) bool
+
+	// Send-side GSO state (EnableGSO): queued equal-size runs coalesce
+	// into UDP_SEGMENT super-datagrams. The connected socket fixes the
+	// destination, so every run groups on size alone. The plain
+	// sendHdrs stay valid, giving runtime refusals a byte-identical
+	// plain resend.
+	gso      bool
+	gsoHdrs  []mmsghdr
+	gsoCtl   []byte
+	gsoStart []int
+	ngroups  int
+	goff     int
+	gnsent   int
+	gwerr    error
+	gwfn     func(fd uintptr) bool
 }
 
 // NewClientBatch wraps a connected UDP socket (net.Dial "udp"). batch
@@ -95,6 +110,32 @@ func NewClientBatch(conn *net.UDPConn, batch, slotSize int) (*ClientBatch, error
 // Batched reports whether syscall batching is actually in effect.
 func (c *ClientBatch) Batched() bool { return true }
 
+// EnableGSO turns on segmentation offload for this client's sends:
+// Flush coalesces runs of equal-size queued datagrams into one
+// UDP_SEGMENT super-datagram each, so a batch of uniform queries costs
+// the kernel one stack traversal instead of one per packet. Reports
+// whether the kernel accepted the option; on refusal (pre-4.18) the
+// client keeps its plain sendmmsg behavior. Receive-side GRO is left
+// off — answers are consumed one Recv view per datagram either way.
+func (c *ClientBatch) EnableGSO() bool {
+	ok := false
+	if err := c.rc.Control(func(fd uintptr) { ok = probeGSO(int(fd)) }); err != nil || !ok {
+		return false
+	}
+	c.gso = true
+	c.gsoHdrs = make([]mmsghdr, c.batch)
+	c.gsoCtl = alignedBytes(c.batch * gsoCtlSlot)
+	c.gsoStart = make([]int, c.batch+1)
+	c.gwfn = func(fd uintptr) bool {
+		c.gnsent, c.gwerr = sendmmsg(fd, c.gsoHdrs[c.goff:c.ngroups], syscall.MSG_DONTWAIT)
+		return c.gwerr != syscall.EAGAIN
+	}
+	return true
+}
+
+// GSO reports whether segmentation-offload sending is active.
+func (c *ClientBatch) GSO() bool { return c.gso }
+
 // Pending is the number of queued-but-unflushed datagrams.
 func (c *ClientBatch) Pending() int { return c.pending }
 
@@ -117,13 +158,22 @@ func (c *ClientBatch) Queue(pkt []byte) error {
 }
 
 // Flush sends every queued datagram, resuming across partial sendmmsg
-// returns. Returns the number of datagrams handed to the kernel.
+// returns. With GSO enabled the batch goes out as super-datagrams; a
+// runtime refusal of a segmented send disables GSO for the rest of the
+// client's life and resends the remainder through the plain path.
 func (c *ClientBatch) Flush() (err error) {
 	if c.pending == 0 {
 		return nil
 	}
 	defer func() { c.pending = 0 }()
-	c.sendOff = 0
+	from := 0
+	if c.gso && c.pending > 1 {
+		from, err = c.flushGSO()
+		if err != nil {
+			return err
+		}
+	}
+	c.sendOff = from
 	for c.sendOff < c.pending {
 		if werr := c.rc.Write(c.wfn); werr != nil {
 			return werr
@@ -137,6 +187,69 @@ func (c *ClientBatch) Flush() (err error) {
 		c.sendOff += c.nsent
 	}
 	return nil
+}
+
+// flushGSO groups the queued batch into equal-size runs (each at most
+// UDP_MAX_SEGMENTS segments / the UDP payload cap, a shorter datagram
+// only as a run's tail) and sends one UDP_SEGMENT mmsghdr per run.
+// Returns the index of the first datagram not handed to the kernel;
+// a refused segmented send permanently drops back to plain mode.
+func (c *ClientBatch) flushGSO() (int, error) {
+	ng := 0
+	for i := 0; i < c.pending; {
+		segLen := c.sendIovs[i].len
+		total := segLen
+		j := i + 1
+		for j < c.pending && j-i < maxGSOSegments {
+			l := c.sendIovs[j].len
+			if l > segLen || total+l > maxGSOBytes {
+				break
+			}
+			total += l
+			j++
+			if l < segLen {
+				break
+			}
+		}
+		c.gsoStart[ng] = i
+		h := &c.gsoHdrs[ng]
+		*h = c.sendHdrs[i]
+		h.hdr.flags = 0
+		h.len = 0
+		if j-i > 1 {
+			h.hdr.iovlen = uint64(j - i)
+			ctl := c.gsoCtl[ng*gsoCtlSlot : (ng+1)*gsoCtlSlot]
+			h.hdr.control = &ctl[0]
+			h.hdr.controllen = putGSOCmsg(ctl, uint16(segLen))
+		} else {
+			h.hdr.iovlen = 1
+			h.hdr.control = nil
+			h.hdr.controllen = 0
+		}
+		ng++
+		i = j
+	}
+	c.ngroups = ng
+	c.gsoStart[ng] = c.pending
+
+	c.goff = 0
+	for c.goff < c.ngroups {
+		if werr := c.rc.Write(c.gwfn); werr != nil {
+			return c.pending, werr
+		}
+		if c.gwerr != nil {
+			if segs := c.gsoStart[c.goff+1] - c.gsoStart[c.goff]; segs > 1 {
+				c.gso = false
+				return c.gsoStart[c.goff], nil // plain path resends the rest
+			}
+			return c.pending, c.gwerr
+		}
+		if c.gnsent <= 0 {
+			return c.pending, fmt.Errorf("udpengine: segmented sendmmsg made no progress")
+		}
+		c.goff += c.gnsent
+	}
+	return c.pending, nil
 }
 
 // Recv blocks (honoring the connection's read deadline) until at least

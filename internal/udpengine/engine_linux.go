@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"syscall"
+	"unsafe"
 )
 
 const batchedSupported = true
@@ -23,6 +25,10 @@ type batchedEngine struct {
 	h     Handler
 	cfg   Config
 	m     *metrics
+	// gso is Config.GSO after the bind-time kernel probe: true means
+	// every socket accepted UDP_SEGMENT and runs with UDP_GRO on, so
+	// the loops build super-datagram sends and split coalesced receives.
+	gso bool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -71,11 +77,49 @@ func listenBatched(addr string, h Handler, cfg Config) (Engine, error) {
 			bindAddr = conn.LocalAddr().String()
 		}
 	}
+	if cfg.GSO {
+		// Probe UDP_SEGMENT once and opt every socket in to GRO. A
+		// refusal (pre-4.18 kernel, seccomp) is a counted fallback, not
+		// an error: the engine serves identical wire bytes either way.
+		e.gso = true
+		for i, c := range e.conns {
+			ok := false
+			if err := controlFd(c, func(fd int) {
+				ok = probeGSO(fd) && enableGRO(fd)
+			}); err != nil || !ok {
+				e.gso = false
+				e.m.gsoFallbacks.Inc()
+				e.logf("socket %d: no UDP_SEGMENT/UDP_GRO support, falling back to plain sendmmsg", i)
+				break
+			}
+		}
+	}
+	if cfg.PinCPUs && cfg.Sockets > 1 {
+		// Steer each packet to the socket of its receiving CPU so the
+		// kernel's reuseport placement matches the pinned shard layout.
+		// Group-wide option: one attach after every socket has bound.
+		if err := controlFd(e.conns[0], func(fd int) {
+			if aerr := attachCPUSteering(fd, cfg.Sockets); aerr != nil {
+				e.logf("reuseport cpu steering unavailable: %v", aerr)
+			}
+		}); err != nil {
+			e.logf("reuseport cpu steering: %v", err)
+		}
+	}
 	for i, c := range e.conns {
 		e.wg.Add(1)
 		go e.serve(i, c)
 	}
 	return e, nil
+}
+
+// controlFd runs f with conn's raw fd.
+func controlFd(conn *net.UDPConn, f func(fd int)) error {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	return rc.Control(func(fd uintptr) { f(int(fd)) })
 }
 
 func (e *batchedEngine) Addr() netip.AddrPort {
@@ -106,12 +150,14 @@ func (e *batchedEngine) logf(format string, args ...any) {
 // are appended into. Everything is allocated once at startup; the loop
 // itself allocates nothing per datagram.
 type sockState struct {
-	slot int
+	slot  int // send-arena slot size
+	rslot int // receive-arena slot size (≥ slot; 64 KiB under GRO)
 
 	recvArena []byte
 	nameArena []byte
 	recvIovs  []iovec
 	recvHdrs  []mmsghdr
+	recvCtl   []byte // per-slot cmsg space for the UDP_GRO segment size
 
 	sendArena []byte
 	sendIovs  []iovec
@@ -130,13 +176,35 @@ type sockState struct {
 	// wfn is the sendmmsg raw-write callback, built once per loop so
 	// flushes don't allocate a closure.
 	wfn func(fd uintptr) bool
+
+	// GSO send state: the staged responses regrouped into super-datagram
+	// mmsghdrs. gsoHdrs[g] covers responses gsoStart[g]..gsoStart[g+1]
+	// of the plain batch — its iovlen spans that many contiguous
+	// sendIovs and its cmsg carries the segment size. The plain
+	// sendHdrs stay untouched, so a kernel-refused segmented send can
+	// resend the identical bytes through the plain path.
+	gsoHdrs  []mmsghdr
+	gsoCtl   []byte
+	gsoStart []int
+	ngroups  int
+	goff     int
+	gnsent   int
+	gwerr    error
+	gwfn     func(fd uintptr) bool
 }
 
-func newSockState(cfg Config) *sockState {
+func newSockState(cfg Config, gso bool) *sockState {
 	b := cfg.Batch
+	rslot := cfg.SlotSize
+	if gso && rslot < 1<<16 {
+		// GRO delivers coalesced payloads up to 64 KiB; undersized slots
+		// would turn every coalesce into an MSG_TRUNC drop.
+		rslot = 1 << 16
+	}
 	st := &sockState{
 		slot:      cfg.SlotSize,
-		recvArena: make([]byte, b*cfg.SlotSize),
+		rslot:     rslot,
+		recvArena: make([]byte, b*rslot),
 		nameArena: make([]byte, b*sockaddrSlot),
 		recvIovs:  make([]iovec, b),
 		recvHdrs:  make([]mmsghdr, b),
@@ -145,13 +213,23 @@ func newSockState(cfg Config) *sockState {
 		sendHdrs:  make([]mmsghdr, b),
 	}
 	for i := 0; i < b; i++ {
-		st.recvIovs[i] = iovec{base: &st.recvArena[i*cfg.SlotSize], len: uint64(cfg.SlotSize)}
+		st.recvIovs[i] = iovec{base: &st.recvArena[i*rslot], len: uint64(rslot)}
 		st.recvHdrs[i].hdr.iov = &st.recvIovs[i]
 		st.recvHdrs[i].hdr.iovlen = 1
 		st.recvHdrs[i].hdr.name = &st.nameArena[i*sockaddrSlot]
 		st.recvHdrs[i].hdr.namelen = sockaddrSlot
 		st.sendHdrs[i].hdr.iov = &st.sendIovs[i]
 		st.sendHdrs[i].hdr.iovlen = 1
+	}
+	if gso {
+		st.recvCtl = alignedBytes(b * groCtlSlot)
+		for i := 0; i < b; i++ {
+			st.recvHdrs[i].hdr.control = &st.recvCtl[i*groCtlSlot]
+			st.recvHdrs[i].hdr.controllen = groCtlSlot
+		}
+		st.gsoHdrs = make([]mmsghdr, b)
+		st.gsoCtl = alignedBytes(b * gsoCtlSlot)
+		st.gsoStart = make([]int, b+1)
 	}
 	return st
 }
@@ -161,6 +239,9 @@ func (st *sockState) resetRecv() {
 	for i := range st.recvHdrs {
 		st.recvHdrs[i].hdr.namelen = sockaddrSlot
 		st.recvHdrs[i].hdr.flags = 0
+		if st.recvCtl != nil {
+			st.recvHdrs[i].hdr.controllen = groCtlSlot
+		}
 	}
 }
 
@@ -190,12 +271,20 @@ func (st *sockState) queue(resp []byte, i int) {
 // lone datagram still answers immediately.
 func (e *batchedEngine) serve(shard int, conn *net.UDPConn) {
 	defer e.wg.Done()
+	if e.cfg.PinCPUs {
+		if pinThisThread(shard % runtime.NumCPU()) {
+			e.m.pinnedCores.Add(1)
+			defer e.m.pinnedCores.Add(-1)
+		} else {
+			e.logf("socket %d: cpu pinning unavailable, loop runs unpinned", shard)
+		}
+	}
 	rc, err := conn.SyscallConn()
 	if err != nil {
 		e.logf("socket %d: syscall conn: %v", shard, err)
 		return
 	}
-	st := newSockState(e.cfg)
+	st := newSockState(e.cfg, e.gso)
 	readFn := func(fd uintptr) bool {
 		st.resetRecv()
 		st.nrecv, st.rerr = recvmmsg(fd, st.recvHdrs, syscall.MSG_DONTWAIT)
@@ -204,6 +293,12 @@ func (e *batchedEngine) serve(shard int, conn *net.UDPConn) {
 	st.wfn = func(fd uintptr) bool {
 		st.nsent, st.werr = sendmmsg(fd, st.sendHdrs[st.sendOff:st.pending], syscall.MSG_DONTWAIT)
 		return st.werr != syscall.EAGAIN
+	}
+	if e.gso {
+		st.gwfn = func(fd uintptr) bool {
+			st.gnsent, st.gwerr = sendmmsg(fd, st.gsoHdrs[st.goff:st.ngroups], syscall.MSG_DONTWAIT)
+			return st.gwerr != syscall.EAGAIN
+		}
 	}
 	for {
 		if err := rc.Read(readFn); err != nil {
@@ -228,8 +323,14 @@ func (e *batchedEngine) serve(shard int, conn *net.UDPConn) {
 				e.m.oversized.Shard(shard).Inc()
 				continue
 			}
-			pkt := st.recvArena[i*st.slot : i*st.slot+int(h.len)]
+			pkt := st.recvArena[i*st.rslot : i*st.rslot+int(h.len)]
 			raddr := decodeSockaddr(st.nameArena[i*sockaddrSlot : (i+1)*sockaddrSlot])
+			if e.gso {
+				if seg := groSegSize(st.recvCtl[i*groCtlSlot:(i+1)*groCtlSlot], h.hdr.controllen); seg > 0 && int(h.len) > seg {
+					e.serveCoalesced(shard, rc, st, pkt, raddr, seg, i)
+					continue
+				}
+			}
 			resp := e.serveOne(shard, pkt, raddr, st.respSlot())
 			if len(resp) == 0 {
 				continue
@@ -241,6 +342,31 @@ func (e *batchedEngine) serve(shard int, conn *net.UDPConn) {
 		}
 		e.flush(shard, rc, st)
 	}
+}
+
+// serveCoalesced splits a GRO-coalesced payload back into per-query
+// packets — every segment is seg bytes except a possibly shorter tail —
+// and serves each through the normal path. The segments are views into
+// the receive slot, so the split costs no copies; the shared peer
+// address (GRO only merges one flow) comes from slot i.
+func (e *batchedEngine) serveCoalesced(shard int, rc syscall.RawConn, st *sockState, pkt []byte, raddr netip.AddrPort, seg, i int) {
+	nseg := 0
+	for off := 0; off < len(pkt); off += seg {
+		end := off + seg
+		if end > len(pkt) {
+			end = len(pkt)
+		}
+		nseg++
+		resp := e.serveOne(shard, pkt[off:end], raddr, st.respSlot())
+		if len(resp) == 0 {
+			continue
+		}
+		st.queue(resp, i)
+		if st.pending == e.cfg.Batch {
+			e.flush(shard, rc, st)
+		}
+	}
+	e.m.groSegments.Shard(shard).Add(uint64(nseg))
 }
 
 // serveOne invokes the handler with per-datagram panic isolation: a
@@ -256,14 +382,30 @@ func (e *batchedEngine) serveOne(shard int, pkt []byte, raddr netip.AddrPort, re
 }
 
 // flush drives the staged responses out with as few sendmmsg calls as
-// the kernel permits, resuming after partial sends and skipping (and
-// counting) individually refused datagrams so one bad peer cannot wedge
-// the batch.
+// the kernel permits. With GSO active the batch first goes through the
+// super-datagram path; anything that path could not hand off (a kernel
+// that accepts the probe but refuses a segmented send mid-flight) is
+// resent byte-identically through the plain path, which resumes after
+// partial sends and skips (and counts) individually refused datagrams
+// so one bad peer cannot wedge the batch.
 func (e *batchedEngine) flush(shard int, rc syscall.RawConn, st *sockState) {
 	if st.pending == 0 {
 		return
 	}
-	st.sendOff = 0
+	from := 0
+	if e.gso && st.pending > 1 {
+		from = e.flushGSO(shard, rc, st)
+	}
+	if from < st.pending {
+		e.flushPlain(shard, rc, st, from)
+	}
+	st.pending = 0
+}
+
+// flushPlain is the one-mmsghdr-per-response send loop over
+// sendHdrs[from:pending].
+func (e *batchedEngine) flushPlain(shard int, rc syscall.RawConn, st *sockState, from int) {
+	st.sendOff = from
 	for st.sendOff < st.pending {
 		if err := rc.Write(st.wfn); err != nil {
 			e.m.sendErrs.Shard(shard).Add(uint64(st.pending - st.sendOff))
@@ -285,5 +427,104 @@ func (e *batchedEngine) flush(shard int, rc syscall.RawConn, st *sockState) {
 		}
 		st.sendOff += st.nsent
 	}
-	st.pending = 0
+}
+
+// sameDest reports whether staged responses a and b go to the same peer.
+func (st *sockState) sameDest(a, b int) bool {
+	ha, hb := &st.sendHdrs[a].hdr, &st.sendHdrs[b].hdr
+	if ha.namelen != hb.namelen {
+		return false
+	}
+	na := unsafe.Slice(ha.name, ha.namelen)
+	nb := unsafe.Slice(hb.name, hb.namelen)
+	return string(na) == string(nb)
+}
+
+// flushGSO coalesces the staged batch into super-datagrams and sends
+// them. A run of consecutive responses to one peer becomes one mmsghdr
+// whose iovlen spans the run's (contiguous) iovecs and whose
+// UDP_SEGMENT cmsg carries the run's segment size — the kernel splits
+// it back into wire datagrams, so N responses cost one batch entry and
+// one stack traversal. The kernel's contract shapes the grouping: every
+// segment must be exactly the cmsg size except the last, which may be
+// shorter, and a run is capped at UDP_MAX_SEGMENTS and the UDP payload
+// maximum.
+//
+// Returns the index of the first staged response NOT handed to the
+// kernel (== pending when everything went out): a segmented send the
+// kernel refuses at runtime is counted as a fallback and the remainder
+// is left for flushPlain, whose untouched sendHdrs resend the same
+// bytes unsegmented.
+func (e *batchedEngine) flushGSO(shard int, rc syscall.RawConn, st *sockState) int {
+	// Group the batch: gsoHdrs[g] spans responses gsoStart[g]..gsoStart[g+1].
+	ng := 0
+	for i := 0; i < st.pending; {
+		segLen := st.sendIovs[i].len
+		total := segLen
+		j := i + 1
+		for j < st.pending && j-i < maxGSOSegments {
+			l := st.sendIovs[j].len
+			if l > segLen || total+l > maxGSOBytes || !st.sameDest(i, j) {
+				break
+			}
+			total += l
+			j++
+			if l < segLen {
+				break // a shorter datagram must be the run's final segment
+			}
+		}
+		st.gsoStart[ng] = i
+		h := &st.gsoHdrs[ng]
+		*h = st.sendHdrs[i]
+		h.hdr.flags = 0
+		h.len = 0
+		if j-i > 1 {
+			h.hdr.iovlen = uint64(j - i)
+			ctl := st.gsoCtl[ng*gsoCtlSlot : (ng+1)*gsoCtlSlot]
+			h.hdr.control = &ctl[0]
+			h.hdr.controllen = putGSOCmsg(ctl, uint16(segLen))
+		} else {
+			h.hdr.iovlen = 1
+			h.hdr.control = nil
+			h.hdr.controllen = 0
+		}
+		ng++
+		i = j
+	}
+	st.ngroups = ng
+	st.gsoStart[ng] = st.pending
+
+	st.goff = 0
+	for st.goff < st.ngroups {
+		if err := rc.Write(st.gwfn); err != nil {
+			e.m.sendErrs.Shard(shard).Add(uint64(st.pending - st.gsoStart[st.goff]))
+			return st.pending // errored, but nothing left to resend either
+		}
+		e.m.sendCalls.Shard(shard).Inc()
+		if st.gwerr != nil {
+			g := st.goff
+			if segs := st.gsoStart[g+1] - st.gsoStart[g]; segs > 1 {
+				// The kernel accepted the probe but refused this
+				// segmented send (path/driver dependent): resend
+				// everything unsent through the plain path.
+				e.m.gsoFallbacks.Shard(shard).Inc()
+				e.logf("socket %d: segmented sendmmsg refused (%d segs): %v", shard, segs, st.gwerr)
+				return st.gsoStart[g]
+			}
+			e.m.sendErrs.Shard(shard).Inc()
+			e.logf("socket %d: sendmmsg: %v", shard, st.gwerr)
+			st.goff++
+			continue
+		}
+		if st.gnsent <= 0 {
+			st.goff++ // defensive: never livelock on a zero-progress send
+			continue
+		}
+		for g := st.goff; g < st.goff+st.gnsent; g++ {
+			e.m.gsoSegments.Observe(uint64(st.gsoStart[g+1] - st.gsoStart[g]))
+		}
+		e.m.sent.Shard(shard).Add(uint64(st.gsoStart[st.goff+st.gnsent] - st.gsoStart[st.goff]))
+		st.goff += st.gnsent
+	}
+	return st.pending
 }

@@ -1,0 +1,175 @@
+//go:build linux && (amd64 || arm64)
+
+package udpengine
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Segmentation-offload plumbing shared by the batched engine and the
+// client: the UDP_SEGMENT/UDP_GRO socket options and their cmsg wire
+// layout, sched_setaffinity for pinned socket loops, and the classic-BPF
+// program that steers reuseport delivery to the socket of the receiving
+// CPU.
+//
+// GSO moves the per-datagram cost of a send from the syscall to the
+// lowest point of the stack that must see individual packets: userspace
+// hands the kernel ONE super-datagram (a scatter-gather buffer of N
+// equal-size payloads) plus a UDP_SEGMENT cmsg carrying the segment
+// size, and the kernel — or the NIC, with hardware USO — splits it back
+// into N wire datagrams. One sendmmsg entry, one route lookup, one
+// netfilter traversal for N packets. GRO is the mirror image on
+// receive: consecutive same-flow datagrams arrive as one coalesced
+// payload with a UDP_GRO cmsg carrying the segment size, and the engine
+// splits them back into per-query packets with plain slicing.
+
+const (
+	// solUDP is SOL_UDP == IPPROTO_UDP, the UDP socket-option level.
+	solUDP = 17
+	// udpSegment is UDP_SEGMENT (Linux ≥ 4.18): as a setsockopt, the
+	// socket's default GSO segment size; as a sendmsg cmsg, the per-call
+	// segment size that splits the payload into wire datagrams.
+	udpSegment = 103
+	// udpGRO is UDP_GRO (Linux ≥ 5.0): opts the socket in to receive
+	// coalescing; coalesced payloads carry a UDP_GRO cmsg with the
+	// segment size.
+	udpGRO = 104
+
+	// maxGSOSegments is the kernel's UDP_MAX_SEGMENTS: one send may
+	// carry at most 64 segments.
+	maxGSOSegments = 64
+	// maxGSOBytes caps a super-datagram's total payload under the IPv4
+	// UDP maximum (65507 minus headroom for options).
+	maxGSOBytes = 65000
+
+	// cmsg ABI on LP64: struct cmsghdr is 16 bytes, and alignment is 8.
+	// The send side carries one uint16 (CMSG_LEN(2)=18, CMSG_SPACE(2)=24);
+	// the receive side reads one int32 and reserves headroom in case the
+	// kernel stacks another cmsg next to it.
+	cmsgHdrLen = 16
+	gsoCtlSlot = 24
+	groCtlSlot = 64
+)
+
+// cmsghdr mirrors struct cmsghdr (LP64 layout, identical on linux/amd64
+// and linux/arm64).
+type cmsghdr struct {
+	len   uint64
+	level int32
+	typ   int32
+}
+
+// alignedBytes returns an n-byte slice whose base is 8-aligned — cmsg
+// buffers are read and written through *cmsghdr, and []byte allocations
+// do not guarantee alignment.
+func alignedBytes(n int) []byte {
+	w := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), n)
+}
+
+// putGSOCmsg writes a UDP_SEGMENT cmsg carrying segSize into buf (at
+// least gsoCtlSlot bytes, 8-aligned) and returns the msg_controllen to
+// set alongside it.
+func putGSOCmsg(buf []byte, segSize uint16) uint64 {
+	h := (*cmsghdr)(unsafe.Pointer(&buf[0]))
+	h.len = cmsgHdrLen + 2 // CMSG_LEN(2)
+	h.level = solUDP
+	h.typ = udpSegment
+	*(*uint16)(unsafe.Pointer(&buf[cmsgHdrLen])) = segSize
+	return gsoCtlSlot // CMSG_SPACE(2)
+}
+
+// groSegSize walks the kernel-written control buffer for a UDP_GRO cmsg
+// and returns its segment size, 0 when the payload was not coalesced.
+func groSegSize(buf []byte, controllen uint64) int {
+	if controllen > uint64(len(buf)) {
+		controllen = uint64(len(buf))
+	}
+	for off := uint64(0); off+cmsgHdrLen <= controllen; {
+		h := (*cmsghdr)(unsafe.Pointer(&buf[off]))
+		if h.len < cmsgHdrLen || off+h.len > controllen {
+			return 0
+		}
+		if h.level == solUDP && h.typ == udpGRO && h.len >= cmsgHdrLen+4 {
+			return int(*(*int32)(unsafe.Pointer(&buf[off+cmsgHdrLen])))
+		}
+		off += (h.len + 7) &^ 7 // CMSG_ALIGN
+	}
+	return 0
+}
+
+// probeGSO reports whether the kernel accepts UDP_SEGMENT on fd.
+// Setting the socket default to 0 (off) is a no-op that still exercises
+// the option, so a pre-4.18 kernel answers ENOPROTOOPT here instead of
+// failing sends later.
+func probeGSO(fd int) bool {
+	return syscall.SetsockoptInt(fd, solUDP, udpSegment, 0) == nil
+}
+
+// enableGRO opts fd in to receive-side coalescing.
+func enableGRO(fd int) bool {
+	return syscall.SetsockoptInt(fd, solUDP, udpGRO, 1) == nil
+}
+
+// pinThisThread locks the calling goroutine to its OS thread and pins
+// that thread to cpu. On failure the thread is unlocked again and the
+// loop runs unpinned.
+func pinThisThread(cpu int) bool {
+	runtime.LockOSThread()
+	var mask [16]uint64 // room for 1024 CPUs
+	mask[(cpu/64)%len(mask)] = 1 << (cpu % 64)
+	// pid 0 = the calling thread, which LockOSThread just made ours
+	// exclusively.
+	_, _, errno := syscall.RawSyscall(sysSchedSetaffinity, 0,
+		unsafe.Sizeof(mask), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return false
+	}
+	return true
+}
+
+// sockFilter/sockFprog mirror struct sock_filter / struct sock_fprog.
+type sockFilter struct {
+	code   uint16
+	jt, jf uint8
+	k      uint32
+}
+
+type sockFprog struct {
+	len    uint16
+	_      [6]byte
+	filter *sockFilter
+}
+
+// soAttachReuseportCBPF is SO_ATTACH_REUSEPORT_CBPF (Linux ≥ 4.5).
+const soAttachReuseportCBPF = 51
+
+// attachCPUSteering installs a three-instruction classic-BPF program on
+// the reuseport group that delivers each packet to socket (cpu % nsock)
+// of the CPU it arrived on — aligning the kernel's flow placement with
+// the engine's pinned shard layout so a datagram is received, served,
+// and answered without crossing cores. The program applies to the whole
+// group; attach it to any one fd after every socket has bound.
+func attachCPUSteering(fd, nsock int) error {
+	prog := [3]sockFilter{
+		// A = raw_smp_processor_id()  (BPF_LD|BPF_W|BPF_ABS at the
+		// SKF_AD_OFF+SKF_AD_CPU ancillary offset)
+		{code: 0x20, k: 0xfffff024},
+		// A %= nsock  (BPF_ALU|BPF_MOD|BPF_K)
+		{code: 0x94, k: uint32(nsock)},
+		// return A  (BPF_RET|BPF_A)
+		{code: 0x16},
+	}
+	fprog := sockFprog{len: uint16(len(prog)), filter: &prog[0]}
+	_, _, errno := syscall.Syscall6(syscall.SYS_SETSOCKOPT, uintptr(fd),
+		syscall.SOL_SOCKET, soAttachReuseportCBPF,
+		uintptr(unsafe.Pointer(&fprog)), unsafe.Sizeof(fprog), 0)
+	runtime.KeepAlive(&prog)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ package udpengine
 
 // Syscall numbers the frozen stdlib syscall package predates or omits.
 const (
-	sysRecvmmsg = 299
-	sysSendmmsg = 307
+	sysRecvmmsg         = 299
+	sysSendmmsg         = 307
+	sysSchedSetaffinity = 203
 )

@@ -4,6 +4,7 @@ package udpengine
 
 // Syscall numbers the frozen stdlib syscall package predates or omits.
 const (
-	sysRecvmmsg = 243
-	sysSendmmsg = 269
+	sysRecvmmsg         = 243
+	sysSendmmsg         = 269
+	sysSchedSetaffinity = 122
 )

@@ -35,7 +35,6 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
-	"time"
 
 	"dnscentral/internal/telemetry"
 )
@@ -68,6 +67,26 @@ type Config struct {
 	// Portable forces the one-datagram portable engine even where the
 	// batched one is available — the debugging/benchmark baseline.
 	Portable bool
+	// GSO enables generic segmentation offload on the batched engine:
+	// consecutive equal-destination, equal-size responses in a send
+	// batch coalesce into one UDP_SEGMENT super-datagram (one sendmmsg
+	// entry, the kernel splits it back into wire datagrams), and
+	// UDP_GRO on the receive side delivers coalesced same-flow payloads
+	// the engine splits back into per-query packets via the segment-
+	// size cmsg. Support is probed per socket at bind with automatic
+	// fallback to plain sendmmsg (udpengine_gso_fallbacks_total counts
+	// both probe refusals and runtime rejections); the portable engine
+	// ignores it. Wire bytes are identical either way.
+	GSO bool
+	// PinCPUs pins socket loop k to CPU k%NumCPU (runtime.LockOSThread
+	// + sched_setaffinity) and, with more than one socket, installs a
+	// SO_ATTACH_REUSEPORT_CBPF program steering each packet to the
+	// socket of the CPU it arrived on — so the kernel's flow placement
+	// and the shard layout agree and a datagram is received, served,
+	// and answered without crossing cores. Best-effort: pinning or
+	// filter refusal logs and falls back to unpinned loops. Linux
+	// batched engine only.
+	PinCPUs bool
 	// Telemetry, when set, publishes the udpengine_* metric family
 	// (per-socket datagram counters, the batch-size histogram, syscall
 	// counts and the syscalls-saved derived counter). Nil is free.
@@ -125,29 +144,34 @@ func Listen(addr string, h Handler, cfg Config) (Engine, error) {
 // metrics is the udpengine_* family shared by both engines. Every field
 // tolerates the nil (telemetry-off) registry.
 type metrics struct {
-	datagrams []*telemetry.Counter // per socket: udpengine_datagrams_total{socket="k"}
-	sent      *telemetry.Counter   // udpengine_sent_datagrams_total
-	recvCalls *telemetry.Counter   // udpengine_recv_syscalls_total
-	sendCalls *telemetry.Counter   // udpengine_send_syscalls_total
-	oversized *telemetry.Counter   // udpengine_oversized_dropped_total
-	sendErrs  *telemetry.Counter   // udpengine_send_errors_total
-	batchHist *telemetry.Histogram // udpengine_batch_size (1 datagram = 1µs)
-}
+	datagrams []*telemetry.Counter      // per socket: udpengine_datagrams_total{socket="k"}
+	sent      *telemetry.Counter        // udpengine_sent_datagrams_total
+	recvCalls *telemetry.Counter        // udpengine_recv_syscalls_total
+	sendCalls *telemetry.Counter        // udpengine_send_syscalls_total
+	oversized *telemetry.Counter        // udpengine_oversized_dropped_total
+	sendErrs  *telemetry.Counter        // udpengine_send_errors_total
+	batchHist *telemetry.ValueHistogram // udpengine_batch_size (datagrams per recvmmsg)
 
-// batchSizeUnit encodes a datagrams-per-batch sample into the shared
-// log-bucketed duration histogram geometry: one datagram is one
-// microsecond, so batch sizes 1..1024 land in distinct buckets with the
-// reservoir's ~0.5% relative error.
-const batchSizeUnit = time.Microsecond
+	// Segmentation-offload family (Linux batched engine only; the
+	// fields stay nil-safe everywhere else).
+	gsoSegments  *telemetry.ValueHistogram // udpengine_gso_segments (segments per sent super-datagram)
+	gsoFallbacks *telemetry.Counter        // udpengine_gso_fallbacks_total
+	groSegments  *telemetry.Counter        // udpengine_gro_segments_total (queries split out of coalesced payloads)
+	pinnedCores  *telemetry.Gauge          // udpengine_pinned_cores (socket loops pinned to a CPU)
+}
 
 func newMetrics(reg *telemetry.Registry, sockets int) *metrics {
 	m := &metrics{
-		sent:      reg.Counter("udpengine_sent_datagrams_total"),
-		recvCalls: reg.Counter("udpengine_recv_syscalls_total"),
-		sendCalls: reg.Counter("udpengine_send_syscalls_total"),
-		oversized: reg.Counter("udpengine_oversized_dropped_total"),
-		sendErrs:  reg.Counter("udpengine_send_errors_total"),
-		batchHist: reg.Histogram("udpengine_batch_size"),
+		sent:         reg.Counter("udpengine_sent_datagrams_total"),
+		recvCalls:    reg.Counter("udpengine_recv_syscalls_total"),
+		sendCalls:    reg.Counter("udpengine_send_syscalls_total"),
+		oversized:    reg.Counter("udpengine_oversized_dropped_total"),
+		sendErrs:     reg.Counter("udpengine_send_errors_total"),
+		batchHist:    reg.ValueHistogram("udpengine_batch_size"),
+		gsoSegments:  reg.ValueHistogram("udpengine_gso_segments"),
+		gsoFallbacks: reg.Counter("udpengine_gso_fallbacks_total"),
+		groSegments:  reg.Counter("udpengine_gro_segments_total"),
+		pinnedCores:  reg.Gauge("udpengine_pinned_cores"),
 	}
 	m.datagrams = make([]*telemetry.Counter, sockets)
 	for i := range m.datagrams {
@@ -177,5 +201,5 @@ func newMetrics(reg *telemetry.Registry, sockets int) *metrics {
 func (m *metrics) received(k, n int) {
 	m.datagrams[k].Shard(k).Add(uint64(n))
 	m.recvCalls.Shard(k).Inc()
-	m.batchHist.Observe(time.Duration(n) * batchSizeUnit)
+	m.batchHist.Observe(uint64(n))
 }

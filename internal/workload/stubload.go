@@ -60,6 +60,12 @@ type StubLoadConfig struct {
 	// too-slow load generator is visible rather than silently deflating
 	// the measurement.
 	TargetQPS float64
+	// GSO enables segmentation offload on the batched sender (Batch >
+	// 1): each sendmmsg window's equal-size query runs leave as
+	// UDP_SEGMENT super-datagrams, so the generator's send cost stops
+	// scaling with per-packet stack traversals. Probed per socket;
+	// silently plain on unsupported kernels or the portable build.
+	GSO bool
 }
 
 func (c StubLoadConfig) withDefaults() StubLoadConfig {
@@ -267,6 +273,9 @@ func stubWorkerBatched(conn *net.UDPConn, cfg StubLoadConfig, n int,
 	cb, err := udpengine.NewClientBatch(conn, cfg.Batch, 4096)
 	if err != nil {
 		return err
+	}
+	if cfg.GSO {
+		cb.EnableGSO() // best-effort: refusal keeps the plain batched sender
 	}
 	pending := make(map[uint16]struct{}, cfg.Batch)
 	for i := 0; i < n; i += cfg.Batch {
