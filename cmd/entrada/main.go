@@ -11,18 +11,31 @@
 // flow-sharded across -workers cores (default: all of them); -workers 1
 // preserves the exact sequential behavior. -metrics-addr serves live
 // ingestion counters over HTTP while the run is in flight.
+//
+// With -follow, entrada becomes a long-running service: it tails one
+// growing capture (waiting through torn final records until the writer
+// completes them), publishes a centralization time series in tumbling
+// -window intervals of capture time, and — with -checkpoint DIR —
+// persists analyzer state and read offset so a killed run restarted
+// with -resume produces the exact report an uninterrupted run would
+// have. SIGINT/SIGTERM flush the final partial window and write the
+// report; -idle-exit ends the run once the capture stops growing.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"dnscentral/internal/astrie"
+	"dnscentral/internal/core"
 	"dnscentral/internal/entrada"
 	"dnscentral/internal/pcapio"
 	"dnscentral/internal/pipeline"
@@ -81,6 +94,11 @@ func main() {
 	zone := flag.String("zone", "", "zone origin the capture's server is authoritative for (enables the Q-min heuristic), e.g. nl")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-shard worker count (1 = sequential)")
 	progress := flag.Duration("progress", 0, "print ingestion progress at this interval, e.g. 2s (0 disables)")
+	follow := flag.Bool("follow", false, "tail a single growing capture continuously (one -in only)")
+	window := flag.Duration("window", time.Minute, "tumbling window width in capture time for -follow")
+	ckDir := flag.String("checkpoint", "", "directory for -follow checkpoints (state + read offset)")
+	resume := flag.Bool("resume", false, "resume -follow from the checkpoint in -checkpoint")
+	idleExit := flag.Duration("idle-exit", 0, "end -follow once the capture stops growing for this long (0 = until signalled)")
 	tm := telemetry.RegisterFlags(flag.CommandLine)
 	prof = profiling.Register(flag.CommandLine)
 	flag.Parse()
@@ -113,6 +131,22 @@ func main() {
 	var anOpts []entrada.Option
 	if *zone != "" {
 		anOpts = append(anOpts, entrada.WithZoneOrigin(*zone))
+	}
+
+	if *follow {
+		if len(inputs) != 1 {
+			fmt.Fprintln(os.Stderr, "entrada: -follow takes exactly one -in")
+			os.Exit(2)
+		}
+		if err := runFollow(inputs[0], followConfig{
+			registry: asReg, anOpts: anOpts, telemetry: reg,
+			window: *window, checkpointDir: *ckDir, resume: *resume,
+			idleExit: *idleExit, progress: *progress, out: *out,
+		}); err != nil {
+			fatal(err)
+		}
+		stopTm()
+		return
 	}
 
 	readers := make([]pcapio.PacketReader, len(inputs))
@@ -164,6 +198,75 @@ func main() {
 		prof.Stop()
 		os.Exit(1)
 	}
+}
+
+// followConfig carries the -follow flag set into runFollow.
+type followConfig struct {
+	registry      *astrie.Registry
+	anOpts        []entrada.Option
+	telemetry     *telemetry.Registry
+	window        time.Duration
+	checkpointDir string
+	resume        bool
+	idleExit      time.Duration
+	progress      time.Duration
+	out           string
+}
+
+// runFollow is the continuous-operation mode: tail one growing capture
+// until idle-exit or SIGINT/SIGTERM, emitting one line per closed window
+// and — on shutdown — the window series plus the same JSON report batch
+// mode writes. A SIGKILL instead loses at most the packets since the
+// last checkpoint; restarting with -resume replays them, so the final
+// report is still byte-identical to an uninterrupted run.
+func runFollow(input string, cfg followConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sopts := pipeline.StreamOptions{
+		Options: pipeline.Options{
+			Registry:     cfg.registry,
+			AnalyzerOpts: cfg.anOpts,
+			Telemetry:    cfg.telemetry,
+		},
+		Window:        cfg.window,
+		CheckpointDir: cfg.checkpointDir,
+		Resume:        cfg.resume,
+		IdleExit:      cfg.idleExit,
+		OnWindow: func(w pipeline.Window) {
+			fmt.Fprintf(os.Stderr, "entrada: window %s: %d queries, HHI %.3f, top share %.1f%%\n",
+				w.Start.Format(time.RFC3339), w.Queries, w.HHI, 100*w.Top1)
+		},
+	}
+	if cfg.progress > 0 {
+		sopts.ProgressInterval = cfg.progress
+		sopts.Progress = func(st pipeline.Stats) { fmt.Fprintln(os.Stderr, st.String()) }
+	}
+
+	ag, sres, err := pipeline.RunStream(ctx, input, sopts)
+	stop()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	if sres.Resumed {
+		fmt.Fprintf(os.Stderr, "entrada: resumed from checkpoint (%d windows closed before restart)\n",
+			sres.WindowsClosed-uint64(len(sres.Windows)))
+	}
+	// A long follow can close thousands of windows; cap the shutdown
+	// table at the most recent ones (the full series already went out
+	// live, one line per window).
+	series := sres.Windows
+	const maxRows = 48
+	if len(series) > maxRows {
+		fmt.Fprintf(os.Stderr, "entrada: window series truncated to the last %d of %d windows\n", maxRows, len(series))
+		series = series[len(series)-maxRows:]
+	}
+	fmt.Fprint(os.Stderr, core.RenderWindowSeries(series))
+	fmt.Fprintf(os.Stderr, "%s [%d packets, offset %d, %d truncated tails, %d rotations]\n",
+		ag, sres.Stats.PacketsRead, sres.Offset, sres.TruncatedTails, sres.Rotations)
+
+	rep := entrada.BuildReport(ag, cfg.registry)
+	return writeReport(rep, cfg.out)
 }
 
 // writeReport writes the JSON report to path (stdout when empty). The

@@ -7,6 +7,7 @@ import (
 
 	"dnscentral/internal/astrie"
 	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/pipeline"
 )
 
 // pct formats a ratio as a percentage.
@@ -169,6 +170,30 @@ func RenderFigure6(res Figure6Result) string {
 			paper = fmt.Sprintf("%.2f%%", 100*v)
 		}
 		fmt.Fprintf(&sb, "| %s | %.2f%% | %s |\n", p, 100*res.Truncation[p], paper)
+	}
+	return sb.String()
+}
+
+// RenderWindowSeries renders the streaming windows a follow-mode run
+// emitted as the paper's centralization time series: per window the
+// query rate, the provider-share HHI and the largest provider — the
+// continuous-operation counterpart of the Figure 1 snapshot.
+func RenderWindowSeries(windows []pipeline.Window) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Window series — %d windows\n", len(windows))
+	sb.WriteString("| Window start | Queries | QPS | HHI | Top provider | Top share |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
+	for _, w := range windows {
+		top, topShare := "—", 0.0
+		if len(w.Shares) > 0 { // Shares is sorted descending
+			top, topShare = w.Shares[0].Name, w.Shares[0].Fraction
+		}
+		qps := 0.0
+		if secs := w.Duration.Seconds(); secs > 0 {
+			qps = float64(w.Queries) / secs
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %.1f | %.3f | %s | %s |\n",
+			w.Start.Format("2006-01-02 15:04:05"), w.Queries, qps, w.HHI, top, pct(topShare))
 	}
 	return sb.String()
 }

@@ -1,0 +1,188 @@
+package entrada
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/workload"
+)
+
+// checkpointCapture builds the deterministic capture the checkpoint
+// tests share.
+func checkpointCapture(t *testing.T) ([]byte, *workload.Generator) {
+	t.Helper()
+	g, err := workload.NewGenerator(workload.Config{
+		Vantage: cloudmodel.VantageNL, Week: cloudmodel.W2020,
+		TotalQueries: 4000, Seed: 42, ResolverScale: 0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	if _, err := g.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), g
+}
+
+// readAll decodes every packet of a capture.
+func readAll(t *testing.T, blob []byte) []pcapio.Packet {
+	t.Helper()
+	r, err := pcapio.NewReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []pcapio.Packet
+	err = r.ForEach(func(p pcapio.Packet) error {
+		pkts = append(pkts, pcapio.Packet{
+			Timestamp: p.Timestamp,
+			Data:      append([]byte(nil), p.Data...),
+			OrigLen:   p.OrigLen,
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
+// TestCheckpointResumeExact is the tentpole invariant at unit level:
+// serialize mid-run at an arbitrary packet boundary — pending joins and
+// half-open TCP connections in flight — restore into a fresh analyzer,
+// feed it the rest, and the final report must be byte-identical to an
+// uninterrupted run.
+func TestCheckpointResumeExact(t *testing.T) {
+	blob, g := checkpointCapture(t)
+	reg := g.Registry()
+	origin := WithZoneOrigin(g.Zone().Origin)
+	pkts := readAll(t, blob)
+
+	oneShot := NewAnalyzer(reg, origin)
+	for _, p := range pkts {
+		oneShot.HandlePacket(p.Timestamp, p.Data)
+	}
+	want := reportJSON(t, oneShot.Finish(), reg)
+
+	// Split points deliberately not aligned to query/response pairs.
+	for _, cut := range []int{0, 1, len(pkts) / 3, len(pkts) / 2, len(pkts) - 1, len(pkts)} {
+		first := NewAnalyzer(reg, origin)
+		for _, p := range pkts[:cut] {
+			first.HandlePacket(p.Timestamp, p.Data)
+		}
+		state, err := first.MarshalState()
+		if err != nil {
+			t.Fatalf("cut=%d: marshal: %v", cut, err)
+		}
+		restored, err := RestoreAnalyzer(reg, state)
+		if err != nil {
+			t.Fatalf("cut=%d: restore: %v", cut, err)
+		}
+		for _, p := range pkts[cut:] {
+			restored.HandlePacket(p.Timestamp, p.Data)
+		}
+		got := reportJSON(t, restored.Finish(), reg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut=%d: resumed report differs from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestCheckpointGolden pins the serialization format: the same state
+// must always marshal to the same bytes (determinism is what makes the
+// resume guarantee testable), a restore→re-marshal round trip must be
+// the identity, and the SHA-256 of the encoding over a fixed workload is
+// pinned so format drift is an explicit, reviewed change (bump
+// CheckpointVersion when it is intentional).
+func TestCheckpointGolden(t *testing.T) {
+	blob, g := checkpointCapture(t)
+	reg := g.Registry()
+	pkts := readAll(t, blob)
+
+	an := NewAnalyzer(reg, WithZoneOrigin(g.Zone().Origin))
+	for _, p := range pkts[:len(pkts)/2] {
+		an.HandlePacket(p.Timestamp, p.Data)
+	}
+	state, err := an.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := an.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, again) {
+		t.Fatal("MarshalState is not deterministic: two calls on the same state differ")
+	}
+
+	restored, err := RestoreAnalyzer(reg, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restate, err := restored.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restate, state) {
+		t.Fatal("restore→marshal is not the identity")
+	}
+
+	sum := sha256.Sum256(state)
+	const want = "73025e322384eb7eec34a4ecf11a0a4a08d8181f25ea6947f53aeeb68f326450"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("checkpoint encoding SHA-256 = %s, want %s\n(format drift: if intentional, bump CheckpointVersion and re-pin)", got, want)
+	}
+}
+
+// TestCheckpointVersionMismatch: a checkpoint from a different format
+// version must be rejected, not misinterpreted.
+func TestCheckpointVersionMismatch(t *testing.T) {
+	if _, err := RestoreAnalyzer(nil, []byte(`{"version":99,"agg":{"total":0,"valid":0}}`)); err == nil {
+		t.Fatal("future-version checkpoint accepted")
+	}
+	if _, err := RestoreAnalyzer(nil, []byte(`not json`)); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+// TestQueryCountsSnapshot: QueryCounts must be non-destructive and
+// reflect cumulative finalized queries, so consecutive snapshots give
+// valid window deltas.
+func TestQueryCountsSnapshot(t *testing.T) {
+	blob, g := checkpointCapture(t)
+	reg := g.Registry()
+	pkts := readAll(t, blob)
+
+	an := NewAnalyzer(reg, WithZoneOrigin(g.Zone().Origin))
+	var prev uint64
+	for i, p := range pkts {
+		an.HandlePacket(p.Timestamp, p.Data)
+		if i%500 == 0 {
+			qc := an.QueryCounts()
+			if qc.Total < prev {
+				t.Fatalf("packet %d: Total went backwards: %d -> %d", i, prev, qc.Total)
+			}
+			var byProv uint64
+			for _, n := range qc.ByProvider {
+				byProv += n
+			}
+			if byProv != qc.Total {
+				t.Fatalf("packet %d: provider sum %d != total %d", i, byProv, qc.Total)
+			}
+			prev = qc.Total
+		}
+	}
+	mid := an.QueryCounts()
+	ag := an.Finish()
+	if ag.Total < mid.Total {
+		t.Fatalf("Finish() total %d below last snapshot %d", ag.Total, mid.Total)
+	}
+}

@@ -32,7 +32,29 @@ var (
 	ErrBadLinkType = errors.New("pcapio: unsupported link type")
 	ErrShortRecord = errors.New("pcapio: short packet record")
 	ErrSnapLen     = errors.New("pcapio: capture length exceeds snap length")
+
+	// ErrTruncatedRecord reports a torn final record: the stream ended in
+	// the middle of a record header or body. This is the normal state of a
+	// file a live capture process is still appending to, so callers must
+	// be able to tell it apart from real corruption — match it with
+	// errors.Is and recover the resume point from TruncatedError.Offset.
+	ErrTruncatedRecord = errors.New("pcapio: truncated final record")
 )
+
+// TruncatedError is the concrete error behind ErrTruncatedRecord. Offset
+// is the number of stream bytes up to and including the last complete
+// record (file header plus whole records/blocks): a tailing reader can
+// wait for the file to grow and resume decoding from exactly there.
+type TruncatedError struct {
+	Offset int64
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("pcapio: truncated final record (last complete record ends at byte %d)", e.Offset)
+}
+
+// Is makes errors.Is(err, ErrTruncatedRecord) match.
+func (e *TruncatedError) Is(target error) bool { return target == ErrTruncatedRecord }
 
 const fileHeaderLen = 24
 const recordHeaderLen = 16
@@ -177,6 +199,10 @@ type Reader struct {
 	order   binary.ByteOrder
 	nanos   bool
 	snapLen uint32
+	// off is the count of stream bytes consumed by complete units: the
+	// file header plus every fully-decoded record. A torn tail never
+	// advances it, so it is always a valid resume point.
+	off int64
 	// buf is reused across ReadPacket calls when the caller permits.
 	buf []byte
 }
@@ -207,8 +233,14 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if lt := pr.order.Uint32(hdr[20:]); lt != LinkTypeEthernet {
 		return nil, fmt.Errorf("%w: %d", ErrBadLinkType, lt)
 	}
+	pr.off = fileHeaderLen
 	return pr, nil
 }
+
+// Offset returns the number of stream bytes consumed by the file header
+// and all complete records so far — the point a tailing reader should
+// resume from after ErrTruncatedRecord.
+func (r *Reader) Offset() int64 { return r.off }
 
 // SnapLen returns the snapshot length advertised by the file.
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
@@ -225,6 +257,11 @@ func (r *Reader) ReadPacket() (Packet, error) {
 		if err == io.EOF {
 			return Packet{}, io.EOF
 		}
+		if err == io.ErrUnexpectedEOF {
+			// Partial record header: a live writer got cut (or is still
+			// writing) mid-record. Report where the complete prefix ends.
+			return Packet{}, &TruncatedError{Offset: r.off}
+		}
 		return Packet{}, fmt.Errorf("pcapio: reading record header: %w", err)
 	}
 	sec := r.order.Uint32(hdr[0:])
@@ -239,8 +276,14 @@ func (r *Reader) ReadPacket() (Packet, error) {
 	}
 	r.buf = r.buf[:capLen]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Short body at stream end: same torn-tail case as a partial
+			// header, just cut a little later.
+			return Packet{}, &TruncatedError{Offset: r.off}
+		}
 		return Packet{}, fmt.Errorf("%w: %v", ErrShortRecord, err)
 	}
+	r.off += recordHeaderLen + int64(capLen)
 	nanos := int64(sub) * 1000
 	if r.nanos {
 		nanos = int64(sub)

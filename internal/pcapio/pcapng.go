@@ -167,7 +167,10 @@ type NGReader struct {
 	r      *bufio.Reader
 	order  binary.ByteOrder
 	ifaces []ngInterface
-	buf    []byte
+	// off counts stream bytes consumed by complete blocks; a torn final
+	// block never advances it (see Offset).
+	off int64
+	buf []byte
 }
 
 // NewNGReader parses the leading Section Header Block.
@@ -191,6 +194,10 @@ func NewNGReader(r io.Reader) (*NGReader, error) {
 	return nr, nil
 }
 
+// Offset returns the number of stream bytes consumed by complete blocks
+// so far — the resume point after ErrTruncatedRecord.
+func (nr *NGReader) Offset() int64 { return nr.off }
+
 // readBlockRaw reads one block envelope with the given byte order,
 // returning the body (between the envelope fields).
 func (nr *NGReader) readBlockRaw(order binary.ByteOrder) (uint32, []byte, error) {
@@ -198,6 +205,10 @@ func (nr *NGReader) readBlockRaw(order binary.ByteOrder) (uint32, []byte, error)
 	if _, err := io.ReadFull(nr.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Partial block envelope: torn tail of a live capture.
+			return 0, nil, &TruncatedError{Offset: nr.off}
 		}
 		return 0, nil, fmt.Errorf("%w: block header: %v", ErrBadNG, err)
 	}
@@ -209,6 +220,9 @@ func (nr *NGReader) readBlockRaw(order binary.ByteOrder) (uint32, []byte, error)
 		// The byte-order magic follows; peek it to get the real length.
 		var magic [4]byte
 		if _, err := io.ReadFull(nr.r, magic[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return 0, nil, &TruncatedError{Offset: nr.off}
+			}
 			return 0, nil, fmt.Errorf("%w: SHB magic: %v", ErrBadNG, err)
 		}
 		if binary.BigEndian.Uint32(magic[:]) == ngByteOrderMagic {
@@ -226,9 +240,13 @@ func (nr *NGReader) readBlockRaw(order binary.ByteOrder) (uint32, []byte, error)
 		// trailing length.
 		rest := make([]byte, total-12)
 		if _, err := io.ReadFull(nr.r, rest); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return 0, nil, &TruncatedError{Offset: nr.off}
+			}
 			return 0, nil, fmt.Errorf("%w: SHB body: %v", ErrBadNG, err)
 		}
 		body := append(magic[:], rest[:len(rest)-4]...)
+		nr.off += int64(total)
 		return typ, body, nil
 	}
 	if total < 12 || total > 1<<26 {
@@ -236,15 +254,22 @@ func (nr *NGReader) readBlockRaw(order binary.ByteOrder) (uint32, []byte, error)
 	}
 	body := make([]byte, total-12)
 	if _, err := io.ReadFull(nr.r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, &TruncatedError{Offset: nr.off}
+		}
 		return 0, nil, fmt.Errorf("%w: block body: %v", ErrBadNG, err)
 	}
 	var tail [4]byte
 	if _, err := io.ReadFull(nr.r, tail[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, &TruncatedError{Offset: nr.off}
+		}
 		return 0, nil, fmt.Errorf("%w: block trailer: %v", ErrBadNG, err)
 	}
 	if order.Uint32(tail[:]) != total {
 		return 0, nil, fmt.Errorf("%w: trailer length mismatch", ErrBadNG)
 	}
+	nr.off += int64(total)
 	return typ, body, nil
 }
 

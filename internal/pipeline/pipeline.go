@@ -112,25 +112,59 @@ func Run(ctx context.Context, readers []pcapio.PacketReader, opts Options) (*ent
 	st.PerFile = make([]FileStats, len(readers))
 	for i := range perFile {
 		st.PerFile[i] = FileStats{
-			Packets:   perFile[i].packets.Load(),
-			Malformed: perFile[i].malformed.Load(),
+			Packets:        perFile[i].packets.Load(),
+			Malformed:      perFile[i].malformed.Load(),
+			TruncatedTails: perFile[i].truncated.Load(),
 		}
+	}
+	if opts.Progress != nil {
+		// One final snapshot — with PerFile populated — so the caller's
+		// last observed tick is never stale relative to the returned Stats.
+		opts.Progress(st)
 	}
 	return agg, st, err
 }
 
 // runSequential preserves the single-threaded behavior exactly: one
 // analyzer per file, packets handled inline, per-file merge at the end.
+//
+// The periodic n%1024 cancellation check is only for finite batch files,
+// whose reads never block; a follow-mode source carries its own context
+// and returns from a blocked ReadPacket the moment it is cancelled.
 func runSequential(ctx context.Context, readers []pcapio.PacketReader, opts Options, cnt *counters, perFile []fileCounter) (*entrada.Aggregates, error) {
 	var agg *entrada.Aggregates
 	for i, r := range readers {
 		an := entrada.NewAnalyzer(opts.Registry, opts.AnalyzerOpts...)
+		// account folds the analyzer's tallies into the per-file and
+		// global counters. It must run on every exit path — the old code
+		// only ran it after a clean EOF, so a mid-file read error lost the
+		// failing file's malformed count from Stats.PerFile.
+		account := func() {
+			perFile[i].malformed.Store(an.MalformedPackets)
+			cnt.malformed.Add(an.MalformedPackets)
+			cnt.unmatched.Add(an.UnmatchedResp)
+			cnt.dropped.Add(an.DroppedSegments())
+			cnt.tmMalformed.Add(an.MalformedPackets)
+			cnt.tmUnmatched.Add(an.UnmatchedResp)
+			cnt.tmDropped.Add(an.DroppedSegments())
+		}
 		for {
 			pkt, rerr := r.ReadPacket()
 			if rerr == io.EOF {
 				break
 			}
 			if rerr != nil {
+				if errors.Is(rerr, pcapio.ErrTruncatedRecord) {
+					// Torn final record: the normal tail of a snapshot of
+					// a live capture. Count it as this file's malformed
+					// tail and keep every complete record — aborting the
+					// whole multi-file run here was the old bug.
+					perFile[i].truncated.Add(1)
+					cnt.truncated.Add(1)
+					cnt.tmTruncated.Add(1)
+					break
+				}
+				account()
 				return agg, rerr
 			}
 			perFile[i].packets.Add(1)
@@ -139,17 +173,12 @@ func runSequential(ctx context.Context, readers []pcapio.PacketReader, opts Opti
 			cnt.dispatched.Add(1)
 			cnt.tmPackets.Add(1)
 			if n%1024 == 0 && ctx.Err() != nil {
+				account()
 				return agg, ctx.Err()
 			}
 		}
 		shard := an.Finish()
-		perFile[i].malformed.Store(an.MalformedPackets)
-		cnt.malformed.Add(an.MalformedPackets)
-		cnt.unmatched.Add(an.UnmatchedResp)
-		cnt.dropped.Add(shard.DroppedSegments)
-		cnt.tmMalformed.Add(an.MalformedPackets)
-		cnt.tmUnmatched.Add(an.UnmatchedResp)
-		cnt.tmDropped.Add(shard.DroppedSegments)
+		account()
 		if agg == nil {
 			agg = shard
 		} else {
@@ -199,7 +228,7 @@ func runParallel(parent context.Context, readers []pcapio.PacketReader, opts Opt
 			defer wg.Done()
 			for idx := range jobs {
 				eng := newEngine(ctx, shards, offset, cnt, opts)
-				rerr := drainReader(readers[idx], eng, &perFile[idx])
+				rerr := drainReader(readers[idx], eng, &perFile[idx], cnt)
 				shardAgg, cerr := eng.Close()
 				perFile[idx].malformed.Store(eng.Malformed())
 				if shardAgg != nil {
@@ -245,13 +274,21 @@ func runParallel(parent context.Context, readers []pcapio.PacketReader, opts Opt
 }
 
 // drainReader feeds one capture into an engine, counting frames per file.
-func drainReader(r pcapio.PacketReader, eng *Engine, fc *fileCounter) error {
+// A torn final record ends the file like a clean EOF, counted as a
+// malformed tail.
+func drainReader(r pcapio.PacketReader, eng *Engine, fc *fileCounter, cnt *counters) error {
 	for {
 		pkt, err := r.ReadPacket()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			if errors.Is(err, pcapio.ErrTruncatedRecord) {
+				fc.truncated.Add(1)
+				cnt.truncated.Add(1)
+				cnt.tmTruncated.Add(1)
+				return nil
+			}
 			return err
 		}
 		fc.packets.Add(1)

@@ -20,6 +20,9 @@ const (
 	MetricUnmatched = "pipeline_unmatched_responses_total"
 	// MetricDropped counts TCP reassembly overflow drops.
 	MetricDropped = "pipeline_dropped_segments_total"
+	// MetricTruncatedTails counts inputs that ended in a torn final
+	// record (normal when snapshotting a live capture).
+	MetricTruncatedTails = "pipeline_truncated_tails_total"
 	// MetricQueueDepth gauges the total queued batches across workers;
 	// per-slot series carry a {shard="N"} label.
 	MetricQueueDepth = "pipeline_queue_depth"
@@ -49,6 +52,9 @@ type Stats struct {
 	// DroppedSegments mirrors Aggregates.DroppedSegments (TCP reassembly
 	// overflow drops).
 	DroppedSegments uint64
+	// TruncatedTails counts inputs whose final record was torn — counted
+	// as a malformed tail, not a fatal error.
+	TruncatedTails uint64
 	// Workers is the shard-worker budget the run used.
 	Workers int
 	// Files is the number of inputs.
@@ -71,6 +77,8 @@ type FileStats struct {
 	Packets uint64
 	// Malformed frames among them.
 	Malformed uint64
+	// TruncatedTails is 1 when this input ended in a torn final record.
+	TruncatedTails uint64
 }
 
 // String renders a one-line progress summary.
@@ -88,6 +96,7 @@ type counters struct {
 	malformed  atomic.Uint64
 	unmatched  atomic.Uint64
 	dropped    atomic.Uint64
+	truncated  atomic.Uint64
 	depths     []atomic.Int64 // one slot per worker
 
 	// Telemetry mirrors (nil ⇒ no-ops). Workers feed the counters at
@@ -97,6 +106,7 @@ type counters struct {
 	tmMalformed *telemetry.Counter
 	tmUnmatched *telemetry.Counter
 	tmDropped   *telemetry.Counter
+	tmTruncated *telemetry.Counter
 }
 
 func newCounters(workers int, reg *telemetry.Registry) *counters {
@@ -105,6 +115,7 @@ func newCounters(workers int, reg *telemetry.Registry) *counters {
 	c.tmMalformed = reg.Counter(MetricMalformed)
 	c.tmUnmatched = reg.Counter(MetricUnmatched)
 	c.tmDropped = reg.Counter(MetricDropped)
+	c.tmTruncated = reg.Counter(MetricTruncatedTails)
 	if reg != nil {
 		depths := c.depths
 		reg.GaugeFunc(MetricQueueDepth, func() int64 {
@@ -130,6 +141,7 @@ func (c *counters) snapshot(workers, files int) Stats {
 		Malformed:          c.malformed.Load(),
 		UnmatchedResponses: c.unmatched.Load(),
 		DroppedSegments:    c.dropped.Load(),
+		TruncatedTails:     c.truncated.Load(),
 		Workers:            workers,
 		Files:              files,
 		QueueDepths:        make([]int, len(c.depths)),
@@ -149,4 +161,5 @@ func (c *counters) snapshot(workers, files int) Stats {
 type fileCounter struct {
 	packets   atomic.Uint64
 	malformed atomic.Uint64
+	truncated atomic.Uint64
 }

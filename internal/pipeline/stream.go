@@ -1,0 +1,438 @@
+// Streaming mode: the continuous-operation counterpart of Run. Instead
+// of one end-of-run merge over finite files, RunStream tails a single
+// growing capture, snapshots the analyzer's cumulative query counts at
+// tumbling window boundaries (windows are deltas of two snapshots — the
+// analyzer itself is never flushed mid-run, which is what keeps the
+// final aggregates identical to a batch pass), publishes every closed
+// window through telemetry as the paper's centralization time series,
+// and checkpoints full analyzer state + read offset so a killed run
+// resumes with byte-identical final aggregates.
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/stats"
+)
+
+// Window telemetry families published per closed window.
+const (
+	// MetricWindowsClosed counts closed windows.
+	MetricWindowsClosed = "entrada_windows_closed_total"
+	// MetricWindowQueries gauges the last closed window's query count.
+	MetricWindowQueries = "entrada_window_queries"
+	// MetricWindowStart gauges the last closed window's start (Unix sec).
+	MetricWindowStart = "entrada_window_start_seconds"
+	// MetricWindowQPS gauges the last closed window's queries/second.
+	MetricWindowQPS = "entrada_window_qps"
+	// MetricWindowHHI gauges the window's provider-share HHI.
+	MetricWindowHHI = "entrada_window_hhi"
+	// MetricWindowTopShare gauges the window's largest provider share.
+	MetricWindowTopShare = "entrada_window_top_share"
+	// MetricWindowProviderShare is the per-provider share family; series
+	// carry a {provider="Name"} label.
+	MetricWindowProviderShare = "entrada_window_provider_share"
+)
+
+// Window is one closed tumbling window of the capture-time query series.
+type Window struct {
+	// Index is Start.UnixNano() / Duration — consecutive windows of one
+	// run have consecutive indices unless the capture had a quiet gap.
+	Index int64
+	// Start is the window's inclusive start in capture time.
+	Start time.Time
+	// Duration is the configured window width.
+	Duration time.Duration
+	// Queries counts queries finalized during the window.
+	Queries uint64
+	// Providers holds per-provider finalized-query counts.
+	Providers map[string]uint64
+	// Shares, HHI and Top1 are the window's centralization measures
+	// (computed from Providers, the paper's §5 metrics per window).
+	Shares []stats.Share
+	HHI    float64
+	Top1   float64
+}
+
+// StreamOptions configures RunStream. The embedded Options supply the
+// registry, analyzer options, telemetry and progress reporting; Workers,
+// QueueDepth, BatchSize and BatchBytes are ignored — a followed capture
+// is writer-rate-limited, so streaming runs one sequential analyzer
+// (which is also what makes checkpoint state well-defined at every
+// packet boundary).
+type StreamOptions struct {
+	Options
+
+	// Window is the tumbling-window width in capture time (default 1m).
+	Window time.Duration
+	// OnWindow, when set, receives every closed window (including the
+	// final partial one at shutdown).
+	OnWindow func(Window)
+	// CheckpointDir, when non-empty, enables checkpointing: state is
+	// written atomically (temp file + rename) to CheckpointDir/entrada.ckpt
+	// every CheckpointEvery closed windows and once at shutdown.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in windows (default 4).
+	CheckpointEvery int
+	// Resume loads CheckpointDir/entrada.ckpt if present and continues
+	// from its offset; a missing checkpoint file starts fresh.
+	Resume bool
+	// Poll is the follow poll interval (default pcapio.DefaultFollowPoll).
+	Poll time.Duration
+	// IdleExit ends the stream once the capture stops growing for this
+	// long (0 = follow until cancelled). Used by tests and CI for
+	// deterministic termination.
+	IdleExit time.Duration
+}
+
+// StreamResult summarizes a finished stream.
+type StreamResult struct {
+	// Windows holds every closed window in order, including the final
+	// partial one.
+	Windows []Window
+	// WindowsClosed counts closed windows across the whole logical run —
+	// it continues from the checkpoint on resume.
+	WindowsClosed uint64
+	// Offset is the final committed read offset in the followed file.
+	Offset int64
+	// TruncatedTails and Rotations mirror the follow reader's counts.
+	TruncatedTails uint64
+	Rotations      uint64
+	// Resumed reports whether a checkpoint was loaded.
+	Resumed bool
+	// Stats is the final progress snapshot.
+	Stats Stats
+}
+
+// checkpointName is the state file RunStream maintains in CheckpointDir.
+const checkpointName = "entrada.ckpt"
+
+// streamCheckpoint is the envelope around the analyzer state: enough to
+// re-open the input at the right offset and keep window accounting
+// continuous across restarts.
+type streamCheckpoint struct {
+	Version       int             `json:"version"`
+	Input         string          `json:"input"`
+	Offset        int64           `json:"offset"`
+	WindowNanos   int64           `json:"window_nanos"`
+	WindowsClosed uint64          `json:"windows_closed"`
+	Analyzer      json.RawMessage `json:"analyzer"`
+}
+
+// writeCheckpoint persists atomically: a crash mid-write leaves the
+// previous checkpoint intact, never a torn one.
+func writeCheckpoint(dir string, ck streamCheckpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("pipeline: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, checkpointName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("pipeline: checkpoint temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads the checkpoint if one exists; ok=false means a
+// fresh start.
+func loadCheckpoint(dir string) (streamCheckpoint, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return streamCheckpoint{}, false, nil
+	}
+	if err != nil {
+		return streamCheckpoint{}, false, fmt.Errorf("pipeline: reading checkpoint: %w", err)
+	}
+	var ck streamCheckpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return streamCheckpoint{}, false, fmt.Errorf("pipeline: decoding checkpoint: %w", err)
+	}
+	if ck.Version != entrada.CheckpointVersion {
+		return streamCheckpoint{}, false, fmt.Errorf("pipeline: checkpoint version %d, want %d", ck.Version, entrada.CheckpointVersion)
+	}
+	return ck, true, nil
+}
+
+// windowTracker turns cumulative analyzer counts into tumbling windows.
+// Windows are keyed by capture time (pkt.Timestamp / width, the same
+// bucketing Aggregates.Hourly uses at hour scale), so they are stable
+// across restarts and replay speed. A timestamp regression stays in the
+// current window — capture time at one server is near-monotonic, and
+// never going backwards keeps window emission monotone.
+type windowTracker struct {
+	width    time.Duration
+	an       *entrada.Analyzer
+	baseline entrada.QueryCounts
+	cur      int64
+	open     bool
+}
+
+// observe notes a packet timestamp before it is handled, returning the
+// windows (usually zero or one) that close because this packet starts a
+// later one.
+func (w *windowTracker) observe(ts time.Time) []Window {
+	idx := ts.UnixNano() / int64(w.width)
+	if !w.open {
+		w.cur, w.open = idx, true
+		return nil
+	}
+	if idx <= w.cur {
+		return nil
+	}
+	win := w.close()
+	w.cur = idx
+	return []Window{win}
+}
+
+// close snapshots the delta since the last boundary as one Window and
+// advances the baseline. Non-destructive: only numeric snapshots, the
+// analyzer's join and reassembly state is untouched.
+func (w *windowTracker) close() Window {
+	now := w.an.QueryCounts()
+	win := Window{
+		Index:     w.cur,
+		Start:     time.Unix(0, w.cur*int64(w.width)).UTC(),
+		Duration:  w.width,
+		Queries:   now.Total - w.baseline.Total,
+		Providers: make(map[string]uint64),
+	}
+	for p, n := range now.ByProvider {
+		if d := n - w.baseline.ByProvider[p]; d > 0 {
+			win.Providers[p.String()] = d
+		}
+	}
+	win.Shares = stats.Shares(win.Providers)
+	win.HHI = stats.HHI(win.Shares)
+	win.Top1 = stats.TopShare(win.Shares, 1)
+	w.baseline = now
+	return win
+}
+
+// RunStream follows one growing capture file through a single sequential
+// analyzer, emitting tumbling windows and (optionally) checkpoints, and
+// returns the final aggregates — byte-identical to what a batch Run over
+// the same finished capture would produce, even across a kill+resume.
+func RunStream(ctx context.Context, input string, opts StreamOptions) (*entrada.Aggregates, StreamResult, error) {
+	opts.Options = opts.Options.withDefaults()
+	if opts.Registry == nil {
+		return nil, StreamResult{}, errors.New("pipeline: Options.Registry is required")
+	}
+	if opts.Window <= 0 {
+		opts.Window = time.Minute
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 4
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = pcapio.DefaultFollowPoll
+	}
+
+	res := StreamResult{}
+	var an *entrada.Analyzer
+	var resumeOff int64
+	if opts.Resume {
+		if opts.CheckpointDir == "" {
+			return nil, res, errors.New("pipeline: Resume requires CheckpointDir")
+		}
+		ck, ok, err := loadCheckpoint(opts.CheckpointDir)
+		if err != nil {
+			return nil, res, err
+		}
+		if ok {
+			if ck.WindowNanos != int64(opts.Window) {
+				return nil, res, fmt.Errorf("pipeline: checkpoint window %v != configured %v",
+					time.Duration(ck.WindowNanos), opts.Window)
+			}
+			restored, err := entrada.RestoreAnalyzer(opts.Registry, ck.Analyzer)
+			if err != nil {
+				return nil, res, err
+			}
+			an = restored
+			resumeOff = ck.Offset
+			res.WindowsClosed = ck.WindowsClosed
+			res.Resumed = true
+		}
+	}
+	if an == nil {
+		an = entrada.NewAnalyzer(opts.Registry, opts.AnalyzerOpts...)
+	}
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, res, fmt.Errorf("pipeline: checkpoint dir: %w", err)
+		}
+	}
+
+	fopts := []pcapio.FollowOption{pcapio.FollowPoll(opts.Poll)}
+	if opts.IdleExit > 0 {
+		fopts = append(fopts, pcapio.FollowIdleExit(opts.IdleExit))
+	}
+	if resumeOff > 0 {
+		fopts = append(fopts, pcapio.FollowResumeAt(resumeOff))
+	}
+	fr := pcapio.NewFollowReader(ctx, input, fopts...)
+	defer fr.Close()
+
+	cnt := newCounters(1, opts.Telemetry)
+	stopProgress := startProgress(cnt, opts.Options, 1)
+	defer stopProgress()
+
+	tmWindows := opts.Telemetry.Counter(MetricWindowsClosed)
+	tmWinQueries := opts.Telemetry.Gauge(MetricWindowQueries)
+	tmWinStart := opts.Telemetry.Gauge(MetricWindowStart)
+	tmWinQPS := opts.Telemetry.FloatGauge(MetricWindowQPS)
+	tmWinHHI := opts.Telemetry.FloatGauge(MetricWindowHHI)
+	tmWinTop := opts.Telemetry.FloatGauge(MetricWindowTopShare)
+
+	tracker := &windowTracker{width: opts.Window, an: an, baseline: an.QueryCounts()}
+	// On resume the restored counts ARE the last boundary snapshot: the
+	// checkpoint below is only ever written at a window boundary before
+	// the boundary-crossing packet is handled.
+
+	emit := func(win Window) {
+		res.Windows = append(res.Windows, win)
+		res.WindowsClosed++
+		tmWindows.Inc()
+		tmWinQueries.Set(int64(win.Queries))
+		tmWinStart.Set(win.Start.Unix())
+		tmWinQPS.Set(float64(win.Queries) / win.Duration.Seconds())
+		tmWinHHI.Set(win.HHI)
+		tmWinTop.Set(win.Top1)
+		for name, n := range win.Providers {
+			share := stats.Ratio(n, win.Queries)
+			opts.Telemetry.FloatGauge(MetricWindowProviderShare + `{provider="` + name + `"}`).Set(share)
+		}
+		if opts.OnWindow != nil {
+			opts.OnWindow(win)
+		}
+	}
+	checkpoint := func(off int64) error {
+		if opts.CheckpointDir == "" {
+			return nil
+		}
+		state, err := an.MarshalState()
+		if err != nil {
+			return err
+		}
+		return writeCheckpoint(opts.CheckpointDir, streamCheckpoint{
+			Version:       entrada.CheckpointVersion,
+			Input:         input,
+			Offset:        off,
+			WindowNanos:   int64(opts.Window),
+			WindowsClosed: res.WindowsClosed,
+			Analyzer:      state,
+		})
+	}
+
+	var runErr error
+	prevOff := resumeOff // offset of the last handled (or skipped) record
+	for {
+		pkt, rerr := fr.ReadPacket()
+		if rerr != nil {
+			if rerr == io.EOF {
+				break // idle-exit: the capture stopped growing
+			}
+			if ctx.Err() != nil {
+				// Graceful shutdown (SIGINT/SIGTERM through ctx): flush
+				// the final window below, keep what we have.
+				break
+			}
+			runErr = rerr
+			break
+		}
+		for _, win := range tracker.observe(pkt.Timestamp) {
+			emit(win)
+			if res.WindowsClosed%uint64(opts.CheckpointEvery) == 0 {
+				// Checkpoint at the boundary, before the packet that
+				// crossed it is handled: prevOff excludes that packet, so
+				// a resume re-reads it and no packet is lost or doubled.
+				if err := checkpoint(prevOff); err != nil {
+					return nil, res, err
+				}
+			}
+		}
+		n := cnt.read.Add(1)
+		an.HandlePacket(pkt.Timestamp, pkt.Data)
+		cnt.dispatched.Add(1)
+		cnt.tmPackets.Add(1)
+		prevOff = fr.Offset()
+		if n%1024 == 0 && ctx.Err() != nil {
+			// The follow reader only notices cancellation when a read
+			// blocks; during a backlog burst reads never block, so check
+			// here too — otherwise a shutdown signal waits for the whole
+			// backlog to drain.
+			break
+		}
+	}
+
+	// Shutdown sequence. Checkpoint FIRST — Finish() flushes pending
+	// queries and must not contaminate the state a resume restores.
+	if runErr == nil {
+		if err := checkpoint(prevOff); err != nil {
+			return nil, res, err
+		}
+	}
+	// Flush the final (partial) window so the series covers every query
+	// seen so far. Around a restart the same window index can be emitted
+	// twice (the remainder after resume) — window emission is
+	// at-least-once; the aggregates themselves are exact.
+	if tracker.open {
+		if win := tracker.close(); win.Queries > 0 || len(res.Windows) == 0 {
+			emit(win)
+		}
+	}
+
+	agg := an.Finish()
+	cnt.malformed.Add(an.MalformedPackets)
+	cnt.unmatched.Add(an.UnmatchedResp)
+	cnt.dropped.Add(agg.DroppedSegments)
+	cnt.truncated.Add(fr.TruncatedTails())
+	cnt.tmMalformed.Add(an.MalformedPackets)
+	cnt.tmUnmatched.Add(an.UnmatchedResp)
+	cnt.tmDropped.Add(agg.DroppedSegments)
+	cnt.tmTruncated.Add(fr.TruncatedTails())
+	stopProgress()
+
+	res.Offset = fr.Offset()
+	res.TruncatedTails = fr.TruncatedTails()
+	res.Rotations = fr.Rotations()
+	res.Stats = cnt.snapshot(1, 1)
+	res.Stats.PerFile = []FileStats{{
+		Packets:        res.Stats.PacketsRead,
+		Malformed:      an.MalformedPackets,
+		TruncatedTails: fr.TruncatedTails(),
+	}}
+	if opts.Progress != nil {
+		opts.Progress(res.Stats)
+	}
+	if runErr == nil && ctx.Err() != nil {
+		runErr = ctx.Err()
+	}
+	return agg, res, runErr
+}

@@ -1,0 +1,338 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dnscentral/internal/cloudmodel"
+	"dnscentral/internal/entrada"
+	"dnscentral/internal/pcapio"
+	"dnscentral/internal/telemetry"
+)
+
+// streamOpts builds the common StreamOptions the tests use: fast polls
+// and a short idle-exit so a finished file terminates the stream.
+func streamOpts(o StreamOptions) StreamOptions {
+	o.Poll = time.Millisecond
+	if o.IdleExit == 0 {
+		o.IdleExit = 200 * time.Millisecond
+	}
+	return o
+}
+
+// TestStreamMatchesBatch: following a finished capture to idle-exit must
+// produce aggregates byte-identical to the batch Run over the same file
+// — the windowing machinery must be invisible to the final result.
+func TestStreamMatchesBatch(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNL, 4000, 5)
+	anOpts := []entrada.Option{entrada.WithZoneOrigin(origin)}
+	path := filepath.Join(t.TempDir(), "cap.pcap")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	batchAgg, _, err := Run(context.Background(), openAll(t, blob), Options{Workers: 1, Registry: reg, AnalyzerOpts: anOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamAgg, res, err := RunStream(context.Background(), path, streamOpts(StreamOptions{
+		Options: Options{Registry: reg, AnalyzerOpts: anOpts},
+		Window:  time.Hour, // capture time: a generated week has many hours
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportBytes(t, streamAgg, reg), reportBytes(t, batchAgg, reg); !bytes.Equal(got, want) {
+		t.Fatal("streamed report differs from batch report")
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no windows emitted")
+	}
+	if res.Offset != int64(len(blob)) {
+		t.Fatalf("final offset %d, want %d", res.Offset, len(blob))
+	}
+}
+
+// TestStreamWindowSums is the windowed-merge property: window deltas are
+// snapshots of one monotone series, so the sum of all window query
+// counts — globally and per provider — must equal the one-shot totals.
+func TestStreamWindowSums(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNZ, 5000, 23)
+	anOpts := []entrada.Option{entrada.WithZoneOrigin(origin)}
+	path := filepath.Join(t.TempDir(), "cap.pcap")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, res, err := RunStream(context.Background(), path, streamOpts(StreamOptions{
+		Options: Options{Registry: reg, AnalyzerOpts: anOpts},
+		Window:  30 * time.Minute,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) < 3 {
+		t.Fatalf("want several windows over a week, got %d", len(res.Windows))
+	}
+
+	var sum uint64
+	perProv := make(map[string]uint64)
+	lastIdx := int64(-1 << 62)
+	for _, w := range res.Windows {
+		sum += w.Queries
+		for p, n := range w.Providers {
+			perProv[p] += n
+		}
+		if w.Index <= lastIdx {
+			t.Fatalf("window indices not strictly increasing: %d after %d", w.Index, lastIdx)
+		}
+		lastIdx = w.Index
+		var provSum uint64
+		for _, n := range w.Providers {
+			provSum += n
+		}
+		if provSum != w.Queries {
+			t.Fatalf("window %d: provider sum %d != queries %d", w.Index, provSum, w.Queries)
+		}
+	}
+	// Finish() flushes pending queries AFTER the last window closed, so
+	// the windows cover everything finalized before shutdown.
+	if sum > agg.Total {
+		t.Fatalf("window sum %d exceeds total %d", sum, agg.Total)
+	}
+	finalized := agg.Total
+	for p, pa := range agg.ByProvider {
+		if perProv[p.String()] > pa.Queries {
+			t.Fatalf("provider %s window sum %d exceeds aggregate %d", p, perProv[p.String()], pa.Queries)
+		}
+	}
+	// The final partial window is emitted at shutdown, so only queries
+	// finalized by Finish itself (pending flushes) may be uncovered.
+	var pendingFlushed uint64 = finalized - sum
+	if pendingFlushed > finalized/2 {
+		t.Fatalf("windows cover too little: %d of %d finalized outside windows", pendingFlushed, finalized)
+	}
+}
+
+// TestStreamKillResumeExact is the tentpole acceptance criterion at unit
+// level: cancel a checkpointing stream partway (the in-process stand-in
+// for kill -9 — the checkpoint on disk is all a restart would have),
+// resume from the checkpoint directory, and require the resumed run's
+// final report to be byte-identical to an uninterrupted batch run.
+func TestStreamKillResumeExact(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNL, 4000, 99)
+	anOpts := []entrada.Option{entrada.WithZoneOrigin(origin)}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.pcap")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckDir := filepath.Join(dir, "state")
+
+	batchAgg, _, err := Run(context.Background(), openAll(t, blob), Options{Workers: 1, Registry: reg, AnalyzerOpts: anOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, batchAgg, reg)
+
+	// Phase 1: cancel hard after the third checkpointed window. To
+	// simulate SIGKILL — which would leave only the last BOUNDARY
+	// checkpoint, never a graceful shutdown one — snapshot the on-disk
+	// checkpoint at the moment of the "kill" and restore it afterwards,
+	// discarding anything the cancelled run wrote while winding down.
+	ctx, cancel := context.WithCancel(context.Background())
+	ckPath := filepath.Join(ckDir, "entrada.ckpt")
+	var killCk []byte
+	windows := 0
+	_, res1, err := RunStream(ctx, path, streamOpts(StreamOptions{
+		Options:         Options{Registry: reg, AnalyzerOpts: anOpts},
+		Window:          30 * time.Minute,
+		CheckpointDir:   ckDir,
+		CheckpointEvery: 1,
+		OnWindow: func(Window) {
+			windows++
+			if windows == 3 {
+				b, rdErr := os.ReadFile(ckPath)
+				if rdErr != nil {
+					t.Errorf("no boundary checkpoint at window 3: %v", rdErr)
+				}
+				killCk = b
+				cancel()
+			}
+		},
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("phase 1: err = %v, want context.Canceled", err)
+	}
+	if res1.WindowsClosed < 3 {
+		t.Fatalf("phase 1 closed %d windows, want >= 3", res1.WindowsClosed)
+	}
+	if len(killCk) == 0 {
+		t.Fatal("no checkpoint captured at kill point")
+	}
+	if err := os.WriteFile(ckPath, killCk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume. Must pick up at the recorded offset and finish
+	// with the exact batch report.
+	agg2, res2, err := RunStream(context.Background(), path, streamOpts(StreamOptions{
+		Options:       Options{Registry: reg, AnalyzerOpts: anOpts},
+		Window:        30 * time.Minute,
+		CheckpointDir: ckDir,
+		Resume:        true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Resumed {
+		t.Fatal("phase 2 did not resume from checkpoint")
+	}
+	if got := reportBytes(t, agg2, reg); !bytes.Equal(got, want) {
+		t.Fatal("resumed report differs from uninterrupted batch report")
+	}
+	if res2.WindowsClosed <= res1.WindowsClosed {
+		t.Fatalf("resumed windows %d did not continue from %d", res2.WindowsClosed, res1.WindowsClosed)
+	}
+}
+
+// TestStreamResumeFreshStart: Resume with an empty checkpoint dir is a
+// documented fresh start, not an error.
+func TestStreamResumeFreshStart(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNL, 1000, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.pcap")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	agg, res, err := RunStream(context.Background(), path, streamOpts(StreamOptions{
+		Options:       Options{Registry: reg, AnalyzerOpts: []entrada.Option{entrada.WithZoneOrigin(origin)}},
+		Window:        time.Hour,
+		CheckpointDir: filepath.Join(dir, "state"),
+		Resume:        true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed {
+		t.Fatal("claimed to resume with no checkpoint present")
+	}
+	if agg.Total == 0 {
+		t.Fatal("fresh start ingested nothing")
+	}
+}
+
+// TestStreamWindowTelemetry: closed windows must move the
+// entrada_window_* families on the registry.
+func TestStreamWindowTelemetry(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNL, 2000, 7)
+	path := filepath.Join(t.TempDir(), "cap.pcap")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tm := telemetry.New()
+	_, res, err := RunStream(context.Background(), path, streamOpts(StreamOptions{
+		Options:   Options{Registry: reg, AnalyzerOpts: []entrada.Option{entrada.WithZoneOrigin(origin)}, Telemetry: tm},
+		Window:    time.Hour,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.Counter(MetricWindowsClosed).Value(); got != res.WindowsClosed {
+		t.Fatalf("%s = %d, want %d", MetricWindowsClosed, got, res.WindowsClosed)
+	}
+	last := res.Windows[len(res.Windows)-1]
+	if got := tm.Gauge(MetricWindowQueries).Value(); got != int64(last.Queries) {
+		t.Fatalf("%s = %d, want %d", MetricWindowQueries, got, last.Queries)
+	}
+	if got := tm.FloatGauge(MetricWindowHHI).Value(); got != last.HHI {
+		t.Fatalf("%s = %v, want %v", MetricWindowHHI, got, last.HHI)
+	}
+	var sb bytes.Buffer
+	if err := tm.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{MetricWindowsClosed, MetricWindowQPS, MetricWindowTopShare, MetricWindowProviderShare + "{provider="} {
+		if !bytes.Contains(sb.Bytes(), []byte(want)) {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestBatchTruncatedTailTolerated: a torn final record in one input of a
+// batch Run must not abort the run — its complete prefix is kept and the
+// tear is counted per file, for both sequential and parallel modes.
+func TestBatchTruncatedTailTolerated(t *testing.T) {
+	blob, reg, origin := genWeek(t, cloudmodel.VantageNL, 2000, 11)
+	anOpts := []entrada.Option{entrada.WithZoneOrigin(origin)}
+	torn := blob[:len(blob)-7] // tear the last record's body
+
+	for _, workers := range []int{1, 4} {
+		agg, st, err := Run(context.Background(), openAll(t, torn, blob), Options{
+			Workers: workers, Registry: reg, AnalyzerOpts: anOpts,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: torn tail aborted the run: %v", workers, err)
+		}
+		if agg == nil || agg.Total == 0 {
+			t.Fatalf("workers=%d: no aggregates from torn run", workers)
+		}
+		if st.TruncatedTails != 1 {
+			t.Fatalf("workers=%d: TruncatedTails = %d, want 1", workers, st.TruncatedTails)
+		}
+		if st.PerFile[0].TruncatedTails != 1 || st.PerFile[1].TruncatedTails != 0 {
+			t.Fatalf("workers=%d: per-file truncated tails = %+v", workers, st.PerFile)
+		}
+	}
+}
+
+// TestSequentialErrorPathStats: a mid-file decode failure must still
+// surface the failing file's malformed count in Stats.PerFile (the old
+// code only stored it after a clean Finish) and the Progress callback
+// must receive one final snapshot with PerFile populated.
+func TestSequentialErrorPathStats(t *testing.T) {
+	blob, reg, _ := genWeek(t, cloudmodel.VantageNL, 500, 13)
+
+	// Corrupt one mid-file record header so its declared caplen exceeds
+	// the snap length — a fatal decode error, not a torn tail.
+	corrupt := append([]byte(nil), blob...)
+	r, err := pcapio.NewReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	off := r.Offset() // third record's header starts here
+	// caplen field is bytes 8..12 of the record header (little-endian).
+	corrupt[off+8], corrupt[off+9], corrupt[off+10], corrupt[off+11] = 0xFF, 0xFF, 0xFF, 0x7F
+
+	var mu_last Stats
+	gotFinal := false
+	_, st, err := Run(context.Background(), openAll(t, corrupt), Options{
+		Workers: 1, Registry: reg,
+		Progress:         func(s Stats) { mu_last = s; gotFinal = len(s.PerFile) > 0 },
+		ProgressInterval: time.Hour, // only the final snapshot fires
+	})
+	if err == nil {
+		t.Fatal("corrupt record did not error")
+	}
+	if st.PerFile[0].Packets == 0 {
+		t.Fatal("failing file's packet count missing from PerFile")
+	}
+	if !gotFinal {
+		t.Fatalf("no final Progress snapshot with PerFile (last: %+v)", mu_last)
+	}
+	if mu_last.PerFile[0].Packets != st.PerFile[0].Packets {
+		t.Fatalf("final Progress snapshot stale: %+v vs %+v", mu_last.PerFile[0], st.PerFile[0])
+	}
+}

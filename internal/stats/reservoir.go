@@ -109,6 +109,31 @@ func (r *DurationReservoir) Merge(other *DurationReservoir) {
 	r.total += other.total
 }
 
+// EachBucket calls fn for every occupied bucket in ascending index
+// order — the deterministic export side of a persisted sketch.
+func (r *DurationReservoir) EachBucket(fn func(i int32, n uint64)) {
+	if r == nil || r.total == 0 {
+		return
+	}
+	for _, i := range r.sortedBuckets() {
+		fn(i, r.counts[i])
+	}
+}
+
+// ObserveBucketN adds n samples directly to bucket i: the inverse of
+// EachBucket, for restoring a serialized sketch. Restoring every
+// exported (i, n) pair reconstructs the exact state.
+func (r *DurationReservoir) ObserveBucketN(i int32, n uint64) {
+	if n == 0 {
+		return
+	}
+	if r.counts == nil {
+		r.counts = make(map[int32]uint64, 8)
+	}
+	r.counts[i] += n
+	r.total += n
+}
+
 // Clone returns an independent copy of r.
 func (r *DurationReservoir) Clone() *DurationReservoir {
 	if r == nil || r.total == 0 {

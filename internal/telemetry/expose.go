@@ -45,6 +45,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, f := range r.gaugeFns {
 		gauges[name] = f()
 	}
+	fgauges := make(map[string]float64, len(r.fgauges))
+	for name, g := range r.fgauges {
+		fgauges[name] = g.Value()
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -74,11 +78,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	for _, name := range sortedKeys(gauges) {
+	// Integer and float gauges are one sorted gauge namespace: merge the
+	// key sets so families stay in lexical order regardless of flavor.
+	gaugeNames := make([]string, 0, len(gauges)+len(fgauges))
+	for name := range gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	for name := range fgauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
 		if err := emitType(name, "gauge"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, gauges[name]); err != nil {
+		if v, ok := gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fgauges[name])); err != nil {
 			return err
 		}
 	}
@@ -187,6 +207,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		}
 		for name, f := range r.gaugeFns {
 			out[name] = f()
+		}
+		for name, g := range r.fgauges {
+			out[name] = g.Value()
 		}
 		for name, h := range r.hists {
 			out[name] = map[string]any{

@@ -31,6 +31,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -148,6 +149,31 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// FloatGauge is an instantaneous floating-point level (a share, an HHI,
+// a rate) stored as atomic float64 bits. It exists for the windowed
+// centralization series, whose natural values — provider shares,
+// concentration indices, queries/second — are ratios an int64 Gauge
+// would have to smuggle through a fixed-point scale.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the level. Nil gauges are no-ops.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the level. Nil gauges read zero.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram is a fixed-memory log-bucketed duration histogram sharing
@@ -282,6 +308,7 @@ type Registry struct {
 	counterFns map[string]func() uint64
 	gauges     map[string]*Gauge
 	gaugeFns   map[string]func() int64
+	fgauges    map[string]*FloatGauge
 	hists      map[string]*Histogram
 	vhists     map[string]*ValueHistogram
 }
@@ -293,6 +320,7 @@ func New() *Registry {
 		counterFns: make(map[string]func() uint64),
 		gauges:     make(map[string]*Gauge),
 		gaugeFns:   make(map[string]func() int64),
+		fgauges:    make(map[string]*FloatGauge),
 		hists:      make(map[string]*Histogram),
 		vhists:     make(map[string]*ValueHistogram),
 	}
@@ -353,6 +381,22 @@ func (r *Registry) GaugeFunc(name string, f func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gaugeFns[name] = f
+}
+
+// FloatGauge returns the named float gauge, creating it on first use. A
+// nil registry returns a nil (no-op) gauge.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.fgauges[name]
+	if g == nil {
+		g = new(FloatGauge)
+		r.fgauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use. A nil

@@ -115,10 +115,11 @@ func TestNilRegistryNoop(t *testing.T) {
 	var reg *Registry
 	c := reg.Counter("x_total")
 	g := reg.Gauge("x")
+	fg := reg.FloatGauge("x_ratio")
 	h := reg.Histogram("x_seconds")
 	vh := reg.ValueHistogram("x_size")
 	cell := c.Shard(3)
-	if c != nil || g != nil || h != nil || vh != nil || cell != nil {
+	if c != nil || g != nil || fg != nil || h != nil || vh != nil || cell != nil {
 		t.Fatal("nil registry must hand out nil metrics")
 	}
 	reg.CounterFunc("f_total", func() uint64 { return 1 })
@@ -130,6 +131,8 @@ func TestNilRegistryNoop(t *testing.T) {
 		cell.Add(7)
 		g.Set(4)
 		g.Add(-1)
+		fg.Set(0.5)
+		_ = fg.Value()
 		h.Observe(time.Millisecond)
 		vh.Observe(32)
 		_ = c.Value()
@@ -204,6 +207,61 @@ udpengine_batch_size_count 4
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFloatGauge pins the float-gauge surface: idempotent registration,
+// atomic Set/Value, and exposition interleaved with integer gauges in
+// one sorted gauge namespace.
+func TestFloatGauge(t *testing.T) {
+	reg := New()
+	fg := reg.FloatGauge("entrada_window_hhi")
+	fg.Set(0.25)
+	if got := fg.Value(); got != 0.25 {
+		t.Fatalf("Value() = %v, want 0.25", got)
+	}
+	if again := reg.FloatGauge("entrada_window_hhi"); again != fg {
+		t.Fatal("FloatGauge() is not idempotent")
+	}
+	reg.FloatGauge(`entrada_window_provider_share{provider="Google"}`).Set(0.5)
+	reg.Gauge("entrada_window_queries").Set(1200)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fg.Set(0.25)
+				if v := fg.Value(); v != 0.25 {
+					panic("torn float gauge read")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE entrada_window_hhi gauge
+entrada_window_hhi 0.25
+# TYPE entrada_window_provider_share gauge
+entrada_window_provider_share{provider="Google"} 0.5
+# TYPE entrada_window_queries gauge
+entrada_window_queries 1200
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	sb.Reset()
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"entrada_window_hhi": 0.25`) {
+		t.Fatalf("JSON missing float gauge:\n%s", sb.String())
 	}
 }
 
